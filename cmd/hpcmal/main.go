@@ -1,0 +1,463 @@
+// Command hpcmal is the command-line front end of the reproduction: it
+// generates the HPC malware database, trains and evaluates classifiers,
+// runs the PCA feature-reduction study, prices classifiers in hardware,
+// and regenerates every table and figure of the paper.
+//
+// Usage:
+//
+//	hpcmal list
+//	hpcmal gen    -scale 0.1 -seed 1 -out dataset.csv [-arff] [-binary]
+//	hpcmal train  -classifier JRip [-binary] [-features a,b,c] [-scale 0.05]
+//	hpcmal pca    [-scale 0.05] [-k 8]
+//	hpcmal hwcost [-scale 0.05]
+//	hpcmal repro  [all|ablations|table1|table2|fig6|pcaplots|fig13|...|fig19]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/oner"
+	"repro/internal/ml/rules"
+	"repro/internal/ml/tree"
+	"repro/internal/pmu"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "pca":
+		err = cmdPCA(os.Args[2:])
+	case "hwcost":
+		err = cmdHWCost(os.Args[2:])
+	case "collect":
+		err = cmdCollect(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	case "emit":
+		err = cmdEmit(os.Args[2:])
+	case "repro":
+		err = cmdRepro(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "hpcmal: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpcmal: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `hpcmal — HPC-based malware detection (DAC'17 / GMU thesis reproduction)
+
+commands:
+  list                         show classifiers, events and experiments
+  gen    [-scale -seed -out -arff -binary]   generate the HPC dataset
+  train  [-classifier -binary -features -scale -seed]   train + evaluate
+  pca    [-scale -seed -k]     PCA ranking and per-class custom features
+  hwcost [-scale -seed]        FPGA area/latency for all classifiers
+  collect [-dir -perclass -seed]   run samples in containers, write per-
+                               sample HPC text files (the paper's Figure 5)
+  merge  [-dir -out]           merge text files into one CSV (paper pipeline)
+  emit   [-classifier -out -scale -seed]  train and emit synthesizable
+                               Verilog for a rule/tree detector
+  repro  <id|all|ablations|extensions>   regenerate the paper's evaluation`)
+}
+
+func cmdList() error {
+	fmt.Println("classifiers (binary study, Figure 13):")
+	fmt.Printf("  %s\n", strings.Join(core.ClassifierNames(), " "))
+	fmt.Println("multiclass classifiers (Figures 17-19):")
+	fmt.Printf("  %s (Logistic = MLR)\n", strings.Join(core.MulticlassNames(), " "))
+	fmt.Println("experiments:")
+	fmt.Printf("  %s\n", strings.Join(experiments.IDs(), " "))
+	fmt.Println("ablations:")
+	fmt.Printf("  %s\n", strings.Join(experiments.AblationIDs(), " "))
+	fmt.Println("extensions:")
+	fmt.Printf("  %s\n", strings.Join(experiments.ExtensionIDs(), " "))
+	fmt.Println("paper feature set (16 HPC events):")
+	for _, e := range pmu.PaperFeatures() {
+		fmt.Printf("  %s\n", e)
+	}
+	fmt.Printf("full PMU catalog: %d events, %d physical counters\n",
+		len(pmu.Catalog()), pmu.NumCounters)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.1, "fraction of the paper's 3,070-sample database")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "dataset.csv", "output path")
+	arff := fs.Bool("arff", false, "write WEKA ARFF instead of CSV")
+	binary := fs.Bool("binary", false, "binary (benign/malware) labels in ARFF")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if *arff {
+		err = tbl.WriteARFF(f, "hpc-malware", *binary)
+	} else {
+		err = tbl.WriteCSV(f)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d rows x %d features (+class) to %s\n",
+		tbl.NumInstances(), tbl.NumAttributes(), *out)
+	for _, c := range workload.AllClasses() {
+		fmt.Printf("  %-9s %5d rows\n", c, tbl.ClassCounts()[c])
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	name := fs.String("classifier", "J48", "classifier name (see `hpcmal list`)")
+	binary := fs.Bool("binary", true, "malware-vs-benign (false = 6-class)")
+	features := fs.String("features", "", "comma-separated feature subset")
+	scale := fs.Float64("scale", 0.05, "dataset scale")
+	seed := fs.Uint64("seed", 1, "random seed")
+	data := fs.String("data", "", "train on an existing CSV instead of generating")
+	util := fs.Bool("util", false, "print a Vivado-style utilization report (Artix-7 35T)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var tbl *dataset.Table
+	var err error
+	if *data != "" {
+		f, err2 := os.Open(*data)
+		if err2 != nil {
+			return err2
+		}
+		defer f.Close()
+		tbl, err = dataset.ReadCSV(f)
+	} else {
+		tbl, err = core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
+	}
+	if err != nil {
+		return err
+	}
+	cfg := core.DetectorConfig{
+		Classifier: *name, Binary: *binary, Seed: *seed,
+	}
+	if *features != "" {
+		cfg.Features = strings.Split(*features, ",")
+	}
+	res, err := core.RunDetector(tbl, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("classifier: %s  features: %d  accuracy: %.2f%%\n",
+		res.Classifier, len(res.Features), res.Eval.Accuracy()*100)
+	if !*binary {
+		names := make([]string, workload.NumClasses)
+		for c := 0; c < workload.NumClasses; c++ {
+			names[c] = workload.Class(c).String()
+		}
+		if err := res.Eval.WriteReport(os.Stdout, names); err != nil {
+			return err
+		}
+	}
+	if res.HW != nil {
+		fmt.Printf("hardware: %d LUT-equiv (%d DSP, %d BRAM), %d cycles (%.0f ns at 100 MHz)\n",
+			res.HW.EquivLUTs, res.HW.Area.DSP, res.HW.Area.BRAM,
+			res.HW.Cycles, res.HW.LatencyNs)
+		if *util {
+			if err := res.HW.WriteUtilization(os.Stdout, hw.Artix7_35T); err != nil {
+				return err
+			}
+			if !res.HW.Fits(hw.Artix7_35T) {
+				fmt.Println("warning: design does not fit the xc7a35t")
+			}
+		}
+	}
+	return nil
+}
+
+func cmdPCA(args []string) error {
+	fs := flag.NewFlagSet("pca", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.05, "dataset scale")
+	seed := fs.Uint64("seed", 1, "random seed")
+	k := fs.Int("k", 8, "custom features per class")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	p, err := core.FitPCA(tbl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("components for 95%% variance: %d of %d\n",
+		p.NumComponentsFor(0.95), len(p.Values))
+	fmt.Println("global attribute ranking:")
+	for i, ra := range p.RankAttributes(0.95) {
+		fmt.Printf("  %2d. %-24s %.4f\n", i+1, ra.Name, ra.Score)
+	}
+	custom, common, err := core.CustomFeatureSets(tbl, *k, 0.95)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nper-class custom top-%d features (Table 2):\n", *k)
+	for _, c := range workload.MalwareClasses() {
+		fmt.Printf("  %-9s %s\n", c, strings.Join(custom[c.String()], ", "))
+	}
+	fmt.Printf("common to all classes (%d): %s\n", len(common), strings.Join(common, ", "))
+	return nil
+}
+
+func cmdHWCost(args []string) error {
+	fs := flag.NewFlagSet("hwcost", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.05, "dataset scale")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := experiments.NewRunner(experiments.Config{Seed: *seed, Scale: *scale})
+	for _, id := range []string{"fig14", "fig15", "fig16"} {
+		rep, err := r.Run(id)
+		if err != nil {
+			return err
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdCollect(args []string) error {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	dir := fs.String("dir", "hpc-traces", "output directory for per-sample text files")
+	perClass := fs.Int("perclass", 5, "samples to collect per class")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	cfg := trace.DefaultConfig()
+	n := 0
+	for _, class := range workload.AllClasses() {
+		for i := 0; i < *perClass; i++ {
+			s := *seed ^ (uint64(class)*100000+uint64(i)+1)*0x9e3779b97f4a7c15
+			tr, err := trace.CollectSample(cfg, class, s)
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*dir, fmt.Sprintf("%s_%03d.txt", class, i))
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			if err := tr.WriteText(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	fmt.Printf("collected %d samples (%d per class) into %s\n", n, *perClass, *dir)
+	return nil
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	dir := fs.String("dir", "hpc-traces", "directory of per-sample text files")
+	out := fs.String("out", "dataset.csv", "merged CSV path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tbl, err := dataset.MergeTextDir(*dir)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tbl.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d rows x %d features into %s\n",
+		tbl.NumInstances(), tbl.NumAttributes(), *out)
+	return nil
+}
+
+func cmdEmit(args []string) error {
+	fs := flag.NewFlagSet("emit", flag.ExitOnError)
+	name := fs.String("classifier", "J48", "OneR, J48, REPTree, JRip, Logistic or SVM")
+	out := fs.String("out", "detector.v", "output Verilog path")
+	scale := fs.Float64("scale", 0.05, "dataset scale")
+	seed := fs.Uint64("seed", 1, "random seed")
+	module := fs.String("module", "hpc_detector", "Verilog module name")
+	tb := fs.Bool("tb", false, "also write a self-checking testbench (<out>_tb.v)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	clf, err := core.NewClassifier(*name, *seed)
+	if err != nil {
+		return err
+	}
+	rows := make([][]float64, len(tbl.Instances))
+	for i := range tbl.Instances {
+		rows[i] = tbl.Instances[i].Features
+	}
+	if err := clf.Train(rows, tbl.BinaryLabels(), 2); err != nil {
+		return err
+	}
+	var comb *hw.Comb
+	switch m := clf.(type) {
+	case *oner.OneR:
+		comb, err = hw.CompileOneR(m, tbl.NumAttributes())
+	case *tree.J48:
+		comb, err = hw.CompileTree(m, tbl.NumAttributes())
+	case *tree.REPTree:
+		comb, err = hw.CompileTree(m, tbl.NumAttributes())
+	case *rules.JRip:
+		comb, err = hw.CompileJRip(m, tbl.NumAttributes())
+	case *linear.Logistic:
+		comb, err = hw.CompileLinear(*module, m, tbl.NumAttributes())
+	case *linear.SVM:
+		comb, err = hw.CompileLinear(*module, m, tbl.NumAttributes())
+	default:
+		return fmt.Errorf("emit supports OneR, J48, REPTree, JRip, Logistic, SVM (got %s)", *name)
+	}
+	if err != nil {
+		return err
+	}
+	comb.SetName(*module)
+	// Raw HPC counts are large integers; use an integer datapath so
+	// million-scale values do not saturate a Q16.16 grid.
+	comb.SetFixedShift(0)
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := comb.EmitVerilog(f); err != nil {
+		return err
+	}
+	// Sanity: the netlist agrees with the float model on the dataset.
+	agree := 0
+	for i, row := range rows {
+		v, err := comb.Eval(row)
+		if err != nil {
+			return err
+		}
+		if v == clf.Predict(rows[i]) {
+			agree++
+		}
+	}
+	fmt.Printf("wrote %s (%d nets) to %s; fixed-point/model agreement %.2f%%\n",
+		*module, comb.NumNodes(), *out, 100*float64(agree)/float64(len(rows)))
+	if ns, fmax := comb.CriticalPathNs(); ns > 0 {
+		fmt.Printf("combinational critical path %.1f ns (single-cycle Fmax ~%.0f MHz)\n", ns, fmax)
+	}
+	if *tb {
+		tbPath := strings.TrimSuffix(*out, ".v") + "_tb.v"
+		tf, err := os.Create(tbPath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		nVec := 32
+		if nVec > len(rows) {
+			nVec = len(rows)
+		}
+		if err := comb.EmitTestbench(tf, rows[:nVec]); err != nil {
+			return err
+		}
+		fmt.Printf("wrote self-checking testbench (%d vectors) to %s\n", nVec, tbPath)
+	}
+	return nil
+}
+
+func cmdRepro(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.1, "dataset scale")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = []string{"all"}
+	}
+	r := experiments.NewRunner(experiments.Config{Seed: *seed, Scale: *scale})
+	var run []string
+	for _, id := range ids {
+		switch id {
+		case "all":
+			run = append(run, experiments.IDs()...)
+		case "ablations":
+			run = append(run, experiments.AblationIDs()...)
+		case "extensions":
+			run = append(run, experiments.ExtensionIDs()...)
+		default:
+			run = append(run, id)
+		}
+	}
+	for _, id := range run {
+		var rep *experiments.Report
+		var err error
+		if strings.HasPrefix(id, "ablate-") {
+			rep, err = r.RunAblation(id)
+		} else if strings.HasPrefix(id, "ext-") {
+			rep, err = r.RunExtension(id)
+		} else {
+			rep, err = r.Run(id)
+		}
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if err := rep.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCmdList(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdGenCSVAndARFF(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "d.csv")
+	if err := cmdGen([]string{"-scale", "0.01", "-seed", "1", "-out", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "branch-instructions,") {
+		t.Fatalf("csv header wrong: %.80s", data)
+	}
+	arffPath := filepath.Join(dir, "d.arff")
+	if err := cmdGen([]string{"-scale", "0.01", "-out", arffPath, "-arff", "-binary"}); err != nil {
+		t.Fatal(err)
+	}
+	adata, _ := os.ReadFile(arffPath)
+	if !strings.Contains(string(adata), "@RELATION") ||
+		!strings.Contains(string(adata), "{benign,malware}") {
+		t.Fatal("arff output malformed")
+	}
+}
+
+func TestCmdTrainGeneratedAndFromCSV(t *testing.T) {
+	if err := cmdTrain([]string{"-classifier", "OneR", "-scale", "0.01", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Multiclass path.
+	if err := cmdTrain([]string{"-classifier", "Logistic", "-binary=false",
+		"-scale", "0.01", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	// From CSV.
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "d.csv")
+	if err := cmdGen([]string{"-scale", "0.01", "-out", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdTrain([]string{"-classifier", "NaiveBayes", "-data", csvPath}); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown classifier errors.
+	if err := cmdTrain([]string{"-classifier", "RandomForest", "-scale", "0.01"}); err == nil {
+		t.Fatal("accepted unknown classifier")
+	}
+}
+
+func TestCmdPCA(t *testing.T) {
+	if err := cmdPCA([]string{"-scale", "0.01", "-k", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdReproSingle(t *testing.T) {
+	if err := cmdRepro([]string{"-scale", "0.01", "table1", "fig6"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRepro([]string{"-scale", "0.01", "fig99"}); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+}
+
+func TestCmdCollectAndMerge(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	if err := cmdCollect([]string{"-dir", dir, "-perclass", "1", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.txt"))
+	if len(matches) != 6 {
+		t.Fatalf("collected %d files, want 6", len(matches))
+	}
+	out := filepath.Join(t.TempDir(), "merged.csv")
+	if err := cmdMerge([]string{"-dir", dir, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	// 6 samples x 16 windows + header.
+	if lines != 6*16+1 {
+		t.Fatalf("merged csv has %d lines", lines)
+	}
+	// Merging an empty dir errors.
+	if err := cmdMerge([]string{"-dir", t.TempDir(), "-out", out}); err == nil {
+		t.Fatal("accepted empty trace dir")
+	}
+}

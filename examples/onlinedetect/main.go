@@ -1,0 +1,109 @@
+// Online detection: train a detector once, then monitor fresh program
+// executions in real time — per-window verdicts over the 10 ms HPC stream
+// are smoothed by a sliding majority vote so that one noisy window never
+// raises an alarm but sustained malicious behaviour alarms within tens of
+// milliseconds. This is the run-time deployment the paper's
+// embedded-systems motivation aims at.
+//
+// Run with: go run ./examples/onlinedetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ml"
+	"repro/internal/ml/ensemble"
+	"repro/internal/ml/mlp"
+	"repro/internal/online"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Train a bagged-tree detector (an ensemble, per the follow-up work
+	// the thesis builds on).
+	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: 5, Scale: 0.05})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := make([][]float64, len(tbl.Instances))
+	for i := range tbl.Instances {
+		rows[i] = tbl.Instances[i].Features
+	}
+	// The dataset is ~89% malware; an accuracy-trained detector would vote
+	// "malware" on most benign windows and the smoother would alarm on
+	// everything. Deployment rebalances the operating point: train on a
+	// class-balanced resample (all benign windows + an equal share of
+	// malware windows), trading some malware-window recall — which the
+	// sliding vote wins back — for a quiet benign profile.
+	labels := tbl.BinaryLabels()
+	var bx [][]float64
+	var by []int
+	for i, l := range labels {
+		if l == 0 {
+			bx = append(bx, rows[i])
+			by = append(by, 0)
+		}
+	}
+	nBenign := len(bx)
+	// Stride-sample the malware rows so every family is represented in
+	// the balanced set (rows are grouped by class).
+	nMalware := len(labels) - nBenign
+	stride := nMalware / nBenign
+	if stride < 1 {
+		stride = 1
+	}
+	seen := 0
+	for i, l := range labels {
+		if l != 1 {
+			continue
+		}
+		if seen%stride == 0 && len(bx) < 2*nBenign {
+			bx = append(bx, rows[i])
+			by = append(by, 1)
+		}
+		seen++
+	}
+	detector := &ensemble.Bagging{
+		Base: func() ml.Classifier {
+			m := mlp.New()
+			m.Seed = 5
+			m.Epochs = 40
+			return m
+		},
+		N:    7,
+		Seed: 5,
+	}
+	if err := detector.Train(bx, by, 2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained bagged-MLP detector on a balanced resample (%d windows)\n", len(bx))
+
+	// Monitor fresh executions (seeds the detector never saw).
+	cfg := trace.DefaultConfig()
+	cfg.WindowsPerSample = 32
+	voter := &online.MajorityVoter{Window: 8, Threshold: 0.6}
+
+	fmt.Printf("\n%-10s %-10s %s\n", "class", "verdict", "alarm latency")
+	for _, class := range workload.AllClasses() {
+		tr, err := trace.CollectSample(cfg, class, 0xdeadbeef+uint64(class))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := online.Monitor(detector, voter, tr, cfg.SamplePeriod)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "clean"
+		latency := "-"
+		if res.Detected {
+			verdict = "MALWARE"
+			latency = fmt.Sprintf("%.0f ms (window %d)",
+				res.LatencySeconds*1000, res.Window)
+		}
+		fmt.Printf("%-10s %-10s %s\n", class, verdict, latency)
+	}
+	fmt.Println("\n(one noisy window never alarms: the vote needs 5 of 8)")
+}

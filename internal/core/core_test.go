@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// quickTable generates a small dataset once per test binary.
+var cachedTable *dataset.Table
+
+func quickTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	if cachedTable != nil {
+		return cachedTable
+	}
+	tbl, err := GenerateDataset(DatasetConfig{
+		Seed:  1,
+		Scale: 0.02, // ~8-23 samples per class (min 2 applies to worm)
+		Trace: trace.Config{WindowsPerSample: 6, SimInstrPerSlice: 600, Multiplex: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedTable = tbl
+	return tbl
+}
+
+func TestGenerateDatasetScaling(t *testing.T) {
+	tbl := quickTable(t)
+	counts := tbl.SampleCounts()
+	// Trojan is the biggest family in Table 1; scaling preserves that.
+	if counts[workload.Trojan] <= counts[workload.Worm] {
+		t.Fatalf("scaled counts lost Table 1 shape: %v", counts)
+	}
+	if tbl.NumAttributes() != 16 {
+		t.Fatalf("attributes %d", tbl.NumAttributes())
+	}
+}
+
+func TestNewClassifierRegistry(t *testing.T) {
+	for _, name := range ClassifierNames() {
+		c, err := NewClassifier(name, 1)
+		if err != nil {
+			t.Fatalf("NewClassifier(%s): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Fatalf("classifier %q reports name %q", name, c.Name())
+		}
+	}
+	if _, err := NewClassifier("AdaBoost", 1); err == nil {
+		t.Fatal("accepted unknown classifier")
+	}
+	for _, name := range MulticlassNames() {
+		if _, err := NewClassifier(name, 1); err != nil {
+			t.Fatalf("multiclass name %s not in registry", name)
+		}
+	}
+}
+
+func TestRunDetectorBinary(t *testing.T) {
+	tbl := quickTable(t)
+	res, err := RunDetector(tbl, DetectorConfig{Classifier: "J48", Binary: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Eval.Accuracy() < 0.6 {
+		t.Fatalf("binary J48 accuracy %v implausibly low", res.Eval.Accuracy())
+	}
+	if res.HW == nil || res.HW.EquivLUTs <= 0 {
+		t.Fatal("hardware report missing")
+	}
+	if len(res.Features) != 16 {
+		t.Fatalf("default features %d", len(res.Features))
+	}
+}
+
+func TestRunDetectorFeatureSubset(t *testing.T) {
+	tbl := quickTable(t)
+	res, err := RunDetector(tbl, DetectorConfig{
+		Classifier: "OneR",
+		Binary:     true,
+		Features:   []string{"branch-instructions", "cache-misses", "node-stores", "bus-cycles"},
+		Seed:       4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Features) != 4 {
+		t.Fatalf("features %v", res.Features)
+	}
+	if _, err := RunDetector(tbl, DetectorConfig{
+		Classifier: "OneR", Binary: true, Features: []string{"bogus"},
+	}); err == nil {
+		t.Fatal("accepted unknown feature")
+	}
+}
+
+func TestRunDetectorMulticlass(t *testing.T) {
+	tbl := quickTable(t)
+	res, err := RunDetector(tbl, DetectorConfig{
+		Classifier: "Logistic", Binary: false, Seed: 5, SkipHardware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HW != nil {
+		t.Fatal("SkipHardware ignored")
+	}
+	if res.Eval.Confusion.NumClasses != workload.NumClasses {
+		t.Fatalf("confusion classes %d", res.Eval.Confusion.NumClasses)
+	}
+	// Multiclass should beat uniform chance (1/6).
+	if res.Eval.Accuracy() < 0.3 {
+		t.Fatalf("multiclass accuracy %v below sanity bound", res.Eval.Accuracy())
+	}
+}
+
+func TestRunDetectorSplitModes(t *testing.T) {
+	tbl := quickTable(t)
+	bySample, err := RunDetector(tbl, DetectorConfig{
+		Classifier: "J48", Binary: true, Seed: 6, SkipHardware: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byRows, err := RunDetector(tbl, DetectorConfig{
+		Classifier: "J48", Binary: true, Seed: 6, SkipHardware: true, SplitByRows: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row-level splitting leaks sample identity to a memorizing learner,
+	// so it must not be (much) worse than the leakage-free split.
+	if byRows.Eval.Accuracy()+0.1 < bySample.Eval.Accuracy() {
+		t.Fatalf("row split %v far below sample split %v",
+			byRows.Eval.Accuracy(), bySample.Eval.Accuracy())
+	}
+}
+
+func TestCustomFeatureSets(t *testing.T) {
+	tbl := quickTable(t)
+	custom, common, err := CustomFeatureSets(tbl, 8, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(custom) != 5 {
+		t.Fatalf("custom sets for %d classes, want 5", len(custom))
+	}
+	for name, set := range custom {
+		if len(set) != 8 {
+			t.Fatalf("class %s custom set has %d features", name, len(set))
+		}
+	}
+	if len(common) > 8 {
+		t.Fatalf("common features %d > k", len(common))
+	}
+	// Every common feature must appear in every class's custom set.
+	for _, f := range common {
+		for name, set := range custom {
+			found := false
+			for _, a := range set {
+				if a == f {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("common feature %s missing from %s's set %v", f, name, set)
+			}
+		}
+	}
+}
+
+func TestGlobalTopFeatures(t *testing.T) {
+	tbl := quickTable(t)
+	top4, err := GlobalTopFeatures(tbl, 4, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top4) != 4 {
+		t.Fatalf("top4 = %v", top4)
+	}
+	top8, err := GlobalTopFeatures(tbl, 8, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// top4 must be a prefix of top8 (same ranking).
+	for i := range top4 {
+		if top4[i] != top8[i] {
+			t.Fatalf("ranking instability: %v vs %v", top4, top8)
+		}
+	}
+}
+
+func TestPCAPlotPoints(t *testing.T) {
+	tbl := quickTable(t)
+	pts, labels, err := PCAPlotPoints(tbl, workload.Rootkit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(labels) || len(pts) == 0 {
+		t.Fatalf("points %d labels %d", len(pts), len(labels))
+	}
+	hasM, hasB := false, false
+	for _, l := range labels {
+		if l == 1 {
+			hasM = true
+		} else {
+			hasB = true
+		}
+	}
+	if !hasM || !hasB {
+		t.Fatal("plot points missing a class")
+	}
+	if _, _, err := PCAPlotPoints(tbl, workload.Benign); err == nil {
+		t.Fatal("accepted benign as plot class")
+	}
+}
+
+func TestSynthesizeTrainedNaiveBayes(t *testing.T) {
+	tbl := quickTable(t)
+	c, _ := NewClassifier("NaiveBayes", 1)
+	x := featureRows(tbl)
+	if err := c.Train(x, tbl.BinaryLabels(), 2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := SynthesizeTrained(c, 2, tbl.NumAttributes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EquivLUTs <= 0 {
+		t.Fatal("empty NB hardware report")
+	}
+}
+
+func TestSortedFeatureList(t *testing.T) {
+	in := []string{"c", "a", "b"}
+	out := SortedFeatureList(in)
+	if out[0] != "a" || in[0] != "c" {
+		t.Fatal("SortedFeatureList wrong or mutated input")
+	}
+}

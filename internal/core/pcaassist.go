@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/ml"
+	"repro/internal/ml/linear"
+	"repro/internal/workload"
+)
+
+// PCAAssisted is the thesis's PCA-assisted multiclass classifier
+// (Figure 19): one binary one-vs-rest logistic model per class, each
+// trained on that class's own PCA-selected custom feature subset
+// (Table 2), combined by maximum class probability. The benign class uses
+// the globally top-ranked subset.
+type PCAAssisted struct {
+	// FeatureSets maps class index -> column indices (into the full
+	// attribute vector) that class's expert model uses.
+	featureSets [][]int
+	experts     []*linear.Logistic
+	seed        uint64
+	trained     bool
+}
+
+// NewPCAAssisted builds the classifier from per-class feature-name sets.
+// attrs is the full attribute list of the dataset; sets maps each class
+// name (workload.Class.String()) to its custom features; globalSet is
+// used for classes absent from sets (benign).
+func NewPCAAssisted(attrs []string, sets map[string][]string, globalSet []string, seed uint64) (*PCAAssisted, error) {
+	index := func(name string) (int, error) {
+		for i, a := range attrs {
+			if a == name {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("core: custom feature %q not in attributes", name)
+	}
+	p := &PCAAssisted{seed: seed}
+	for _, c := range workload.AllClasses() {
+		names, ok := sets[c.String()]
+		if !ok {
+			names = globalSet
+		}
+		if len(names) == 0 {
+			return nil, fmt.Errorf("core: class %v has no feature set", c)
+		}
+		cols := make([]int, len(names))
+		for i, n := range names {
+			j, err := index(n)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = j
+		}
+		p.featureSets = append(p.featureSets, cols)
+	}
+	return p, nil
+}
+
+// Name implements ml.Classifier.
+func (p *PCAAssisted) Name() string { return "PCA-MLR" }
+
+// Train implements ml.Classifier: labels must be the multiclass labels.
+func (p *PCAAssisted) Train(x [][]float64, y []int, numClasses int) error {
+	if numClasses != workload.NumClasses {
+		return fmt.Errorf("core: PCAAssisted needs %d classes, got %d", workload.NumClasses, numClasses)
+	}
+	if _, err := ml.CheckTrainingSet(x, y, numClasses); err != nil {
+		return err
+	}
+	p.experts = make([]*linear.Logistic, numClasses)
+	for c := 0; c < numClasses; c++ {
+		cols := p.featureSets[c]
+		sub := make([][]float64, len(x))
+		lab := make([]int, len(y))
+		pos := 0
+		for i := range x {
+			row := make([]float64, len(cols))
+			for k, j := range cols {
+				row[k] = x[i][j]
+			}
+			sub[i] = row
+			if y[i] == c {
+				lab[i] = 1
+				pos++
+			}
+		}
+		if pos == 0 || pos == len(y) {
+			return fmt.Errorf("core: class %d has degenerate label distribution", c)
+		}
+		lg := linear.NewLogistic()
+		lg.Seed = p.seed + uint64(c)*101
+		// Balance each one-vs-rest expert so probabilities are
+		// comparable across classes of very different frequency.
+		lg.ClassWeights = []float64{1, float64(len(y)-pos) / float64(pos)}
+		if err := lg.Train(sub, lab, 2); err != nil {
+			return fmt.Errorf("core: training expert for class %d: %w", c, err)
+		}
+		p.experts[c] = lg
+	}
+	p.trained = true
+	return nil
+}
+
+// Predict implements ml.Classifier: the class whose expert is most
+// confident wins.
+func (p *PCAAssisted) Predict(features []float64) int {
+	if !p.trained {
+		panic(ml.ErrNotTrained)
+	}
+	best, bestScore := 0, -1.0
+	for c, expert := range p.experts {
+		cols := p.featureSets[c]
+		row := make([]float64, len(cols))
+		for k, j := range cols {
+			row[k] = features[j]
+		}
+		score := expert.Proba(row)[1]
+		if score > bestScore {
+			best, bestScore = c, score
+		}
+	}
+	return best
+}
+
+// TrainPCAAssisted is the one-call path: derive per-class custom feature
+// sets from the training table via discriminative PCA ranking (each
+// class's one-vs-rest separation, the ensemble's actual job), build the
+// classifier and train it.
+func TrainPCAAssisted(train *dataset.Table, k int, coverage float64, seed uint64) (*PCAAssisted, error) {
+	custom, err := customFeatureSetsVsRest(train, k, coverage)
+	if err != nil {
+		return nil, err
+	}
+	global, err := GlobalTopFeatures(train, k, coverage)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewPCAAssisted(train.Attributes, custom, global, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Train(featureRows(train), train.ClassLabels(), workload.NumClasses); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// TrainUniformAssisted builds the same one-vs-rest ensemble but with one
+// shared (non-custom) feature set for every expert — the apples-to-apples
+// baseline for Figure 19's custom-vs-non-custom comparison.
+func TrainUniformAssisted(train *dataset.Table, features []string, seed uint64) (*PCAAssisted, error) {
+	p, err := NewPCAAssisted(train.Attributes, nil, features, seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Train(featureRows(train), train.ClassLabels(), workload.NumClasses); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

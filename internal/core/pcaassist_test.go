@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/workload"
+)
+
+func TestTrainPCAAssistedEndToEnd(t *testing.T) {
+	tbl := quickTable(t)
+	train, test, err := tbl.SplitBySample(0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assisted, err := TrainPCAAssisted(train, 8, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assisted.Name() != "PCA-MLR" {
+		t.Fatalf("name %q", assisted.Name())
+	}
+	correct := 0
+	for _, in := range test.Instances {
+		p := assisted.Predict(in.Features)
+		if p < 0 || p >= workload.NumClasses {
+			t.Fatalf("prediction %d out of range", p)
+		}
+		if p == int(in.Class) {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(test.Instances))
+	if acc < 1.0/float64(workload.NumClasses) {
+		t.Fatalf("assisted accuracy %v below chance", acc)
+	}
+}
+
+func TestTrainUniformAssisted(t *testing.T) {
+	tbl := quickTable(t)
+	train, _, err := tbl.SplitBySample(0.7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := GlobalTopFeatures(train, 8, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := TrainUniformAssisted(train, global, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicts something valid.
+	p := uniform.Predict(train.Instances[0].Features)
+	if p < 0 || p >= workload.NumClasses {
+		t.Fatalf("prediction %d out of range", p)
+	}
+}
+
+func TestGlobalTopFeaturesBinary(t *testing.T) {
+	tbl := quickTable(t)
+	top, err := GlobalTopFeaturesBinary(tbl, 8, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 8 {
+		t.Fatalf("top = %v", top)
+	}
+	// Clamp at the attribute count.
+	all, err := GlobalTopFeaturesBinary(tbl, 99, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != tbl.NumAttributes() {
+		t.Fatalf("clamp failed: %d", len(all))
+	}
+	// Names must be valid attributes.
+	for _, n := range top {
+		if _, err := tbl.AttributeIndex(n); err != nil {
+			t.Fatalf("unknown ranked attribute %q", n)
+		}
+	}
+}
+
+func TestNewPCAAssistedErrors(t *testing.T) {
+	attrs := []string{"a", "b"}
+	if _, err := NewPCAAssisted(attrs, map[string][]string{
+		"backdoor": {"zzz"},
+	}, []string{"a"}, 1); err == nil {
+		t.Fatal("accepted unknown custom feature")
+	}
+	if _, err := NewPCAAssisted(attrs, nil, nil, 1); err == nil {
+		t.Fatal("accepted empty global feature set")
+	}
+	// Valid construction but wrong class count at Train.
+	p, err := NewPCAAssisted(attrs, nil, []string{"a"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train([][]float64{{1, 2}}, []int{0}, 2); err == nil {
+		t.Fatal("accepted numClasses != workload.NumClasses")
+	}
+	// Degenerate labels: some class absent entirely.
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := []int{0, 0}
+	if err := p.Train(x, y, workload.NumClasses); err == nil {
+		t.Fatal("accepted degenerate label distribution")
+	}
+}
+
+func TestPCAAssistedPanicsUntrained(t *testing.T) {
+	p, err := NewPCAAssisted([]string{"a"}, nil, []string{"a"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before Train")
+		}
+	}()
+	p.Predict([]float64{1})
+}
+
+var _ ml.Classifier = (*PCAAssisted)(nil)

@@ -1,0 +1,378 @@
+// Package dataset assembles HPC traces into labelled feature tables and
+// provides the WEKA-interchange formats (CSV, ARFF), the paper's 70/30
+// train/test protocol, and feature-selection views.
+package dataset
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Instance is one labelled feature vector: the HPC readings of a single
+// 10 ms window.
+type Instance struct {
+	Features []float64
+	Class    workload.Class
+	// SampleID identifies the application sample the row came from, so
+	// splits can be made leakage-free (no sample contributes rows to both
+	// train and test).
+	SampleID int
+}
+
+// Table is a labelled dataset.
+type Table struct {
+	Attributes []string
+	Instances  []Instance
+}
+
+// NumInstances returns the number of rows.
+func (t *Table) NumInstances() int { return len(t.Instances) }
+
+// NumAttributes returns the number of feature columns.
+func (t *Table) NumAttributes() int { return len(t.Attributes) }
+
+// Validate checks structural consistency.
+func (t *Table) Validate() error {
+	for i, in := range t.Instances {
+		if len(in.Features) != len(t.Attributes) {
+			return fmt.Errorf("dataset: row %d has %d features, want %d",
+				i, len(in.Features), len(t.Attributes))
+		}
+		if in.Class < 0 || in.Class >= workload.NumClasses {
+			return fmt.Errorf("dataset: row %d has invalid class %d", i, in.Class)
+		}
+	}
+	return nil
+}
+
+// ClassCounts returns the number of rows per class.
+func (t *Table) ClassCounts() map[workload.Class]int {
+	m := make(map[workload.Class]int)
+	for _, in := range t.Instances {
+		m[in.Class]++
+	}
+	return m
+}
+
+// SampleCounts returns the number of distinct application samples per
+// class.
+func (t *Table) SampleCounts() map[workload.Class]int {
+	seen := make(map[int]workload.Class)
+	for _, in := range t.Instances {
+		seen[in.SampleID] = in.Class
+	}
+	m := make(map[workload.Class]int)
+	for _, c := range seen {
+		m[c]++
+	}
+	return m
+}
+
+// FeatureMatrix returns the features as a matrix (rows = instances).
+func (t *Table) FeatureMatrix() *mat.Matrix {
+	m := mat.NewMatrix(len(t.Instances), len(t.Attributes))
+	for i, in := range t.Instances {
+		copy(m.Row(i), in.Features)
+	}
+	return m
+}
+
+// BinaryLabels returns 1 for malware rows and 0 for benign rows.
+func (t *Table) BinaryLabels() []int {
+	out := make([]int, len(t.Instances))
+	for i, in := range t.Instances {
+		if in.Class.IsMalware() {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// ClassLabels returns the multiclass labels as ints.
+func (t *Table) ClassLabels() []int {
+	out := make([]int, len(t.Instances))
+	for i, in := range t.Instances {
+		out[i] = int(in.Class)
+	}
+	return out
+}
+
+// AttributeIndex returns the column index of the named attribute.
+func (t *Table) AttributeIndex(name string) (int, error) {
+	for i, a := range t.Attributes {
+		if a == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("dataset: unknown attribute %q", name)
+}
+
+// SelectFeatures returns a new table containing only the named attributes,
+// in the given order. Instances share no storage with the original.
+func (t *Table) SelectFeatures(names []string) (*Table, error) {
+	idx := make([]int, len(names))
+	for i, n := range names {
+		j, err := t.AttributeIndex(n)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = j
+	}
+	out := &Table{Attributes: append([]string{}, names...)}
+	out.Instances = make([]Instance, len(t.Instances))
+	for i, in := range t.Instances {
+		f := make([]float64, len(idx))
+		for k, j := range idx {
+			f[k] = in.Features[j]
+		}
+		out.Instances[i] = Instance{Features: f, Class: in.Class, SampleID: in.SampleID}
+	}
+	return out, nil
+}
+
+// FilterClasses returns a new table containing only rows of the given
+// classes.
+func (t *Table) FilterClasses(keep ...workload.Class) *Table {
+	want := make(map[workload.Class]bool, len(keep))
+	for _, c := range keep {
+		want[c] = true
+	}
+	out := &Table{Attributes: append([]string{}, t.Attributes...)}
+	for _, in := range t.Instances {
+		if want[in.Class] {
+			out.Instances = append(out.Instances, in)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (t *Table) Clone() *Table {
+	out := &Table{Attributes: append([]string{}, t.Attributes...)}
+	out.Instances = make([]Instance, len(t.Instances))
+	for i, in := range t.Instances {
+		out.Instances[i] = Instance{
+			Features: append([]float64{}, in.Features...),
+			Class:    in.Class,
+			SampleID: in.SampleID,
+		}
+	}
+	return out
+}
+
+// SplitBySample partitions the table into train and test so that every
+// application sample's rows land entirely on one side, stratified by
+// class. trainFrac is the fraction of samples (per class) used for
+// training; the paper uses 0.7.
+func (t *Table) SplitBySample(trainFrac float64, seed uint64) (train, test *Table, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: trainFrac %v out of (0,1)", trainFrac)
+	}
+	// Group sample IDs by class.
+	byClass := make(map[workload.Class][]int)
+	classOf := make(map[int]workload.Class)
+	for _, in := range t.Instances {
+		if _, ok := classOf[in.SampleID]; !ok {
+			classOf[in.SampleID] = in.Class
+			byClass[in.Class] = append(byClass[in.Class], in.SampleID)
+		}
+	}
+	src := rng.New(seed)
+	trainSet := make(map[int]bool)
+	// Deterministic iteration order over classes.
+	classes := make([]workload.Class, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		ids := byClass[c]
+		sort.Ints(ids)
+		src.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		nTrain := int(float64(len(ids))*trainFrac + 0.5)
+		if nTrain == 0 && len(ids) > 1 {
+			nTrain = 1
+		}
+		if nTrain == len(ids) && len(ids) > 1 {
+			nTrain--
+		}
+		for _, id := range ids[:nTrain] {
+			trainSet[id] = true
+		}
+	}
+	train = &Table{Attributes: append([]string{}, t.Attributes...)}
+	test = &Table{Attributes: append([]string{}, t.Attributes...)}
+	for _, in := range t.Instances {
+		if trainSet[in.SampleID] {
+			train.Instances = append(train.Instances, in)
+		} else {
+			test.Instances = append(test.Instances, in)
+		}
+	}
+	return train, test, nil
+}
+
+// SplitRows partitions rows 70/30 (or any fraction) stratified by class
+// without respecting sample boundaries — the protocol most WEKA work
+// (including the paper) uses. Kept for fidelity; SplitBySample is the
+// leakage-free alternative.
+func (t *Table) SplitRows(trainFrac float64, seed uint64) (train, test *Table, err error) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		return nil, nil, fmt.Errorf("dataset: trainFrac %v out of (0,1)", trainFrac)
+	}
+	byClass := make(map[workload.Class][]int)
+	for i, in := range t.Instances {
+		byClass[in.Class] = append(byClass[in.Class], i)
+	}
+	src := rng.New(seed)
+	inTrain := make([]bool, len(t.Instances))
+	classes := make([]workload.Class, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
+	for _, c := range classes {
+		rows := byClass[c]
+		src.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		nTrain := int(float64(len(rows))*trainFrac + 0.5)
+		for _, r := range rows[:nTrain] {
+			inTrain[r] = true
+		}
+	}
+	train = &Table{Attributes: append([]string{}, t.Attributes...)}
+	test = &Table{Attributes: append([]string{}, t.Attributes...)}
+	for i, in := range t.Instances {
+		if inTrain[i] {
+			train.Instances = append(train.Instances, in)
+		} else {
+			test.Instances = append(test.Instances, in)
+		}
+	}
+	return train, test, nil
+}
+
+// Standardizer rescales features to zero mean / unit variance using
+// statistics fitted on a training table.
+type Standardizer struct {
+	Means   []float64
+	Stddevs []float64
+}
+
+// FitStandardizer computes per-column statistics from t.
+func FitStandardizer(t *Table) *Standardizer {
+	m := t.FeatureMatrix()
+	return &Standardizer{Means: m.ColMeans(), Stddevs: m.ColStddevs()}
+}
+
+// Apply returns a standardized copy of t using the fitted statistics.
+func (s *Standardizer) Apply(t *Table) *Table {
+	out := t.Clone()
+	for _, in := range out.Instances {
+		for j := range in.Features {
+			in.Features[j] -= s.Means[j]
+			if s.Stddevs[j] > 0 {
+				in.Features[j] /= s.Stddevs[j]
+			}
+		}
+	}
+	return out
+}
+
+// GenConfig controls dataset generation.
+type GenConfig struct {
+	Trace trace.Config
+	// SamplesPerClass holds how many application samples of each class to
+	// generate. Defaults to the paper's Table 1 counts.
+	SamplesPerClass map[workload.Class]int
+	// Seed controls all randomness.
+	Seed uint64
+	// Parallelism bounds the number of concurrent containers; 0 means
+	// GOMAXPROCS.
+	Parallelism int
+}
+
+// PaperGenConfig returns the configuration reproducing the paper's
+// database: Table 1 sample counts, 16 paper features, 10 ms sampling.
+func PaperGenConfig(seed uint64) GenConfig {
+	return GenConfig{
+		Trace:           trace.DefaultConfig(),
+		SamplesPerClass: workload.PaperSampleCounts(),
+		Seed:            seed,
+	}
+}
+
+// Generate runs every sample in its own container (in parallel) and
+// assembles the labelled table: one row per 10 ms window.
+func Generate(cfg GenConfig) (*Table, error) {
+	if cfg.SamplesPerClass == nil {
+		cfg.SamplesPerClass = workload.PaperSampleCounts()
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+
+	type job struct {
+		class    workload.Class
+		seed     uint64
+		sampleID int
+	}
+	var jobs []job
+	id := 0
+	for _, c := range workload.AllClasses() {
+		n := cfg.SamplesPerClass[c]
+		for i := 0; i < n; i++ {
+			jobs = append(jobs, job{
+				class:    c,
+				seed:     cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15,
+				sampleID: id,
+			})
+			id++
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("dataset: no samples requested")
+	}
+
+	traces := make([]*trace.Trace, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			traces[i], errs[i] = trace.CollectSample(cfg.Trace, j.class, j.seed)
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dataset: sample %d (%v): %w", i, jobs[i].class, err)
+		}
+	}
+
+	tbl := &Table{}
+	for i, tr := range traces {
+		if i == 0 {
+			tbl.Attributes = append([]string{}, tr.Events...)
+		}
+		for _, rec := range tr.Records {
+			tbl.Instances = append(tbl.Instances, Instance{
+				Features: rec.Values(),
+				Class:    jobs[i].class,
+				SampleID: jobs[i].sampleID,
+			})
+		}
+	}
+	return tbl, tbl.Validate()
+}

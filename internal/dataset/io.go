@@ -1,0 +1,207 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// WriteCSV writes the table in the paper's merged-CSV layout: one header
+// row of attribute names plus a trailing "class" column, then one row per
+// instance with the class name in the last field.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, t.Attributes...), "class")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(t.Attributes)+1)
+	for _, in := range t.Instances {
+		for j, v := range in.Features {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		row[len(row)-1] = in.Class.String()
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table written by WriteCSV. SampleIDs are not stored in
+// CSV, so each row gets a fresh ID.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: empty csv")
+	}
+	header := records[0]
+	if len(header) < 2 || header[len(header)-1] != "class" {
+		return nil, fmt.Errorf("dataset: csv missing class column")
+	}
+	t := &Table{Attributes: append([]string{}, header[:len(header)-1]...)}
+	for i, rec := range records[1:] {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: csv row %d has %d fields, want %d",
+				i+1, len(rec), len(header))
+		}
+		feats := make([]float64, len(header)-1)
+		for j := range feats {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv row %d field %d: %w", i+1, j, err)
+			}
+			feats[j] = v
+		}
+		class, err := workload.ParseClass(rec[len(rec)-1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", i+1, err)
+		}
+		t.Instances = append(t.Instances, Instance{Features: feats, Class: class, SampleID: i})
+	}
+	return t, t.Validate()
+}
+
+// WriteARFF writes the table in WEKA's ARFF format, the representation the
+// paper converted its CSVs into. relation names the dataset; binary
+// collapses the class attribute to {benign, malware} as the paper did for
+// binary classification.
+func (t *Table) WriteARFF(w io.Writer, relation string, binary bool) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@RELATION %s\n\n", sanitizeARFFName(relation))
+	for _, a := range t.Attributes {
+		fmt.Fprintf(bw, "@ATTRIBUTE %s NUMERIC\n", sanitizeARFFName(a))
+	}
+	if binary {
+		fmt.Fprintf(bw, "@ATTRIBUTE class {benign,malware}\n")
+	} else {
+		names := make([]string, 0, workload.NumClasses)
+		for _, c := range workload.AllClasses() {
+			names = append(names, c.String())
+		}
+		fmt.Fprintf(bw, "@ATTRIBUTE class {%s}\n", strings.Join(names, ","))
+	}
+	fmt.Fprintf(bw, "\n@DATA\n")
+	for _, in := range t.Instances {
+		for _, v := range in.Features {
+			fmt.Fprintf(bw, "%s,", strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		label := in.Class.String()
+		if binary {
+			if in.Class.IsMalware() {
+				label = "malware"
+			} else {
+				label = "benign"
+			}
+		}
+		fmt.Fprintln(bw, label)
+	}
+	return bw.Flush()
+}
+
+// ReadARFF parses a (restricted) ARFF file as written by WriteARFF:
+// numeric attributes followed by one nominal class attribute. Binary
+// relations ({benign,malware}) map malware rows to workload.Trojan — the
+// class identity is lost in binary ARFF, only the malware/benign split
+// survives, which is all binary classification needs.
+func ReadARFF(r io.Reader) (*Table, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	t := &Table{}
+	inData := false
+	binary := false
+	lineNo := 0
+	row := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if !inData {
+			upper := strings.ToUpper(line)
+			switch {
+			case strings.HasPrefix(upper, "@RELATION"):
+				// name ignored
+			case strings.HasPrefix(upper, "@ATTRIBUTE"):
+				fields := strings.Fields(line)
+				if len(fields) < 3 {
+					return nil, fmt.Errorf("dataset: arff line %d: malformed attribute", lineNo)
+				}
+				name := fields[1]
+				typ := strings.Join(fields[2:], " ")
+				if strings.EqualFold(name, "class") {
+					binary = strings.Contains(typ, "malware")
+					continue
+				}
+				if !strings.EqualFold(typ, "NUMERIC") && !strings.EqualFold(typ, "REAL") {
+					return nil, fmt.Errorf("dataset: arff line %d: unsupported attribute type %q", lineNo, typ)
+				}
+				t.Attributes = append(t.Attributes, name)
+			case strings.HasPrefix(upper, "@DATA"):
+				inData = true
+			default:
+				return nil, fmt.Errorf("dataset: arff line %d: unexpected header %q", lineNo, line)
+			}
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(t.Attributes)+1 {
+			return nil, fmt.Errorf("dataset: arff line %d: %d fields, want %d",
+				lineNo, len(fields), len(t.Attributes)+1)
+		}
+		feats := make([]float64, len(t.Attributes))
+		for j := range feats {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: arff line %d field %d: %w", lineNo, j, err)
+			}
+			feats[j] = v
+		}
+		labelStr := strings.TrimSpace(fields[len(fields)-1])
+		var class workload.Class
+		if binary {
+			switch labelStr {
+			case "benign":
+				class = workload.Benign
+			case "malware":
+				class = workload.Trojan
+			default:
+				return nil, fmt.Errorf("dataset: arff line %d: bad binary label %q", lineNo, labelStr)
+			}
+		} else {
+			var err error
+			class, err = workload.ParseClass(labelStr)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: arff line %d: %w", lineNo, err)
+			}
+		}
+		t.Instances = append(t.Instances, Instance{Features: feats, Class: class, SampleID: row})
+		row++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !inData {
+		return nil, fmt.Errorf("dataset: arff missing @DATA section")
+	}
+	return t, t.Validate()
+}
+
+// sanitizeARFFName quotes names containing characters ARFF dislikes.
+func sanitizeARFFName(s string) string {
+	if strings.ContainsAny(s, " \t{},%") {
+		return "'" + s + "'"
+	}
+	return s
+}

@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// randomTable builds a small random-but-valid table.
+func randomTable(seed uint64) *Table {
+	src := rng.New(seed)
+	cols := src.Intn(6) + 1
+	rows := src.Intn(30) + 2
+	t := &Table{}
+	for j := 0; j < cols; j++ {
+		t.Attributes = append(t.Attributes, string(rune('a'+j)))
+	}
+	for i := 0; i < rows; i++ {
+		feats := make([]float64, cols)
+		for j := range feats {
+			feats[j] = src.Normal(0, 1e4)
+		}
+		t.Instances = append(t.Instances, Instance{
+			Features: feats,
+			Class:    workload.Class(src.Intn(int(workload.NumClasses))),
+			SampleID: i / 3,
+		})
+	}
+	return t
+}
+
+// Property: CSV round trips preserve shape, classes and values exactly.
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		tbl := randomTable(seed)
+		var buf bytes.Buffer
+		if err := tbl.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumInstances() != tbl.NumInstances() || got.NumAttributes() != tbl.NumAttributes() {
+			return false
+		}
+		for i := range tbl.Instances {
+			if got.Instances[i].Class != tbl.Instances[i].Class {
+				return false
+			}
+			for j := range tbl.Instances[i].Features {
+				if got.Instances[i].Features[j] != tbl.Instances[i].Features[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ARFF round trips preserve multiclass labels.
+func TestARFFRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		tbl := randomTable(seed)
+		var buf bytes.Buffer
+		if err := tbl.WriteARFF(&buf, "p", false); err != nil {
+			return false
+		}
+		got, err := ReadARFF(&buf)
+		if err != nil || got.NumInstances() != tbl.NumInstances() {
+			return false
+		}
+		for i := range tbl.Instances {
+			if got.Instances[i].Class != tbl.Instances[i].Class {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: splits partition the table — no row lost, none duplicated.
+func TestSplitPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		tbl := randomTable(seed)
+		for _, mode := range []bool{false, true} {
+			var train, test *Table
+			var err error
+			if mode {
+				train, test, err = tbl.SplitRows(0.7, seed)
+			} else {
+				train, test, err = tbl.SplitBySample(0.7, seed)
+			}
+			if err != nil {
+				return false
+			}
+			if train.NumInstances()+test.NumInstances() != tbl.NumInstances() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// ReadTraceText parses one per-sample trace text file as written by
+// trace.(*Trace).WriteText: comment headers carrying the sample name,
+// class and event list, then one comma-separated row per window.
+func ReadTraceText(r io.Reader) (attributes []string, class workload.Class, rows [][]float64, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	classSet := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kv := strings.SplitN(strings.TrimPrefix(line, "#"), ":", 2)
+			if len(kv) != 2 {
+				continue
+			}
+			key := strings.TrimSpace(kv[0])
+			val := strings.TrimSpace(kv[1])
+			switch key {
+			case "class":
+				class, err = workload.ParseClass(val)
+				if err != nil {
+					return nil, 0, nil, fmt.Errorf("dataset: trace text line %d: %w", lineNo, err)
+				}
+				classSet = true
+			case "events":
+				attributes = strings.Split(val, ",")
+			}
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if attributes != nil && len(fields) != len(attributes) {
+			return nil, 0, nil, fmt.Errorf("dataset: trace text line %d: %d fields, want %d",
+				lineNo, len(fields), len(attributes))
+		}
+		row := make([]float64, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, 0, nil, fmt.Errorf("dataset: trace text line %d field %d: %w", lineNo, j, err)
+			}
+			row[j] = v
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, nil, err
+	}
+	if !classSet {
+		return nil, 0, nil, fmt.Errorf("dataset: trace text missing '# class:' header")
+	}
+	if attributes == nil {
+		return nil, 0, nil, fmt.Errorf("dataset: trace text missing '# events:' header")
+	}
+	if len(rows) == 0 {
+		return nil, 0, nil, fmt.Errorf("dataset: trace text has no data rows")
+	}
+	return attributes, class, rows, nil
+}
+
+// MergeTextDir reproduces the paper's merge step: every *.txt per-sample
+// trace file in dir is parsed and combined into one labelled table, each
+// file becoming one application sample. Files must agree on the event
+// list.
+func MergeTextDir(dir string) (*Table, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.txt"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("dataset: no *.txt trace files in %s", dir)
+	}
+	sort.Strings(matches)
+	t := &Table{}
+	for id, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		attrs, class, rows, err := ReadTraceText(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %s: %w", path, err)
+		}
+		if t.Attributes == nil {
+			t.Attributes = attrs
+		} else if len(attrs) != len(t.Attributes) {
+			return nil, fmt.Errorf("dataset: %s has %d events, expected %d",
+				path, len(attrs), len(t.Attributes))
+		} else {
+			for i := range attrs {
+				if attrs[i] != t.Attributes[i] {
+					return nil, fmt.Errorf("dataset: %s event %d is %q, expected %q",
+						path, i, attrs[i], t.Attributes[i])
+				}
+			}
+		}
+		for _, row := range rows {
+			t.Instances = append(t.Instances, Instance{
+				Features: row, Class: class, SampleID: id,
+			})
+		}
+	}
+	return t, t.Validate()
+}

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func collect(t *testing.T, class workload.Class, seed uint64) *trace.Trace {
+	t.Helper()
+	cfg := trace.Config{WindowsPerSample: 3, SimInstrPerSlice: 300, Multiplex: true}
+	tr, err := trace.CollectSample(cfg, class, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReadTraceTextRoundTrip(t *testing.T) {
+	tr := collect(t, workload.Virus, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	attrs, class, rows, err := ReadTraceText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != workload.Virus {
+		t.Fatalf("class %v", class)
+	}
+	if len(attrs) != 16 || len(rows) != 3 {
+		t.Fatalf("shape %d attrs x %d rows", len(attrs), len(rows))
+	}
+	// Values are rounded to integers in the text format.
+	want := tr.Records[0].Values()
+	for j := range want {
+		if diff := rows[0][j] - want[j]; diff > 0.5 || diff < -0.5 {
+			t.Fatalf("row value drifted: %v vs %v", rows[0][j], want[j])
+		}
+	}
+}
+
+func TestReadTraceTextErrors(t *testing.T) {
+	cases := []string{
+		"",                                   // empty
+		"# events: a,b\n1,2\n",               // no class
+		"# class: virus\n1,2\n",              // no events
+		"# class: virus\n# events: a,b\n",    // no rows
+		"# class: spyware\n# events: a\n1\n", // bad class
+		"# class: virus\n# events: a,b\n1\n", // wrong field count
+		"# class: virus\n# events: a\nfoo\n", // non-numeric
+	}
+	for i, c := range cases {
+		if _, _, _, err := ReadTraceText(bytes.NewBufferString(c)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestMergeTextDir(t *testing.T) {
+	dir := t.TempDir()
+	classes := []workload.Class{workload.Benign, workload.Worm, workload.Rootkit}
+	for i, c := range classes {
+		tr := collect(t, c, uint64(i+1))
+		f, err := os.Create(filepath.Join(dir, c.String()+".txt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteText(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	tbl, err := MergeTextDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumInstances() != 9 { // 3 files x 3 windows
+		t.Fatalf("merged %d rows", tbl.NumInstances())
+	}
+	if tbl.NumAttributes() != 16 {
+		t.Fatalf("merged %d attributes", tbl.NumAttributes())
+	}
+	counts := tbl.SampleCounts()
+	for _, c := range classes {
+		if counts[c] != 1 {
+			t.Fatalf("class %v has %d samples", c, counts[c])
+		}
+	}
+}
+
+func TestMergeTextDirErrors(t *testing.T) {
+	if _, err := MergeTextDir(t.TempDir()); err == nil {
+		t.Fatal("accepted empty directory")
+	}
+	// Mismatched event lists across files.
+	dir := t.TempDir()
+	a := "# class: virus\n# events: x,y\n1,2\n"
+	b := "# class: worm\n# events: x\n1\n"
+	os.WriteFile(filepath.Join(dir, "a.txt"), []byte(a), 0o644)
+	os.WriteFile(filepath.Join(dir, "b.txt"), []byte(b), 0o644)
+	if _, err := MergeTextDir(dir); err == nil {
+		t.Fatal("accepted mismatched event lists")
+	}
+	// Different names, same count: name mismatch detected.
+	dir2 := t.TempDir()
+	c := "# class: virus\n# events: x,y\n1,2\n"
+	d := "# class: worm\n# events: x,z\n1,2\n"
+	os.WriteFile(filepath.Join(dir2, "a.txt"), []byte(c), 0o644)
+	os.WriteFile(filepath.Join(dir2, "b.txt"), []byte(d), 0o644)
+	if _, err := MergeTextDir(dir2); err == nil {
+		t.Fatal("accepted mismatched event names")
+	}
+}

@@ -1,0 +1,68 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment returns a Report: the paper's claim, the
+// measured rows, and a plain-text rendering that prints the same series
+// the paper plots. The cmd/hpcmal `repro` subcommand and the repository
+// benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is the outcome of one reproduced experiment.
+type Report struct {
+	// ID is the paper artifact identifier ("table1", "fig13", ...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// PaperClaim states the qualitative result the paper reports.
+	PaperClaim string
+	// Header and Rows hold the regenerated data.
+	Header []string
+	Rows   [][]string
+	// Notes carries measured qualitative findings (e.g. "PCA-assisted
+	// MLR +6.8% over plain MLR").
+	Notes []string
+}
+
+// Render writes the report as an aligned text table.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if r.PaperClaim != "" {
+		fmt.Fprintf(w, "paper: %s\n", r.PaperClaim)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	fmt.Fprintln(w, line(r.Header))
+	for _, row := range r.Rows {
+		fmt.Fprintln(w, line(row))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

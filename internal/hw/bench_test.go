@@ -1,0 +1,23 @@
+package hw
+
+import "testing"
+
+func BenchmarkScheduleMLPDesign(b *testing.B) {
+	d, budget := LowerMLP(16, 11, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScheduleDesign(d, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleTreeDesign(b *testing.B) {
+	d, budget := LowerTree("J48", 201, 101, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScheduleDesign(d, budget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

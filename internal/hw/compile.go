@@ -1,0 +1,200 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/ml/oner"
+	"repro/internal/ml/rules"
+	"repro/internal/ml/tree"
+)
+
+// CompileOneR builds the 1R netlist: a chain of threshold muxes over the
+// selected feature.
+func CompileOneR(o *oner.OneR, numFeatures int) (*Comb, error) {
+	attr, thresholds, labels := o.Rule()
+	if attr >= numFeatures {
+		return nil, fmt.Errorf("hw: OneR attribute %d outside %d features", attr, numFeatures)
+	}
+	c := NewComb("oner_detector", numFeatures)
+	x := c.Input(attr)
+	// out = v <= t0 ? L0 : (v <= t1 ? L1 : ... : Ln)
+	out := c.Label(labels[len(labels)-1])
+	for i := len(thresholds) - 1; i >= 0; i-- {
+		sel := c.LE(x, c.Const(thresholds[i]))
+		out = c.Mux(sel, c.Label(labels[i]), out)
+	}
+	c.SetOutput(out)
+	return c, nil
+}
+
+// TreeModel is satisfied by both J48 and REPTree.
+type TreeModel interface {
+	Export() []tree.ExportedNode
+}
+
+// CompileTree builds a decision-tree netlist: one comparator per internal
+// node and a mux cascade steering the leaf label upward.
+func CompileTree(m TreeModel, numFeatures int) (*Comb, error) {
+	nodes := m.Export()
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("hw: empty tree export")
+	}
+	c := NewComb("tree_detector", numFeatures)
+	var build func(idx int) (Net, error)
+	build = func(idx int) (Net, error) {
+		n := nodes[idx]
+		if n.Leaf {
+			return c.Label(n.Label), nil
+		}
+		if n.Attr < 0 || n.Attr >= numFeatures {
+			return 0, fmt.Errorf("hw: tree node %d attribute %d outside %d features",
+				idx, n.Attr, numFeatures)
+		}
+		sel := c.LE(c.Input(n.Attr), c.Const(n.Thr))
+		l, err := build(n.Left)
+		if err != nil {
+			return 0, err
+		}
+		r, err := build(n.Right)
+		if err != nil {
+			return 0, err
+		}
+		return c.Mux(sel, l, r), nil
+	}
+	out, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	c.SetOutput(out)
+	return c, nil
+}
+
+// CompileJRip builds the rule-list netlist: per rule an AND of threshold
+// literals, then a priority mux cascade ending at the default label.
+func CompileJRip(j *rules.JRip, numFeatures int) (*Comb, error) {
+	c := NewComb("jrip_detector", numFeatures)
+	rl := j.Rules()
+	out := c.Label(j.DefaultLabel())
+	// Later rules have lower priority: build cascade from the back.
+	for i := len(rl) - 1; i >= 0; i-- {
+		r := rl[i]
+		if len(r.Conds) == 0 {
+			return nil, fmt.Errorf("hw: rule %d has no conditions", i)
+		}
+		var match Net = -1
+		for _, cond := range r.Conds {
+			if cond.Attr < 0 || cond.Attr >= numFeatures {
+				return nil, fmt.Errorf("hw: rule %d attribute %d outside %d features",
+					i, cond.Attr, numFeatures)
+			}
+			le := c.LE(c.Input(cond.Attr), c.Const(cond.Thr))
+			var lit Net
+			if cond.Op == 'l' {
+				lit = le
+			} else {
+				lit = c.Not(le)
+			}
+			if match < 0 {
+				match = lit
+			} else {
+				match = c.And(match, lit)
+			}
+		}
+		out = c.Mux(match, c.Label(r.Label), out)
+	}
+	c.SetOutput(out)
+	return c, nil
+}
+
+// LinearModel is satisfied by the linear classifiers (Logistic, SVM):
+// per-class weight vectors (bias last) over internally-standardized
+// features.
+type LinearModel interface {
+	Weights() [][]float64
+	Scaler() (means, stddevs []float64)
+}
+
+// CompileLinear builds the datapath of a linear classifier: the
+// standardization is folded into the weights (w' = w/std, b' = b - Σ
+// w·mean/std), each class's score is a multiply-add tree over the raw
+// features, and an argmax cascade selects the label. Scores ride a 64-bit
+// datapath; weights are quantized at WeightShift fractional bits after
+// normalizing the largest magnitude, so relative score order — all that
+// argmax needs — survives quantization.
+func CompileLinear(name string, m LinearModel, numFeatures int) (*Comb, error) {
+	w := m.Weights()
+	means, stds := m.Scaler()
+	if len(w) == 0 || len(means) != numFeatures || len(stds) != numFeatures {
+		return nil, fmt.Errorf("hw: linear model shape mismatch (%d classes, %d stats, %d features)",
+			len(w), len(means), numFeatures)
+	}
+	k := len(w)
+	folded := make([][]float64, k) // [class][dim], plus bias at end
+	maxAbs := 0.0
+	for c := 0; c < k; c++ {
+		if len(w[c]) != numFeatures+1 {
+			return nil, fmt.Errorf("hw: class %d weight vector has %d entries, want %d",
+				c, len(w[c]), numFeatures+1)
+		}
+		fc := make([]float64, numFeatures+1)
+		bias := w[c][numFeatures]
+		for j := 0; j < numFeatures; j++ {
+			fc[j] = w[c][j] / stds[j]
+			bias -= w[c][j] * means[j] / stds[j]
+			if a := abs(fc[j]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		fc[numFeatures] = bias
+		folded[c] = fc
+	}
+	// Normalize so the largest weight uses the full WeightShift precision
+	// without overflowing 64-bit scores (features are ≤ 2^31 raw).
+	scale := 1.0
+	if maxAbs > 0 {
+		scale = 1.0 / maxAbs
+	}
+
+	c := NewComb(name, numFeatures)
+	c.SetFixedShift(0) // raw-count inputs
+	inputs := make([]Net, numFeatures)
+	for j := range inputs {
+		inputs[j] = c.Input(j)
+	}
+	scores := make([]Net, k)
+	for cls := 0; cls < k; cls++ {
+		var terms []Net
+		for j := 0; j < numFeatures; j++ {
+			wq := folded[cls][j] * scale
+			if quantWeight(wq) == 0 {
+				continue // weight rounds to zero: no hardware
+			}
+			terms = append(terms, c.MulConst(inputs[j], wq))
+		}
+		// Bias rides pre-multiplied by the weight grid.
+		terms = append(terms, c.ConstRaw(quantWeight(folded[cls][numFeatures]*scale)))
+		sum := terms[0]
+		for _, t := range terms[1:] {
+			sum = c.Add(sum, t)
+		}
+		scores[cls] = sum
+	}
+	// Argmax cascade: carry (bestScore, bestLabel) through LE+Mux pairs.
+	bestScore := scores[0]
+	bestLabel := c.Label(0)
+	for cls := 1; cls < k; cls++ {
+		// keep current best when scores[cls] <= bestScore
+		keep := c.LE(scores[cls], bestScore)
+		bestScore = c.Mux(keep, bestScore, scores[cls])
+		bestLabel = c.Mux(keep, bestLabel, c.Label(cls))
+	}
+	c.SetOutput(bestLabel)
+	return c, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,91 @@
+package hw
+
+import "fmt"
+
+// Op is one node in a dataflow graph: an operator kind plus the indices of
+// the ops whose results it consumes. Dependencies must point at
+// earlier-added ops, which keeps every design acyclic by construction.
+type Op struct {
+	Kind OpKind
+	Deps []int
+}
+
+// Design is a dataflow graph plus bookkeeping for model storage (weights,
+// thresholds) that lives in BRAM/LUTRAM independent of the datapath.
+type Design struct {
+	Name string
+	Ops  []Op
+	// StorageBits is the model parameter storage requirement (weights,
+	// thresholds, rule constants) in bits.
+	StorageBits int
+}
+
+// NewDesign returns an empty design.
+func NewDesign(name string) *Design {
+	return &Design{Name: name}
+}
+
+// AddOp appends an operator and returns its node index. It panics if a
+// dependency references a not-yet-added node, which would create a cycle.
+func (d *Design) AddOp(kind OpKind, deps ...int) int {
+	idx := len(d.Ops)
+	for _, dep := range deps {
+		if dep < 0 || dep >= idx {
+			panic(fmt.Sprintf("hw: op %d depends on invalid node %d", idx, dep))
+		}
+	}
+	d.Ops = append(d.Ops, Op{Kind: kind, Deps: append([]int{}, deps...)})
+	return idx
+}
+
+// AddReduceTree appends a balanced binary reduction over the given inputs
+// using the given operator (e.g. an adder tree or AND tree) and returns
+// the root node index. A single input is returned unchanged.
+func (d *Design) AddReduceTree(kind OpKind, inputs []int) int {
+	if len(inputs) == 0 {
+		panic("hw: empty reduction")
+	}
+	level := append([]int{}, inputs...)
+	for len(level) > 1 {
+		var next []int
+		for i := 0; i+1 < len(level); i += 2 {
+			next = append(next, d.AddOp(kind, level[i], level[i+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// CountKind returns how many ops of the given kind the design contains.
+func (d *Design) CountKind(k OpKind) int {
+	n := 0
+	for _, op := range d.Ops {
+		if op.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// CriticalPath returns the unconstrained (infinite-resource) latency in
+// cycles: the longest dependency chain weighted by operator latencies.
+func (d *Design) CriticalPath() int {
+	finish := make([]int, len(d.Ops))
+	longest := 0
+	for i, op := range d.Ops {
+		start := 0
+		for _, dep := range op.Deps {
+			if finish[dep] > start {
+				start = finish[dep]
+			}
+		}
+		finish[i] = start + SpecFor(op.Kind).Latency
+		if finish[i] > longest {
+			longest = finish[i]
+		}
+	}
+	return longest
+}

@@ -1,0 +1,373 @@
+package hw
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml/bayes"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/mlp"
+	"repro/internal/ml/mltest"
+	"repro/internal/ml/oner"
+	"repro/internal/ml/rules"
+	"repro/internal/ml/tree"
+)
+
+func TestOpSpecsSane(t *testing.T) {
+	for k := OpKind(0); k < numOpKinds; k++ {
+		s := SpecFor(k)
+		if s.Latency < 1 {
+			t.Fatalf("%v has latency %d", k, s.Latency)
+		}
+		if s.LUT < 0 || s.DSP < 0 || s.BRAM < 0 {
+			t.Fatalf("%v has negative resources", k)
+		}
+		if k.String() == "" {
+			t.Fatalf("op kind %d has no name", int(k))
+		}
+	}
+}
+
+func TestAreaArithmetic(t *testing.T) {
+	a := Area{LUT: 10, FF: 20, DSP: 1, BRAM: 1}
+	a.Add(Area{LUT: 5, DSP: 2})
+	if a.LUT != 15 || a.DSP != 3 {
+		t.Fatalf("Add result %+v", a)
+	}
+	s := Area{LUT: 2}.Scale(3)
+	if s.LUT != 6 {
+		t.Fatalf("Scale result %+v", s)
+	}
+	eq := Area{LUT: 100, FF: 100, DSP: 1, BRAM: 1}.EquivalentLUTs()
+	want := 100 + 50 + LUTPerDSP + LUTPerBRAM
+	if eq != want {
+		t.Fatalf("EquivalentLUTs = %d, want %d", eq, want)
+	}
+}
+
+func TestDesignBasics(t *testing.T) {
+	d := NewDesign("t")
+	a := d.AddOp(OpCmp)
+	b := d.AddOp(OpCmp)
+	c := d.AddOp(OpAnd, a, b)
+	if c != 2 || d.CountKind(OpCmp) != 2 || d.CountKind(OpAnd) != 1 {
+		t.Fatal("AddOp/CountKind wrong")
+	}
+	// cmp(1) -> and(1): critical path 2.
+	if cp := d.CriticalPath(); cp != 2 {
+		t.Fatalf("critical path %d, want 2", cp)
+	}
+}
+
+func TestAddOpRejectsForwardDeps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("forward dependency did not panic")
+		}
+	}()
+	NewDesign("t").AddOp(OpCmp, 0)
+}
+
+func TestReduceTree(t *testing.T) {
+	d := NewDesign("t")
+	var leaves []int
+	for i := 0; i < 8; i++ {
+		leaves = append(leaves, d.AddOp(OpCmp))
+	}
+	d.AddReduceTree(OpAdd, leaves)
+	if d.CountKind(OpAdd) != 7 {
+		t.Fatalf("8-leaf reduction used %d adders, want 7", d.CountKind(OpAdd))
+	}
+	// Balanced: critical path = 1 (cmp) + 3 (log2 8 adds).
+	if cp := d.CriticalPath(); cp != 4 {
+		t.Fatalf("critical path %d, want 4", cp)
+	}
+}
+
+func TestScheduleUnconstrainedMatchesCriticalPath(t *testing.T) {
+	d := NewDesign("t")
+	var leaves []int
+	for i := 0; i < 16; i++ {
+		leaves = append(leaves, d.AddOp(OpCmp))
+	}
+	d.AddReduceTree(OpAdd, leaves)
+	s, err := ScheduleDesign(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cycles != d.CriticalPath() {
+		t.Fatalf("unconstrained schedule %d cycles, critical path %d",
+			s.Cycles, d.CriticalPath())
+	}
+	if err := s.Validate(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used[OpCmp] != 16 {
+		t.Fatalf("unconstrained schedule used %d cmps, want 16", s.Used[OpCmp])
+	}
+}
+
+func TestScheduleRespectsBudget(t *testing.T) {
+	d := NewDesign("t")
+	for i := 0; i < 12; i++ {
+		d.AddOp(OpMul) // independent multiplies
+	}
+	budget := Budget{OpMul: 3}
+	s, err := ScheduleDesign(d, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(d, budget); err != nil {
+		t.Fatal(err)
+	}
+	if s.Used[OpMul] > 3 {
+		t.Fatalf("used %d muls over budget 3", s.Used[OpMul])
+	}
+	// 12 ops, 3 instances, latency 3: at least 12 cycles.
+	if s.Cycles < 12 {
+		t.Fatalf("constrained schedule %d cycles, want >= 12", s.Cycles)
+	}
+	// Tighter budget must not be faster.
+	s1, _ := ScheduleDesign(d, Budget{OpMul: 1})
+	if s1.Cycles < s.Cycles {
+		t.Fatal("smaller budget produced faster schedule")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := ScheduleDesign(NewDesign("empty"), nil); err == nil {
+		t.Fatal("accepted empty design")
+	}
+	d := NewDesign("t")
+	d.AddOp(OpCmp)
+	if _, err := ScheduleDesign(d, Budget{OpCmp: 0}); err == nil {
+		t.Fatal("accepted zero budget")
+	}
+}
+
+// trainAll trains one of each classifier on a small binary problem and
+// returns the reports.
+func synthAll(t *testing.T) map[string]*Report {
+	t.Helper()
+	x, y := mltest.TwoBlobs(1, 150)
+	reports := make(map[string]*Report)
+
+	or := oner.New()
+	j48 := tree.NewJ48()
+	rep := tree.NewREPTree()
+	jr := rules.New()
+	lg := linear.NewLogistic()
+	lg.Epochs = 10
+	sv := linear.NewSVM()
+	sv.Epochs = 5
+	mp := mlp.New()
+	mp.Epochs = 10
+
+	for _, c := range []interface {
+		Train([][]float64, []int, int) error
+		Name() string
+	}{or, j48, rep, jr, lg, sv, mp} {
+		if err := c.Train(x, y, 2); err != nil {
+			t.Fatalf("training %s: %v", c.Name(), err)
+		}
+	}
+	for _, c := range []interface{ Name() string }{or, j48, rep, jr, lg, sv, mp} {
+		r, err := Synthesize(c.(interface {
+			Name() string
+			Train([][]float64, []int, int) error
+			Predict([]float64) int
+		}))
+		if err != nil {
+			t.Fatalf("synthesizing %s: %v", c.Name(), err)
+		}
+		reports[c.Name()] = r
+	}
+	nb := bayes.New()
+	if err := nb.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	rnb, err := SynthesizeBayes(nb, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports[nb.Name()] = rnb
+	return reports
+}
+
+func TestSynthesizeAllClassifiers(t *testing.T) {
+	reports := synthAll(t)
+	if len(reports) != 8 {
+		t.Fatalf("synthesized %d classifiers, want 8", len(reports))
+	}
+	for name, r := range reports {
+		if r.EquivLUTs <= 0 {
+			t.Fatalf("%s area %d", name, r.EquivLUTs)
+		}
+		if r.Cycles <= 0 || r.LatencyNs <= 0 {
+			t.Fatalf("%s latency %d cycles / %v ns", name, r.Cycles, r.LatencyNs)
+		}
+	}
+}
+
+func TestPaperAreaOrdering(t *testing.T) {
+	// The paper's central hardware claim (Figures 14/16): OneR and JRip
+	// are far smaller than the MLP; simple rules beat neural networks on
+	// footprint.
+	reports := synthAll(t)
+	mlpArea := reports["MLP"].EquivLUTs
+	for _, small := range []string{"OneR", "JRip"} {
+		if reports[small].EquivLUTs*4 > mlpArea {
+			t.Fatalf("%s area %d not ≪ MLP area %d",
+				small, reports[small].EquivLUTs, mlpArea)
+		}
+	}
+	// MLP also has more DSPs than any rule/tree model.
+	if reports["MLP"].Area.DSP <= reports["J48"].Area.DSP {
+		t.Fatal("MLP not DSP-heavier than J48")
+	}
+}
+
+func TestPaperLatencyOrdering(t *testing.T) {
+	reports := synthAll(t)
+	// Trees and rules are shallow; the MLP's input-serial MAC rows
+	// dominate latency.
+	if reports["OneR"].Cycles >= reports["MLP"].Cycles {
+		t.Fatalf("OneR latency %d not below MLP %d",
+			reports["OneR"].Cycles, reports["MLP"].Cycles)
+	}
+	if reports["J48"].Cycles >= reports["MLP"].Cycles {
+		t.Fatalf("J48 latency %d not below MLP %d",
+			reports["J48"].Cycles, reports["MLP"].Cycles)
+	}
+}
+
+func TestAccuracyPerArea(t *testing.T) {
+	r := &Report{EquivLUTs: 2000}
+	// 90% accuracy over 2 kLUT = 45.
+	if got := AccuracyPerArea(0.9, r); got != 45 {
+		t.Fatalf("AccuracyPerArea = %v, want 45", got)
+	}
+}
+
+func TestSynthesizeRejectsUnknown(t *testing.T) {
+	if _, err := Synthesize(fakeClassifier{}); err == nil {
+		t.Fatal("accepted unknown classifier type")
+	}
+	if _, err := SynthesizeBayes(bayes.New(), 1, 0); err == nil {
+		t.Fatal("accepted bad bayes dimensions")
+	}
+}
+
+type fakeClassifier struct{}
+
+func (fakeClassifier) Name() string                        { return "fake" }
+func (fakeClassifier) Train([][]float64, []int, int) error { return nil }
+func (fakeClassifier) Predict([]float64) int               { return 0 }
+
+func TestStorageArea(t *testing.T) {
+	if a := StorageArea(0); a != (Area{}) {
+		t.Fatal("zero storage has area")
+	}
+	if a := StorageArea(640); a.BRAM != 0 || a.LUT != 10 {
+		t.Fatalf("small storage %+v, want 10 LUTRAM", a)
+	}
+	if a := StorageArea(40000); a.BRAM != 2 {
+		t.Fatalf("40kbit storage %+v, want 2 BRAM", a)
+	}
+}
+
+// Property: any schedule returned validates against its design and
+// budget, and bigger budgets never slow the design down.
+func TestScheduleMonotoneProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		// Random layered DAG.
+		n := int(seed%30) + 5
+		d := NewDesign("p")
+		for i := 0; i < n; i++ {
+			var deps []int
+			if i > 0 && i%3 != 0 {
+				deps = append(deps, (i*7)%i)
+			}
+			kind := OpKind(int(seed+uint16(i)) % int(numOpKinds))
+			d.AddOp(kind, deps...)
+		}
+		tight := Budget{}
+		loose := Budget{}
+		for k := OpKind(0); k < numOpKinds; k++ {
+			tight[k] = 1
+			loose[k] = 4
+		}
+		st, err := ScheduleDesign(d, tight)
+		if err != nil || st.Validate(d, tight) != nil {
+			return false
+		}
+		sl, err := ScheduleDesign(d, loose)
+		if err != nil || sl.Validate(d, loose) != nil {
+			return false
+		}
+		return sl.Cycles <= st.Cycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerKNNCost(t *testing.T) {
+	// A 5,000-exemplar, 16-feature KNN (a small fraction of the paper's
+	// ~34k training rows): exemplar memory alone should dwarf every other
+	// classifier in this repository.
+	d, budget := LowerKNN(5000, 16, 5)
+	rep, err := reportFor(d, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5000*16*32 bits ≈ 2.5 Mbit ≈ 70 BRAMs.
+	if rep.Area.BRAM < 50 {
+		t.Fatalf("KNN exemplar memory only %d BRAMs", rep.Area.BRAM)
+	}
+	// Latency streams all exemplars: thousands of cycles.
+	if rep.Cycles < 500 {
+		t.Fatalf("KNN latency %d cycles implausibly low", rep.Cycles)
+	}
+	// Contrast with the MLP, the previously-largest model.
+	mlpD, mlpB := LowerMLP(16, 11, 2)
+	mlpRep, err := reportFor(mlpD, mlpB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EquivLUTs < 2*mlpRep.EquivLUTs {
+		t.Fatalf("KNN area %d not ≫ MLP %d", rep.EquivLUTs, mlpRep.EquivLUTs)
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	r := &Report{
+		Classifier:  "J48",
+		Area:        Area{LUT: 1000, FF: 500, DSP: 2, BRAM: 1},
+		Cycles:      13,
+		LatencyNs:   130,
+		StorageBits: 4096,
+	}
+	var buf bytes.Buffer
+	if err := r.WriteUtilization(&buf, Artix7_35T); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"xc7a35t", "Slice LUTs", "DSP48E1", "4.81%", "13 cycles"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("utilization report missing %q:\n%s", want, out)
+		}
+	}
+	if !r.Fits(Artix7_35T) {
+		t.Fatal("small design does not fit a 35T")
+	}
+	big := &Report{Area: Area{DSP: 1000}}
+	if big.Fits(Artix7_35T) {
+		t.Fatal("1000-DSP design claims to fit a 90-DSP part")
+	}
+	if !big.Fits(Kintex7_325T) == (big.Area.DSP <= Kintex7_325T.DSP) {
+		t.Fatal("Fits inconsistent")
+	}
+}

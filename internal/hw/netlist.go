@@ -1,0 +1,282 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the code-generation half of the hardware flow: a
+// trained threshold classifier (OneR, J48/REPTree, JRip) is compiled to a
+// small combinational netlist IR with two backends — synthesizable
+// Verilog, and a bit-exact Go evaluator used by tests to prove that the
+// emitted hardware computes the same labels as the trained model (up to
+// fixed-point quantization).
+//
+// Datapath convention: features enter as signed fixed point in 32-bit
+// words; labels leave as a small unsigned integer. The binary point is a
+// property of the netlist: Q16.16 (FixedShift) suits unit-scale data,
+// while raw HPC counts (integers up to ~10^8 per window) use shift 0.
+
+// FixedShift is the default fractional bit count (Q16.16).
+const FixedShift = 16
+
+// ToFixed quantizes a float to the given fixed-point grid, saturating at
+// the 32-bit signed range.
+func ToFixed(v float64, shift uint) int32 {
+	s := math.Round(v * float64(int64(1)<<shift))
+	if s > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if s < math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(s)
+}
+
+// FromFixed converts a fixed-point value back to float.
+func FromFixed(v int32, shift uint) float64 {
+	return float64(v) / float64(int64(1)<<shift)
+}
+
+// Net identifies a value in a Comb netlist.
+type Net int
+
+type combKind int
+
+const (
+	cInput   combKind = iota // word: feature input
+	cConst                   // word: constant (stored as float, quantized late)
+	cLE                      // bool: a <= b
+	cAnd                     // bool: a & b
+	cNot                     // bool: !a
+	cMux                     // word: sel ? a : b
+	cLabel                   // word: constant label value
+	cMulC                    // word64: a * quantized-constant weight
+	cAdd                     // word64: a + b
+	cConst64                 // word64: raw constant
+)
+
+type combNode struct {
+	kind    combKind
+	a, b, c Net     // operands (meaning depends on kind)
+	val     int32   // input index / label value
+	v64     int64   // raw 64-bit constant (cConst64)
+	f       float64 // constant value (cConst / cMulC weight)
+	isBool  bool
+}
+
+// Comb is a combinational netlist over fixed-point words and 1-bit nets.
+type Comb struct {
+	name    string
+	nInputs int
+	shift   uint
+	nodes   []combNode
+	out     Net
+}
+
+// NewComb creates a netlist with the given module name and input count,
+// using the default Q16.16 datapath.
+func NewComb(name string, inputs int) *Comb {
+	return &Comb{name: name, nInputs: inputs, shift: FixedShift}
+}
+
+// SetFixedShift changes the binary point of the datapath (0 = integer
+// datapath, for raw event counts). Constants are quantized lazily, so
+// this may be called at any time before Eval/EmitVerilog.
+func (c *Comb) SetFixedShift(shift uint) {
+	if shift > 30 {
+		panic("hw: fixed shift too large for 32-bit words")
+	}
+	c.shift = shift
+}
+
+// Shift returns the current binary point.
+func (c *Comb) Shift() uint { return c.shift }
+
+func (c *Comb) add(n combNode) Net {
+	c.nodes = append(c.nodes, n)
+	return Net(len(c.nodes) - 1)
+}
+
+func (c *Comb) checkNet(n Net) {
+	if int(n) < 0 || int(n) >= len(c.nodes) {
+		panic(fmt.Sprintf("hw: net %d out of range", n))
+	}
+}
+
+// Input references feature i.
+func (c *Comb) Input(i int) Net {
+	if i < 0 || i >= c.nInputs {
+		panic(fmt.Sprintf("hw: input %d out of range (%d inputs)", i, c.nInputs))
+	}
+	return c.add(combNode{kind: cInput, val: int32(i)})
+}
+
+// Const introduces a fixed-point constant from a float.
+func (c *Comb) Const(v float64) Net {
+	return c.add(combNode{kind: cConst, f: v})
+}
+
+// Label introduces a class-label constant.
+func (c *Comb) Label(v int) Net {
+	return c.add(combNode{kind: cLabel, val: int32(v)})
+}
+
+// LE yields the boolean a <= b.
+func (c *Comb) LE(a, b Net) Net {
+	c.checkNet(a)
+	c.checkNet(b)
+	return c.add(combNode{kind: cLE, a: a, b: b, isBool: true})
+}
+
+// And yields a & b.
+func (c *Comb) And(a, b Net) Net {
+	c.checkNet(a)
+	c.checkNet(b)
+	return c.add(combNode{kind: cAnd, a: a, b: b, isBool: true})
+}
+
+// Not yields !a.
+func (c *Comb) Not(a Net) Net {
+	c.checkNet(a)
+	return c.add(combNode{kind: cNot, a: a, isBool: true})
+}
+
+// Mux yields sel ? a : b over word nets.
+func (c *Comb) Mux(sel, a, b Net) Net {
+	c.checkNet(sel)
+	c.checkNet(a)
+	c.checkNet(b)
+	if !c.nodes[sel].isBool {
+		panic("hw: mux select must be boolean")
+	}
+	return c.add(combNode{kind: cMux, a: sel, b: a, c: b})
+}
+
+// SetOutput designates the label output net.
+func (c *Comb) SetOutput(n Net) {
+	c.checkNet(n)
+	c.out = n
+}
+
+// NumNodes returns the netlist size.
+func (c *Comb) NumNodes() int { return len(c.nodes) }
+
+// Eval computes the label for one raw feature vector using the same
+// fixed-point arithmetic the Verilog performs.
+func (c *Comb) Eval(features []float64) (int, error) {
+	if len(features) != c.nInputs {
+		return 0, fmt.Errorf("hw: %d features for %d inputs", len(features), c.nInputs)
+	}
+	vals := make([]int64, len(c.nodes))
+	for i, n := range c.nodes {
+		switch n.kind {
+		case cInput:
+			vals[i] = int64(ToFixed(features[n.val], c.shift))
+		case cConst:
+			vals[i] = int64(ToFixed(n.f, c.shift))
+		case cLabel:
+			vals[i] = int64(n.val)
+		case cLE:
+			if vals[n.a] <= vals[n.b] {
+				vals[i] = 1
+			}
+		case cAnd:
+			vals[i] = vals[n.a] & vals[n.b]
+		case cNot:
+			vals[i] = 1 - (vals[n.a] & 1)
+		case cMux:
+			if vals[n.a] != 0 {
+				vals[i] = vals[n.b]
+			} else {
+				vals[i] = vals[n.c]
+			}
+		case cMulC:
+			vals[i] = vals[n.a] * quantWeight(n.f)
+		case cAdd:
+			vals[i] = vals[n.a] + vals[n.b]
+		case cConst64:
+			vals[i] = n.v64
+		default:
+			return 0, fmt.Errorf("hw: unknown node kind %d", n.kind)
+		}
+	}
+	return int(vals[c.out]), nil
+}
+
+// Combinational delay per operator in nanoseconds on a mid-speed-grade
+// 7-series fabric (LUT+route estimates): comparators and adders are
+// carry-chain limited; muxes and gates are a LUT hop.
+func combDelayNs(k combKind) float64 {
+	switch k {
+	case cLE:
+		return 2.4 // 32-bit compare carry chain
+	case cMux:
+		return 0.9
+	case cAnd, cNot:
+		return 0.6
+	case cMulC:
+		return 6.5 // DSP48 multiply, combinational estimate
+	case cAdd:
+		return 2.6 // 64-bit carry chain
+	default:
+		return 0 // inputs/constants are registers/wires
+	}
+}
+
+// CriticalPathNs returns the longest combinational path through the
+// netlist in nanoseconds, and the implied maximum clock frequency in MHz
+// for a single-cycle (fully combinational) implementation.
+func (c *Comb) CriticalPathNs() (ns float64, fmaxMHz float64) {
+	arrive := make([]float64, len(c.nodes))
+	worst := 0.0
+	for i, n := range c.nodes {
+		start := 0.0
+		for _, dep := range []Net{n.a, n.b, n.c} {
+			if dep > 0 || (dep == 0 && i > 0 && (n.kind == cLE || n.kind == cAnd ||
+				n.kind == cNot || n.kind == cMux)) {
+				if int(dep) < i && arrive[dep] > start {
+					start = arrive[dep]
+				}
+			}
+		}
+		arrive[i] = start + combDelayNs(n.kind)
+		if arrive[i] > worst {
+			worst = arrive[i]
+		}
+	}
+	if worst <= 0 {
+		return 0, 0
+	}
+	return worst, 1000 / worst
+}
+
+// MulConst yields a * weight on the 64-bit score datapath: the float
+// weight is quantized once at WeightShift fractional bits at build time
+// (independent of the input shift — argmax consumers only compare scores,
+// so a common scale factor cancels).
+func (c *Comb) MulConst(a Net, weight float64) Net {
+	c.checkNet(a)
+	return c.add(combNode{kind: cMulC, a: a, f: weight})
+}
+
+// Add yields a + b on the 64-bit score datapath.
+func (c *Comb) Add(a, b Net) Net {
+	c.checkNet(a)
+	c.checkNet(b)
+	return c.add(combNode{kind: cAdd, a: a, b: b})
+}
+
+// ConstRaw introduces a pre-scaled 64-bit score constant (e.g. a folded
+// bias already multiplied by the weight scale).
+func (c *Comb) ConstRaw(v int64) Net {
+	return c.add(combNode{kind: cConst64, v64: v})
+}
+
+// WeightShift is the fractional precision of MulConst weights.
+const WeightShift = 20
+
+// quantWeight converts a float weight to the WeightShift grid.
+func quantWeight(w float64) int64 {
+	return int64(math.Round(w * (1 << WeightShift)))
+}

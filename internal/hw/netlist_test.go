@@ -1,0 +1,342 @@
+package hw
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ml/linear"
+	"repro/internal/ml/mltest"
+	"repro/internal/ml/oner"
+	"repro/internal/ml/rules"
+	"repro/internal/ml/tree"
+)
+
+func TestFixedPointRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 3.5, -100.25, 32767.9} {
+		got := FromFixed(ToFixed(v, FixedShift), FixedShift)
+		if math.Abs(got-v) > 1.0/(1<<FixedShift) {
+			t.Fatalf("fixed round trip %v -> %v", v, got)
+		}
+	}
+	// Saturation.
+	if ToFixed(1e12, FixedShift) != math.MaxInt32 || ToFixed(-1e12, FixedShift) != math.MinInt32 {
+		t.Fatal("fixed conversion does not saturate")
+	}
+	// Integer datapath: large counts survive at shift 0.
+	if got := FromFixed(ToFixed(3.3e7, 0), 0); math.Abs(got-3.3e7) > 0.5 {
+		t.Fatalf("integer datapath lost a count value: %v", got)
+	}
+}
+
+func TestCombEvalBasics(t *testing.T) {
+	c := NewComb("t", 2)
+	// label = x0 <= 5 ? 1 : 0
+	sel := c.LE(c.Input(0), c.Const(5))
+	c.SetOutput(c.Mux(sel, c.Label(1), c.Label(0)))
+	if v, err := c.Eval([]float64{3, 0}); err != nil || v != 1 {
+		t.Fatalf("Eval(3) = %d, %v", v, err)
+	}
+	if v, _ := c.Eval([]float64{7, 0}); v != 0 {
+		t.Fatalf("Eval(7) = %d", v)
+	}
+	// Boundary: 5 <= 5.
+	if v, _ := c.Eval([]float64{5, 0}); v != 1 {
+		t.Fatalf("Eval(5) = %d", v)
+	}
+	if _, err := c.Eval([]float64{1}); err == nil {
+		t.Fatal("accepted wrong feature count")
+	}
+}
+
+func TestCombGuards(t *testing.T) {
+	c := NewComb("t", 1)
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { c.Input(3) })
+	mustPanic(func() { c.LE(Net(99), Net(0)) })
+	mustPanic(func() { c.Mux(c.Const(1), c.Const(2), c.Const(3)) }) // non-bool select
+}
+
+// quantAgreement trains a model, compiles it, and checks the netlist's
+// fixed-point predictions against the float model.
+func quantAgreement(t *testing.T, predict func([]float64) int, c *Comb, x [][]float64) {
+	t.Helper()
+	agree := 0
+	for _, row := range x {
+		want := predict(row)
+		got, err := c.Eval(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == want {
+			agree++
+		}
+	}
+	frac := float64(agree) / float64(len(x))
+	if frac < 0.98 {
+		t.Fatalf("netlist agrees with model on only %.1f%% of rows", frac*100)
+	}
+}
+
+func TestCompileOneRMatchesModel(t *testing.T) {
+	x, y := mltest.Blobs(1, [][]float64{{0, 0}, {5, 1}, {10, 2}}, 150, 0.6)
+	o := oner.New()
+	if err := o.Train(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileOneR(o, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantAgreement(t, o.Predict, c, x)
+}
+
+func TestCompileTreeMatchesModel(t *testing.T) {
+	x, y := mltest.XOR(2, 200)
+	j := tree.NewJ48()
+	if err := j.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileTree(j, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantAgreement(t, j.Predict, c, x)
+
+	// REPTree path too.
+	r := tree.NewREPTree()
+	if err := r.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := CompileTree(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantAgreement(t, r.Predict, cr, x)
+}
+
+func TestCompileJRipMatchesModel(t *testing.T) {
+	x, y := mltest.ThreeBlobs(3, 200)
+	j := rules.New()
+	if err := j.Train(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileJRip(j, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantAgreement(t, j.Predict, c, x)
+}
+
+func TestEmitVerilogStructure(t *testing.T) {
+	x, y := mltest.TwoBlobs(5, 150)
+	j := tree.NewJ48()
+	if err := j.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileTree(j, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetName("hpc_detector")
+	var buf bytes.Buffer
+	if err := c.EmitVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v := buf.String()
+	for _, want := range []string{
+		"module hpc_detector (",
+		"endmodule",
+		"output wire [7:0] label",
+		"input  wire signed [63:0] features", // 2 x 32-bit bus
+		"assign label =",
+	} {
+		if !strings.Contains(v, want) {
+			t.Fatalf("verilog missing %q:\n%s", want, v[:min(len(v), 400)])
+		}
+	}
+	// One comparator line per internal tree node.
+	cmpLines := strings.Count(v, "<=")
+	internal := j.Size() - j.Leaves()
+	// Each internal node contributes exactly one "(nA <= nB)" line; the
+	// port list has no <=.
+	if cmpLines != internal {
+		t.Fatalf("verilog has %d comparators, tree has %d internal nodes", cmpLines, internal)
+	}
+	// Balanced module/endmodule.
+	if strings.Count(v, "module ") != strings.Count(v, "endmodule") {
+		t.Fatal("unbalanced module/endmodule")
+	}
+}
+
+func TestEmitVerilogNegativeConstants(t *testing.T) {
+	c := NewComb("neg", 1)
+	sel := c.LE(c.Input(0), c.Const(-2.5))
+	c.SetOutput(c.Mux(sel, c.Label(1), c.Label(0)))
+	var buf bytes.Buffer
+	if err := c.EmitVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-64'sd163840") { // -2.5 * 65536
+		t.Fatalf("negative constant misrendered:\n%s", buf.String())
+	}
+}
+
+func TestEmitVerilogEmpty(t *testing.T) {
+	if err := NewComb("e", 1).EmitVerilog(&bytes.Buffer{}); err == nil {
+		t.Fatal("accepted empty netlist")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestEmitTestbench(t *testing.T) {
+	x, y := mltest.TwoBlobs(7, 100)
+	j := tree.NewJ48()
+	if err := j.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileTree(j, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetName("tb_detector")
+	var buf bytes.Buffer
+	if err := c.EmitTestbench(&buf, x[:10]); err != nil {
+		t.Fatal(err)
+	}
+	tb := buf.String()
+	for _, want := range []string{
+		"module tb_detector_tb;",
+		"tb_detector dut (.features(features), .label(label));",
+		"check(8'd",
+		"PASS: 10 vectors",
+		"$finish;",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Fatalf("testbench missing %q", want)
+		}
+	}
+	// One check per vector.
+	if got := strings.Count(tb, "check(8'd"); got != 10 {
+		t.Fatalf("%d checks, want 10", got)
+	}
+	// Expected labels must match the Go evaluator.
+	for i := 0; i < 10; i++ {
+		want, err := c.Eval(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(tb, fmt.Sprintf("check(8'd%d, %d);", want, i)) {
+			t.Fatalf("vector %d expected label %d not in testbench", i, want)
+		}
+	}
+	// Errors.
+	if err := c.EmitTestbench(&bytes.Buffer{}, nil); err == nil {
+		t.Fatal("accepted empty vector set")
+	}
+	if err := c.EmitTestbench(&bytes.Buffer{}, [][]float64{{1}}); err == nil {
+		t.Fatal("accepted wrong-width vector")
+	}
+}
+
+func TestCriticalPathNs(t *testing.T) {
+	// Chain: cmp -> mux -> mux. Path = 2.4 + 0.9 + 0.9 = 4.2 ns.
+	c := NewComb("t", 1)
+	in := c.Input(0)
+	cmp := c.LE(in, c.Const(1))
+	m1 := c.Mux(cmp, c.Label(1), c.Label(0))
+	m2 := c.Mux(cmp, m1, c.Label(2))
+	c.SetOutput(m2)
+	ns, fmax := c.CriticalPathNs()
+	if math.Abs(ns-4.2) > 1e-9 {
+		t.Fatalf("critical path %v ns, want 4.2", ns)
+	}
+	if math.Abs(fmax-1000/4.2) > 1e-6 {
+		t.Fatalf("fmax %v", fmax)
+	}
+	// Deeper netlists are slower.
+	x, y := mltest.XOR(9, 200)
+	j := tree.NewJ48()
+	if err := j.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	comb, err := CompileTree(j, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeNs, treeFmax := comb.CriticalPathNs()
+	if treeNs <= 0 || treeFmax <= 0 {
+		t.Fatalf("tree path %v ns fmax %v", treeNs, treeFmax)
+	}
+}
+
+func TestCompileLinearMatchesLogistic(t *testing.T) {
+	x, y := mltest.ThreeBlobs(11, 300)
+	// Count-like scales to exercise the standardization folding.
+	for i := range x {
+		x[i][0] = x[i][0]*1e5 + 5e5
+		x[i][1] = x[i][1]*1e3 + 2e4
+	}
+	lg := linear.NewLogistic()
+	if err := lg.Train(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileLinear("mlr_detector", lg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantAgreement(t, lg.Predict, c, x)
+
+	// Verilog emission works and contains multiplies.
+	var buf bytes.Buffer
+	if err := c.EmitVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), " * ") {
+		t.Fatal("linear Verilog has no multipliers")
+	}
+	// Critical path includes multiplier delay.
+	if ns, _ := c.CriticalPathNs(); ns < 6 {
+		t.Fatalf("linear critical path %v ns implausibly short", ns)
+	}
+}
+
+func TestCompileLinearMatchesSVM(t *testing.T) {
+	x, y := mltest.TwoBlobs(12, 200)
+	sv := linear.NewSVM()
+	if err := sv.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	c, err := CompileLinear("svm_detector", sv, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantAgreement(t, sv.Predict, c, x)
+}
+
+func TestCompileLinearShapeErrors(t *testing.T) {
+	lg := linear.NewLogistic()
+	x, y := mltest.TwoBlobs(13, 60)
+	if err := lg.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileLinear("bad", lg, 5); err == nil {
+		t.Fatal("accepted wrong feature count")
+	}
+}

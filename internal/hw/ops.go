@@ -1,0 +1,129 @@
+// Package hw models the paper's Vivado-HLS hardware implementation step:
+// each trained classifier is lowered to a dataflow graph of hardware
+// operators, a resource-constrained list scheduler assigns clock cycles,
+// and an area model (calibrated to Xilinx 7-series primitives) produces
+// LUT/FF/DSP/BRAM counts. The paper's Figures 14-16 compare classifiers
+// by exactly these outputs: area, latency, and accuracy per area.
+//
+// Absolute numbers from a structural model will not match a specific
+// Vivado run, but the *relations* the paper reports — OneR/JRip tiny,
+// trees shallow, MLP orders of magnitude larger — are preserved because
+// they are properties of the model topologies, not of the tool.
+package hw
+
+import "fmt"
+
+// OpKind enumerates the hardware operator library.
+type OpKind int
+
+// Operator kinds.
+const (
+	// OpCmp is a 32-bit fixed-point comparator.
+	OpCmp OpKind = iota
+	// OpAdd is a 32-bit adder.
+	OpAdd
+	// OpMul is a 32-bit fixed-point multiplier (DSP48-based).
+	OpMul
+	// OpMAC is a multiply-accumulate (DSP48 in MACC mode).
+	OpMAC
+	// OpSigmoid is a piecewise-linear sigmoid/exp lookup unit (BRAM).
+	OpSigmoid
+	// OpMux is a 2:1 32-bit multiplexer (decision-tree leaf steering).
+	OpMux
+	// OpEnc is a priority encoder stage (rule lists, argmax).
+	OpEnc
+	// OpAnd is a wide AND reduction stage (rule conjunction).
+	OpAnd
+	numOpKinds
+)
+
+// String returns the operator mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpCmp:
+		return "cmp32"
+	case OpAdd:
+		return "add32"
+	case OpMul:
+		return "mul32"
+	case OpMAC:
+		return "mac32"
+	case OpSigmoid:
+		return "sigmoid"
+	case OpMux:
+		return "mux32"
+	case OpEnc:
+		return "prienc"
+	case OpAnd:
+		return "andred"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Spec is the per-instance cost of one operator: 7-series resource counts
+// and pipeline latency in cycles at the target clock.
+type Spec struct {
+	LUT, FF, DSP, BRAM int
+	Latency            int
+}
+
+// specs is the operator library. Values follow common 7-series synthesis
+// results for 32-bit fixed-point datapaths at ~100 MHz.
+var specs = [numOpKinds]Spec{
+	OpCmp: {LUT: 16, FF: 8, Latency: 1},
+	OpAdd: {LUT: 32, FF: 32, Latency: 1},
+	OpMul: {DSP: 3, FF: 64, LUT: 20, Latency: 3},
+	// MACC-mode accumulation achieves II=1: one new term per cycle.
+	OpMAC:     {DSP: 3, FF: 64, LUT: 24, Latency: 1},
+	OpSigmoid: {BRAM: 1, LUT: 40, FF: 32, Latency: 2},
+	OpMux:     {LUT: 16, FF: 0, Latency: 1},
+	OpEnc:     {LUT: 8, FF: 4, Latency: 1},
+	OpAnd:     {LUT: 4, FF: 2, Latency: 1},
+}
+
+// SpecFor returns the cost spec of an operator kind.
+func SpecFor(k OpKind) Spec {
+	if k < 0 || k >= numOpKinds {
+		panic(fmt.Sprintf("hw: unknown op kind %d", int(k)))
+	}
+	return specs[k]
+}
+
+// LUT-equivalence factors for the single scalar "area" the paper's
+// Figure 14 plots: a DSP48 slice is commonly equated to ~100 logic LUTs
+// and a BRAM36 to ~300.
+const (
+	LUTPerDSP  = 100
+	LUTPerBRAM = 300
+	// FFs share slices with LUTs; weight them at half a LUT.
+	lutPerFFx2 = 1
+)
+
+// Area is an FPGA resource vector.
+type Area struct {
+	LUT, FF, DSP, BRAM int
+}
+
+// Add accumulates another area vector.
+func (a *Area) Add(b Area) {
+	a.LUT += b.LUT
+	a.FF += b.FF
+	a.DSP += b.DSP
+	a.BRAM += b.BRAM
+}
+
+// Scale returns the area multiplied by n instances.
+func (a Area) Scale(n int) Area {
+	return Area{LUT: a.LUT * n, FF: a.FF * n, DSP: a.DSP * n, BRAM: a.BRAM * n}
+}
+
+// EquivalentLUTs collapses the vector to a single LUT-equivalent count.
+func (a Area) EquivalentLUTs() int {
+	return a.LUT + a.FF*lutPerFFx2/2 + a.DSP*LUTPerDSP + a.BRAM*LUTPerBRAM
+}
+
+// AreaOf returns the Area of one operator instance.
+func AreaOf(k OpKind) Area {
+	s := SpecFor(k)
+	return Area{LUT: s.LUT, FF: s.FF, DSP: s.DSP, BRAM: s.BRAM}
+}

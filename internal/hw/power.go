@@ -1,0 +1,59 @@
+package hw
+
+// Power estimation. The DAC'17 paper (Patel et al.) compares classifiers
+// by area, latency *and power*; this file adds the power model: dynamic
+// power from per-primitive switching energy at the target clock scaled by
+// datapath activity, plus per-primitive static leakage — the standard
+// spreadsheet-level FPGA power estimate (Xilinx XPE-style).
+
+// Per-primitive power coefficients at 100 MHz, in microwatts. Dynamic
+// values assume a 12.5% default toggle rate; static values are the
+// per-primitive share of device leakage.
+const (
+	dynUWPerLUT  = 2.0
+	dynUWPerFF   = 0.6
+	dynUWPerDSP  = 180.0
+	dynUWPerBRAM = 220.0
+
+	statUWPerLUT  = 0.4
+	statUWPerFF   = 0.1
+	statUWPerDSP  = 40.0
+	statUWPerBRAM = 60.0
+)
+
+// PowerReport is the estimated power of one synthesized classifier.
+type PowerReport struct {
+	// DynamicMW and StaticMW are in milliwatts at the 100 MHz target.
+	DynamicMW float64
+	StaticMW  float64
+	// EnergyPerInferenceNJ is dynamic energy for one classification in
+	// nanojoules: dynamic power x latency.
+	EnergyPerInferenceNJ float64
+}
+
+// TotalMW returns dynamic + static power.
+func (p PowerReport) TotalMW() float64 { return p.DynamicMW + p.StaticMW }
+
+// EstimatePower derives the power report from a synthesis report.
+// activity is the datapath toggle-rate multiplier relative to the 12.5%
+// default (1.0 = default; streaming designs with II=1 approach 2-4x).
+func EstimatePower(r *Report, activity float64) PowerReport {
+	if activity <= 0 {
+		activity = 1
+	}
+	a := r.Area
+	dynUW := activity * (float64(a.LUT)*dynUWPerLUT +
+		float64(a.FF)*dynUWPerFF +
+		float64(a.DSP)*dynUWPerDSP +
+		float64(a.BRAM)*dynUWPerBRAM)
+	statUW := float64(a.LUT)*statUWPerLUT +
+		float64(a.FF)*statUWPerFF +
+		float64(a.DSP)*statUWPerDSP +
+		float64(a.BRAM)*statUWPerBRAM
+	dynMW := dynUW / 1000
+	return PowerReport{
+		DynamicMW:            dynMW,
+		StaticMW:             statUW / 1000,
+		EnergyPerInferenceNJ: dynMW * r.LatencyNs / 1000, // mW x ns = pJ; /1000 = nJ
+	}
+}

@@ -1,0 +1,56 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEstimatePowerBasics(t *testing.T) {
+	r := &Report{
+		Area:      Area{LUT: 1000, FF: 500, DSP: 2, BRAM: 1},
+		LatencyNs: 100,
+	}
+	p := EstimatePower(r, 1)
+	if p.DynamicMW <= 0 || p.StaticMW <= 0 {
+		t.Fatalf("non-positive power: %+v", p)
+	}
+	if p.TotalMW() != p.DynamicMW+p.StaticMW {
+		t.Fatal("TotalMW wrong")
+	}
+	// Expected dynamic: 1000*2 + 500*0.6 + 2*180 + 1*220 = 2880 uW.
+	if math.Abs(p.DynamicMW-2.88) > 1e-9 {
+		t.Fatalf("dynamic %v mW, want 2.88", p.DynamicMW)
+	}
+	// Energy = 2.88 mW * 100 ns = 288 pJ = 0.288 nJ.
+	if math.Abs(p.EnergyPerInferenceNJ-0.288) > 1e-9 {
+		t.Fatalf("energy %v nJ, want 0.288", p.EnergyPerInferenceNJ)
+	}
+}
+
+func TestEstimatePowerActivityScaling(t *testing.T) {
+	r := &Report{Area: Area{LUT: 100}, LatencyNs: 10}
+	base := EstimatePower(r, 1)
+	busy := EstimatePower(r, 3)
+	if math.Abs(busy.DynamicMW-3*base.DynamicMW) > 1e-12 {
+		t.Fatal("dynamic power not linear in activity")
+	}
+	if busy.StaticMW != base.StaticMW {
+		t.Fatal("static power should not depend on activity")
+	}
+	// Non-positive activity falls back to 1.
+	def := EstimatePower(r, 0)
+	if def.DynamicMW != base.DynamicMW {
+		t.Fatal("zero activity did not default to 1")
+	}
+}
+
+func TestPowerOrderingMatchesPaper(t *testing.T) {
+	// The MLP's DSP/BRAM-heavy design must burn more power than OneR's
+	// handful of comparators — the paper's embedded-deployment argument.
+	reports := synthAll(t)
+	pMLP := EstimatePower(reports["MLP"], 1)
+	pOneR := EstimatePower(reports["OneR"], 1)
+	if pOneR.TotalMW()*4 > pMLP.TotalMW() {
+		t.Fatalf("OneR power %v mW not ≪ MLP %v mW", pOneR.TotalMW(), pMLP.TotalMW())
+	}
+}

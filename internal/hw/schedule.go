@@ -1,0 +1,175 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Budget bounds how many instances of each operator kind the scheduler may
+// use. Kinds absent from the map are unconstrained (fully spatial).
+type Budget map[OpKind]int
+
+// Schedule is the result of resource-constrained list scheduling: per-op
+// start cycles, total latency, and the operator instances actually used
+// (which determines datapath area).
+type Schedule struct {
+	Start  []int
+	Cycles int
+	// Used counts allocated instances per kind: the maximum number of
+	// that kind simultaneously busy in any cycle, capped by the budget.
+	Used map[OpKind]int
+}
+
+// ScheduleDesign performs latency-oriented list scheduling of the design
+// under the budget: ops become ready when their dependencies finish and
+// are placed at the earliest cycle with a free instance of their kind.
+// Priority among ready ops follows the length of the dependent chain
+// below them (standard critical-path list scheduling).
+func ScheduleDesign(d *Design, budget Budget) (*Schedule, error) {
+	n := len(d.Ops)
+	if n == 0 {
+		return nil, fmt.Errorf("hw: empty design %q", d.Name)
+	}
+	for k, v := range budget {
+		if v <= 0 {
+			return nil, fmt.Errorf("hw: budget for %v is %d", k, v)
+		}
+	}
+
+	// Downward criticality (height) for priority.
+	height := make([]int, n)
+	children := make([][]int, n)
+	for i, op := range d.Ops {
+		for _, dep := range op.Deps {
+			children[dep] = append(children[dep], i)
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		h := 0
+		for _, c := range children[i] {
+			if height[c] > h {
+				h = height[c]
+			}
+		}
+		height[i] = h + SpecFor(d.Ops[i].Kind).Latency
+	}
+
+	// busyUntil[kind] tracks per-instance availability.
+	instances := make(map[OpKind][]int)
+	used := make(map[OpKind]int)
+	start := make([]int, n)
+	finish := make([]int, n)
+	scheduled := make([]bool, n)
+	remainingDeps := make([]int, n)
+	for i, op := range d.Ops {
+		remainingDeps[i] = len(op.Deps)
+	}
+
+	ready := make([]int, 0, n)
+	for i := range d.Ops {
+		if remainingDeps[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	total := 0
+	maxCycle := 0
+	for total < n {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("hw: scheduling deadlock in %q", d.Name)
+		}
+		// Highest criticality first; stable tie-break on index.
+		sort.SliceStable(ready, func(a, b int) bool { return height[ready[a]] > height[ready[b]] })
+		next := ready[0]
+		ready = ready[1:]
+
+		op := d.Ops[next]
+		spec := SpecFor(op.Kind)
+		readyAt := 0
+		for _, dep := range op.Deps {
+			if finish[dep] > readyAt {
+				readyAt = finish[dep]
+			}
+		}
+		// Find the instance that frees up earliest.
+		cap, limited := budget[op.Kind]
+		insts := instances[op.Kind]
+		bestInst := -1
+		bestAt := 0
+		if !limited || len(insts) < cap {
+			// A new instance can be allocated: available immediately.
+			bestInst = len(insts)
+			bestAt = readyAt
+			instances[op.Kind] = append(insts, 0)
+			if len(instances[op.Kind]) > used[op.Kind] {
+				used[op.Kind] = len(instances[op.Kind])
+			}
+		} else {
+			for i, freeAt := range insts {
+				at := readyAt
+				if freeAt > at {
+					at = freeAt
+				}
+				if bestInst == -1 || at < bestAt {
+					bestInst, bestAt = i, at
+				}
+			}
+		}
+		start[next] = bestAt
+		finish[next] = bestAt + spec.Latency
+		instances[op.Kind][bestInst] = finish[next]
+		if finish[next] > maxCycle {
+			maxCycle = finish[next]
+		}
+		scheduled[next] = true
+		total++
+		for _, c := range children[next] {
+			remainingDeps[c]--
+			if remainingDeps[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	return &Schedule{Start: start, Cycles: maxCycle, Used: used}, nil
+}
+
+// Validate checks a schedule against its design: dependencies ordered and
+// per-kind concurrency within budget. Used by tests as an independent
+// checker of the scheduler.
+func (s *Schedule) Validate(d *Design, budget Budget) error {
+	if len(s.Start) != len(d.Ops) {
+		return fmt.Errorf("hw: schedule length mismatch")
+	}
+	for i, op := range d.Ops {
+		for _, dep := range op.Deps {
+			depFinish := s.Start[dep] + SpecFor(d.Ops[dep].Kind).Latency
+			if s.Start[i] < depFinish {
+				return fmt.Errorf("hw: op %d starts at %d before dep %d finishes at %d",
+					i, s.Start[i], dep, depFinish)
+			}
+		}
+	}
+	// Concurrency check: the number of same-kind ops in flight at any
+	// instant must not exceed the budget. Concurrency only changes at
+	// interval starts, so checking those suffices.
+	for k, cap := range budget {
+		type ival struct{ s, e int }
+		var ivs []ival
+		for i, op := range d.Ops {
+			if op.Kind == k {
+				ivs = append(ivs, ival{s.Start[i], s.Start[i] + SpecFor(k).Latency})
+			}
+		}
+		for _, a := range ivs {
+			concurrent := 0
+			for _, b := range ivs {
+				if b.s <= a.s && a.s < b.e {
+					concurrent++
+				}
+			}
+			if concurrent > cap {
+				return fmt.Errorf("hw: %v concurrency %d exceeds budget %d", k, concurrent, cap)
+			}
+		}
+	}
+	return nil
+}

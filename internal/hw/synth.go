@@ -1,0 +1,323 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/ml/bayes"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/mlp"
+	"repro/internal/ml/oner"
+	"repro/internal/ml/rules"
+	"repro/internal/ml/tree"
+)
+
+// ClockMHz is the synthesis target clock, matching the paper's HLS runs.
+const ClockMHz = 100.0
+
+// Report is the hardware implementation summary of one trained
+// classifier: the numbers behind the paper's Figures 14 (area), 15
+// (latency) and 16 (accuracy/area).
+type Report struct {
+	Classifier  string
+	Area        Area
+	EquivLUTs   int
+	Cycles      int
+	LatencyNs   float64
+	StorageBits int
+}
+
+// Synthesize lowers a trained classifier to a dataflow design, schedules
+// it, and returns the cost report. Supported types are the repository's
+// classifiers; anything else returns an error.
+func Synthesize(c ml.Classifier) (*Report, error) {
+	var (
+		d      *Design
+		budget Budget
+	)
+	switch m := c.(type) {
+	case *oner.OneR:
+		d, budget = LowerOneR(m)
+	case *tree.J48:
+		d, budget = LowerTree(c.Name(), m.Size(), m.Leaves(), m.Depth())
+	case *tree.REPTree:
+		d, budget = LowerTree(c.Name(), m.Size(), m.Leaves(), m.Depth())
+	case *rules.JRip:
+		d, budget = LowerJRip(m)
+	case *bayes.NaiveBayes:
+		return nil, fmt.Errorf("hw: NaiveBayes synthesis requires dimensions; use SynthesizeBayes")
+	case *linear.Logistic:
+		w := m.Weights()
+		d, budget = LowerDotProductBank(c.Name(), len(w), len(w[0])-1, false)
+	case *linear.SVM:
+		w := m.Weights()
+		d, budget = LowerDotProductBank(c.Name(), len(w), len(w[0])-1, false)
+	case *mlp.MLP:
+		in, hid, out := m.Topology()
+		d, budget = LowerMLP(in, hid, out)
+	default:
+		return nil, fmt.Errorf("hw: no lowering for classifier %T", c)
+	}
+	return reportFor(d, budget)
+}
+
+// SynthesizeBayes lowers a trained Gaussian Naive Bayes given its
+// dimensions (classes, features).
+func SynthesizeBayes(nb *bayes.NaiveBayes, numClasses, dim int) (*Report, error) {
+	if numClasses < 2 || dim < 1 {
+		return nil, fmt.Errorf("hw: bad NaiveBayes dimensions %d classes, %d features", numClasses, dim)
+	}
+	d, budget := LowerBayes(numClasses, dim)
+	return reportFor(d, budget)
+}
+
+// reportFor schedules the design and assembles the cost report.
+func reportFor(d *Design, budget Budget) (*Report, error) {
+	sched, err := ScheduleDesign(d, budget)
+	if err != nil {
+		return nil, err
+	}
+	var area Area
+	for kind, n := range sched.Used {
+		area.Add(AreaOf(kind).Scale(n))
+	}
+	area.Add(StorageArea(d.StorageBits))
+	cyclesNs := float64(sched.Cycles) * 1000 / ClockMHz
+	return &Report{
+		Classifier:  d.Name,
+		Area:        area,
+		EquivLUTs:   area.EquivalentLUTs(),
+		Cycles:      sched.Cycles,
+		LatencyNs:   cyclesNs,
+		StorageBits: d.StorageBits,
+	}, nil
+}
+
+// StorageArea converts model parameter storage to resources: small models
+// live in LUTRAM (64 bits/LUT), larger ones occupy BRAM36 blocks.
+func StorageArea(bits int) Area {
+	if bits <= 0 {
+		return Area{}
+	}
+	if bits <= 4096 {
+		return Area{LUT: (bits + 63) / 64}
+	}
+	return Area{BRAM: (bits + 36863) / 36864}
+}
+
+// LowerOneR builds the 1R datapath: the feature is compared against every
+// interval threshold in parallel, and a priority-encoder tree selects the
+// interval label.
+func LowerOneR(o *oner.OneR) (*Design, Budget) {
+	d := NewDesign("OneR")
+	n := o.NumIntervals()
+	if n < 2 {
+		// Constant rule: a single encoder stage emitting the label.
+		d.AddOp(OpEnc)
+		d.StorageBits = 8
+		return d, nil
+	}
+	cmps := make([]int, n-1)
+	for i := range cmps {
+		cmps[i] = d.AddOp(OpCmp)
+	}
+	d.AddReduceTree(OpEnc, cmps)
+	d.StorageBits = (n-1)*32 + n*8
+	return d, nil
+}
+
+// LowerTree builds a speculative decision-tree datapath: all internal-node
+// comparators fire in parallel, then a mux chain of the tree's depth
+// steers the leaf label — the standard pipelined-tree HLS shape.
+func LowerTree(name string, size, leaves, depth int) (*Design, Budget) {
+	d := NewDesign(name)
+	internal := size - leaves
+	if internal < 1 {
+		d.AddOp(OpEnc)
+		d.StorageBits = 8
+		return d, nil
+	}
+	cmps := make([]int, internal)
+	for i := range cmps {
+		cmps[i] = d.AddOp(OpCmp)
+	}
+	// Depth levels of leaf steering; each level's mux consumes the
+	// previous level and one comparator result.
+	prev := d.AddOp(OpMux, cmps[0])
+	for lvl := 1; lvl < depth; lvl++ {
+		prev = d.AddOp(OpMux, prev, cmps[lvl%len(cmps)])
+	}
+	// One mux instance per internal node exists in the fabric even though
+	// the chain only expresses the critical path; account spatially.
+	for i := 0; i < internal-depth; i++ {
+		d.AddOp(OpMux, cmps[i%len(cmps)])
+	}
+	d.StorageBits = size * 48 // threshold + attribute index + label/edge bits
+	return d, nil
+}
+
+// LowerJRip builds the rule-list datapath: every condition comparator in
+// parallel, an AND-reduce tree per rule, then a priority-encoder chain
+// through the rule list (first match wins).
+func LowerJRip(j *rules.JRip) (*Design, Budget) {
+	d := NewDesign("JRip")
+	rl := j.Rules()
+	if len(rl) == 0 {
+		d.AddOp(OpEnc)
+		d.StorageBits = 8
+		return d, nil
+	}
+	ruleOuts := make([]int, len(rl))
+	conds := 0
+	for i, r := range rl {
+		cmpNodes := make([]int, len(r.Conds))
+		for k := range r.Conds {
+			cmpNodes[k] = d.AddOp(OpCmp)
+		}
+		conds += len(r.Conds)
+		ruleOuts[i] = d.AddReduceTree(OpAnd, cmpNodes)
+	}
+	// Priority chain: encoder i depends on encoder i-1 and rule i.
+	prev := d.AddOp(OpEnc, ruleOuts[0])
+	for i := 1; i < len(ruleOuts); i++ {
+		prev = d.AddOp(OpEnc, prev, ruleOuts[i])
+	}
+	d.StorageBits = conds*40 + (len(rl)+1)*8
+	return d, nil
+}
+
+// LowerBayes builds the Gaussian NB datapath: per class and feature,
+// (x - mu) is squared and scaled, an adder tree accumulates the log
+// densities, and an encoder chain selects the argmax class. Multipliers
+// are time-shared at two per class, an HLS-typical partial unroll.
+func LowerBayes(numClasses, dim int) (*Design, Budget) {
+	d := NewDesign("NaiveBayes")
+	var classScores []int
+	for c := 0; c < numClasses; c++ {
+		terms := make([]int, dim)
+		for f := 0; f < dim; f++ {
+			sub := d.AddOp(OpAdd)
+			sq := d.AddOp(OpMul, sub)
+			scaled := d.AddOp(OpMul, sq)
+			terms[f] = scaled
+		}
+		classScores = append(classScores, d.AddReduceTree(OpAdd, terms))
+	}
+	prev := d.AddOp(OpEnc, classScores[0])
+	for c := 1; c < numClasses; c++ {
+		prev = d.AddOp(OpEnc, prev, classScores[c])
+	}
+	d.StorageBits = numClasses * dim * 2 * 32
+	return d, Budget{OpMul: 2 * numClasses, OpAdd: 2 * numClasses}
+}
+
+// LowerDotProductBank builds the MLR/SVM datapath: one MAC engine per
+// class iterates over the feature vector (DSP48 MACC, II=1), then an
+// encoder chain selects the argmax margin. withSigmoid appends an
+// activation lookup per output (used by the MLP's layers).
+func LowerDotProductBank(name string, numOut, dim int, withSigmoid bool) (*Design, Budget) {
+	d := NewDesign(name)
+	outs := lowerDotLayer(d, numOut, dim, withSigmoid, nil)
+	prev := d.AddOp(OpEnc, outs[0])
+	for c := 1; c < numOut; c++ {
+		prev = d.AddOp(OpEnc, prev, outs[c])
+	}
+	d.StorageBits = numOut * (dim + 1) * 32
+	return d, Budget{OpMAC: numOut}
+}
+
+// lowerDotLayer appends numOut MAC accumulation chains of length dim. If
+// inputs is non-nil, each chain additionally depends on all inputs
+// (layer-to-layer dataflow).
+func lowerDotLayer(d *Design, numOut, dim int, withSigmoid bool, inputs []int) []int {
+	outs := make([]int, numOut)
+	for c := 0; c < numOut; c++ {
+		prev := -1
+		for f := 0; f < dim; f++ {
+			deps := []int{}
+			if prev >= 0 {
+				deps = append(deps, prev)
+			} else if inputs != nil {
+				deps = append(deps, inputs...)
+			}
+			prev = d.AddOp(OpMAC, deps...)
+		}
+		if withSigmoid {
+			prev = d.AddOp(OpSigmoid, prev)
+		}
+		outs[c] = prev
+	}
+	return outs
+}
+
+// LowerMLP builds the two-layer perceptron datapath: a MAC row per hidden
+// neuron with sigmoid lookups, a MAC row per output neuron, and an argmax
+// encoder chain — the classic layer-parallel, input-serial neural
+// accelerator the paper's HLS flow produces.
+func LowerMLP(in, hidden, out int) (*Design, Budget) {
+	d := NewDesign("MLP")
+	hiddenOuts := lowerDotLayer(d, hidden, in, true, nil)
+	outOuts := lowerDotLayer(d, out, hidden, false, hiddenOuts)
+	prev := d.AddOp(OpEnc, outOuts[0])
+	for c := 1; c < out; c++ {
+		prev = d.AddOp(OpEnc, prev, outOuts[c])
+	}
+	d.StorageBits = (hidden*(in+1) + out*(hidden+1)) * 16
+	return d, Budget{OpMAC: hidden + out}
+}
+
+// AccuracyPerArea is the paper's Figure 16 figure of merit: test accuracy
+// (in percent) divided by kilo-LUT-equivalents.
+func AccuracyPerArea(accuracy float64, r *Report) float64 {
+	if r.EquivLUTs == 0 {
+		return math.Inf(1)
+	}
+	return accuracy * 100 / (float64(r.EquivLUTs) / 1000)
+}
+
+// LowerKNN builds the instance-based datapath of a k-NN classifier: a
+// distance engine (one subtract-square MAC pipeline per feature lane,
+// P lanes wide), a running top-k selector, and exemplar memory holding the
+// entire training set. Latency is dominated by streaming all stored
+// exemplars through the engine; area by the exemplar BRAM — the reason
+// instance-based learners lose the embedded-deployment comparison.
+func LowerKNN(stored, dim, k int) (*Design, Budget) {
+	d := NewDesign("KNN")
+	const lanes = 8
+	// Distance accumulation: stored exemplars stream through `lanes`
+	// subtract-square-accumulate pipelines; model the per-exemplar work
+	// as ceil(dim/lanes) dependent MAC steps, chained across exemplars on
+	// the same lane.
+	steps := (dim + lanes - 1) / lanes
+	var last [lanes]int
+	for i := range last {
+		last[i] = -1
+	}
+	for e := 0; e < stored; e++ {
+		lane := e % lanes
+		prev := last[lane]
+		for s := 0; s < steps; s++ {
+			if prev >= 0 {
+				prev = d.AddOp(OpMAC, prev)
+			} else {
+				prev = d.AddOp(OpMAC)
+			}
+		}
+		// Top-k insertion: a comparator against the current k-th best.
+		prev = d.AddOp(OpCmp, prev)
+		last[lane] = prev
+	}
+	// Final vote across the k best: encoder tree.
+	var tails []int
+	for _, t := range last {
+		if t >= 0 {
+			tails = append(tails, t)
+		}
+	}
+	d.AddReduceTree(OpEnc, tails)
+	// Exemplar memory: stored x dim x 32-bit words, plus labels.
+	d.StorageBits = stored*dim*32 + stored*8
+	_ = k
+	return d, Budget{OpMAC: lanes, OpCmp: lanes}
+}

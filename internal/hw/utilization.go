@@ -1,0 +1,64 @@
+package hw
+
+import (
+	"fmt"
+	"io"
+)
+
+// Device describes an FPGA part's resource capacity, for utilization
+// percentages in reports.
+type Device struct {
+	Name               string
+	LUT, FF, DSP, BRAM int
+}
+
+// Artix7_35T is the entry-level part the paper's embedded argument aims
+// at (XC7A35T: 20,800 LUTs, 41,600 FFs, 90 DSP48s, 50 BRAM36s).
+var Artix7_35T = Device{Name: "xc7a35t", LUT: 20800, FF: 41600, DSP: 90, BRAM: 50}
+
+// Kintex7_325T is a mid-range part (XC7K325T).
+var Kintex7_325T = Device{Name: "xc7k325t", LUT: 203800, FF: 407600, DSP: 840, BRAM: 445}
+
+// WriteUtilization renders a Vivado-style utilization summary of the
+// report against the given device.
+func (r *Report) WriteUtilization(w io.Writer, dev Device) error {
+	pct := func(used, avail int) string {
+		if avail <= 0 {
+			return "   n/a"
+		}
+		return fmt.Sprintf("%5.2f%%", 100*float64(used)/float64(avail))
+	}
+	rows := []struct {
+		name        string
+		used, avail int
+	}{
+		{"Slice LUTs", r.Area.LUT, dev.LUT},
+		{"Slice Registers", r.Area.FF, dev.FF},
+		{"DSP48E1", r.Area.DSP, dev.DSP},
+		{"Block RAM (36Kb)", r.Area.BRAM, dev.BRAM},
+	}
+	fmt.Fprintf(w, "+--------------------------------------------------------------+\n")
+	fmt.Fprintf(w, "| Utilization report — %-18s  target %-10s      |\n", r.Classifier, dev.Name)
+	fmt.Fprintf(w, "+---------------------+------------+------------+--------------+\n")
+	fmt.Fprintf(w, "| %-19s | %10s | %10s | %12s |\n", "Resource", "Used", "Available", "Utilization")
+	fmt.Fprintf(w, "+---------------------+------------+------------+--------------+\n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "| %-19s | %10d | %10d | %12s |\n",
+			row.name, row.used, row.avail, pct(row.used, row.avail))
+	}
+	fmt.Fprintf(w, "+---------------------+------------+------------+--------------+\n")
+	fmt.Fprintf(w, "| Timing: %4d cycles @ %3.0f MHz = %8.0f ns latency           |\n",
+		r.Cycles, ClockMHz, r.LatencyNs)
+	pw := EstimatePower(r, 1)
+	fmt.Fprintf(w, "| Power:  %6.2f mW dynamic + %6.2f mW static                  |\n",
+		pw.DynamicMW, pw.StaticMW)
+	fmt.Fprintf(w, "| Model storage: %8d bits                                  |\n", r.StorageBits)
+	_, err := fmt.Fprintf(w, "+--------------------------------------------------------------+\n")
+	return err
+}
+
+// Fits reports whether the design fits the device.
+func (r *Report) Fits(dev Device) bool {
+	return r.Area.LUT <= dev.LUT && r.Area.FF <= dev.FF &&
+		r.Area.DSP <= dev.DSP && r.Area.BRAM <= dev.BRAM
+}

@@ -1,0 +1,151 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi rotation method. It returns the eigenvalues in
+// descending order and the corresponding eigenvectors as the columns of the
+// returned matrix (vectors[:, k] pairs with values[k]).
+//
+// The input must be square and symmetric to within a small tolerance;
+// EigenSym returns an error otherwise. Jacobi iteration is unconditionally
+// stable for symmetric input and converges quadratically, which is more
+// than enough for the <=64-dimensional covariance matrices used by PCA.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, nil, fmt.Errorf("mat: EigenSym on non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	// Symmetry check with a tolerance proportional to the matrix scale.
+	scale := 0.0
+	for _, v := range a.Data {
+		scale = math.Max(scale, math.Abs(v))
+	}
+	tol := 1e-9 * math.Max(scale, 1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > tol {
+				return nil, nil, fmt.Errorf("mat: EigenSym on asymmetric matrix: a[%d,%d]=%g a[%d,%d]=%g",
+					i, j, a.At(i, j), j, i, a.At(j, i))
+			}
+		}
+	}
+
+	w := a.Clone() // working copy, driven to diagonal form
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off <= 1e-14*math.Max(scale, 1) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app := w.At(p, p)
+				aqq := w.At(q, q)
+				// Compute the rotation that zeroes w[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := range values {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	// Fix sign convention: largest-magnitude component of each vector is
+	// positive, so results are reproducible across runs and platforms.
+	for col := 0; col < n; col++ {
+		maxAbs, maxVal := 0.0, 0.0
+		for r := 0; r < n; r++ {
+			x := sortedVecs.At(r, col)
+			if math.Abs(x) > maxAbs {
+				maxAbs = math.Abs(x)
+				maxVal = x
+			}
+		}
+		if maxVal < 0 {
+			for r := 0; r < n; r++ {
+				sortedVecs.Set(r, col, -sortedVecs.At(r, col))
+			}
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// rotate applies a Jacobi rotation in the (p, q) plane to w and accumulates
+// it into the eigenvector matrix v.
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for k := 0; k < n; k++ {
+		wkp := w.At(k, p)
+		wkq := w.At(k, q)
+		w.Set(k, p, c*wkp-s*wkq)
+		w.Set(k, q, s*wkp+c*wkq)
+	}
+	for k := 0; k < n; k++ {
+		wpk := w.At(p, k)
+		wqk := w.At(q, k)
+		w.Set(p, k, c*wpk-s*wqk)
+		w.Set(q, k, s*wpk+c*wqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp := v.At(k, p)
+		vkq := v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	s := 0.0
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

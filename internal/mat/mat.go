@@ -1,0 +1,287 @@
+// Package mat implements the small dense linear-algebra kernel needed by the
+// detection pipeline: matrices, vectors, covariance, standardization, and a
+// Jacobi eigendecomposition for symmetric matrices (the heart of PCA).
+//
+// The package is self-contained (stdlib only) and favors clarity over raw
+// throughput; the matrices in this project are at most a few tens of columns
+// wide, so O(n^3) algorithms with good constants are entirely adequate.
+package mat
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zeroed r x c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic("mat: negative dimension")
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(len(rows), c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("mat: ragged row %d: len %d != %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("mat: index (%d,%d) out of bounds %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic("mat: row index out of bounds")
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic("mat: column index out of bounds")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	out := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Data[j*out.Cols+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return out
+}
+
+// Mul returns m * b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %dx%d * %dx%d",
+			m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Data[i*m.Cols : (i+1)*m.Cols]
+		oi := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, mik := range mi {
+			if mik == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bkj := range bk {
+				oi[j] += mik * bkj
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m * v as a new vector.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		s := 0.0
+		for j, x := range row {
+			s += x * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%10.4f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ColMeans returns the per-column means of m.
+func (m *Matrix) ColMeans() []float64 {
+	means := make([]float64, m.Cols)
+	if m.Rows == 0 {
+		return means
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	inv := 1 / float64(m.Rows)
+	for j := range means {
+		means[j] *= inv
+	}
+	return means
+}
+
+// ColStddevs returns the per-column sample standard deviations of m
+// (denominator n-1). Columns with zero variance report 0.
+func (m *Matrix) ColStddevs() []float64 {
+	sd := make([]float64, m.Cols)
+	if m.Rows < 2 {
+		return sd
+	}
+	means := m.ColMeans()
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			d := v - means[j]
+			sd[j] += d * d
+		}
+	}
+	inv := 1 / float64(m.Rows-1)
+	for j := range sd {
+		sd[j] = math.Sqrt(sd[j] * inv)
+	}
+	return sd
+}
+
+// Standardize returns a copy of m with each column shifted to zero mean and
+// scaled to unit variance, along with the means and stddevs used. Columns
+// with zero variance are centered but left unscaled.
+func (m *Matrix) Standardize() (z *Matrix, means, stddevs []float64) {
+	means = m.ColMeans()
+	stddevs = m.ColStddevs()
+	z = NewMatrix(m.Rows, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		src := m.Row(i)
+		dst := z.Row(i)
+		for j, v := range src {
+			d := v - means[j]
+			if stddevs[j] > 0 {
+				d /= stddevs[j]
+			}
+			dst[j] = d
+		}
+	}
+	return z, means, stddevs
+}
+
+// Covariance returns the sample covariance matrix (denominator n-1) of the
+// columns of m. The result is Cols x Cols and symmetric.
+func (m *Matrix) Covariance() *Matrix {
+	c := NewMatrix(m.Cols, m.Cols)
+	if m.Rows < 2 {
+		return c
+	}
+	means := m.ColMeans()
+	centered := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range centered {
+			centered[j] = row[j] - means[j]
+		}
+		for a := 0; a < m.Cols; a++ {
+			ca := centered[a]
+			if ca == 0 {
+				continue
+			}
+			base := a * m.Cols
+			for b := a; b < m.Cols; b++ {
+				c.Data[base+b] += ca * centered[b]
+			}
+		}
+	}
+	inv := 1 / float64(m.Rows-1)
+	for a := 0; a < m.Cols; a++ {
+		for b := a; b < m.Cols; b++ {
+			v := c.Data[a*m.Cols+b] * inv
+			c.Data[a*m.Cols+b] = v
+			c.Data[b*m.Cols+a] = v
+		}
+	}
+	return c
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	return math.Sqrt(Dot(v, v))
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: AXPY length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}

@@ -1,0 +1,368 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(2, 3, 7.5)
+	if m.At(2, 3) != 7.5 {
+		t.Fatalf("At(2,3) = %v, want 7.5", m.At(2, 3))
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("fresh matrix not zeroed")
+	}
+}
+
+func TestFromRowsAndRowCol(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("bad shape %dx%d", m.Rows, m.Cols)
+	}
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 || c[2] != 6 {
+		t.Fatalf("Col(1) = %v", c)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want.At(i, j) {
+				t.Fatalf("Mul mismatch at (%d,%d): got %v want %v", i, j, c.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	r := rng.New(1)
+	a := NewMatrix(5, 5)
+	for i := range a.Data {
+		a.Data[i] = r.Normal(0, 1)
+	}
+	p := a.Mul(Identity(5))
+	for i := range a.Data {
+		if !approx(p.Data[i], a.Data[i], 1e-12) {
+			t.Fatal("A * I != A")
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	v := a.MulVec([]float64{1, 2, 3})
+	if v[0] != 7 || v[1] != 6 {
+		t.Fatalf("MulVec = %v", v)
+	}
+}
+
+func TestColMeansStddevs(t *testing.T) {
+	m := FromRows([][]float64{{1, 10}, {2, 10}, {3, 10}})
+	means := m.ColMeans()
+	if !approx(means[0], 2, 1e-12) || !approx(means[1], 10, 1e-12) {
+		t.Fatalf("means = %v", means)
+	}
+	sd := m.ColStddevs()
+	if !approx(sd[0], 1, 1e-12) {
+		t.Fatalf("stddev[0] = %v, want 1", sd[0])
+	}
+	if sd[1] != 0 {
+		t.Fatalf("constant column stddev = %v, want 0", sd[1])
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	r := rng.New(2)
+	m := NewMatrix(200, 3)
+	for i := 0; i < 200; i++ {
+		m.Set(i, 0, r.Normal(5, 2))
+		m.Set(i, 1, r.Normal(-3, 0.5))
+		m.Set(i, 2, 42) // constant column
+	}
+	z, _, _ := m.Standardize()
+	means := z.ColMeans()
+	sd := z.ColStddevs()
+	for j := 0; j < 2; j++ {
+		if !approx(means[j], 0, 1e-9) {
+			t.Fatalf("standardized mean[%d] = %v", j, means[j])
+		}
+		if !approx(sd[j], 1, 1e-9) {
+			t.Fatalf("standardized stddev[%d] = %v", j, sd[j])
+		}
+	}
+	if !approx(means[2], 0, 1e-9) || sd[2] != 0 {
+		t.Fatalf("constant column not centered: mean=%v sd=%v", means[2], sd[2])
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Perfectly correlated columns: cov = var.
+	m := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	c := m.Covariance()
+	if !approx(c.At(0, 0), 1, 1e-12) {
+		t.Fatalf("var(x) = %v, want 1", c.At(0, 0))
+	}
+	if !approx(c.At(1, 1), 4, 1e-12) {
+		t.Fatalf("var(y) = %v, want 4", c.At(1, 1))
+	}
+	if !approx(c.At(0, 1), 2, 1e-12) || !approx(c.At(1, 0), 2, 1e-12) {
+		t.Fatalf("cov(x,y) = %v/%v, want 2", c.At(0, 1), c.At(1, 0))
+	}
+}
+
+func TestCovarianceSymmetric(t *testing.T) {
+	r := rng.New(3)
+	m := NewMatrix(100, 6)
+	for i := range m.Data {
+		m.Data[i] = r.Normal(0, 3)
+	}
+	c := m.Covariance()
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if !approx(c.At(i, j), c.At(j, i), 1e-12) {
+				t.Fatal("covariance not symmetric")
+			}
+		}
+		if c.At(i, i) < 0 {
+			t.Fatal("negative variance on diagonal")
+		}
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i, w := range want {
+		if !approx(vals[i], w, 1e-10) {
+			t.Fatalf("eigenvalue[%d] = %v, want %v", i, vals[i], w)
+		}
+	}
+	// Each eigenvector must be a unit basis vector here.
+	for col := 0; col < 3; col++ {
+		nrm := 0.0
+		for r := 0; r < 3; r++ {
+			nrm += vecs.At(r, col) * vecs.At(r, col)
+		}
+		if !approx(nrm, 1, 1e-10) {
+			t.Fatalf("eigenvector %d not unit norm: %v", col, nrm)
+		}
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(vals[0], 3, 1e-10) || !approx(vals[1], 1, 1e-10) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Leading eigenvector is (1,1)/sqrt(2) up to sign; sign convention
+	// makes the largest component positive.
+	s := 1 / math.Sqrt(2)
+	if !approx(vecs.At(0, 0), s, 1e-9) || !approx(vecs.At(1, 0), s, 1e-9) {
+		t.Fatalf("leading eigenvector = (%v,%v)", vecs.At(0, 0), vecs.At(1, 0))
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	r := rng.New(5)
+	n := 8
+	// Build a random symmetric matrix.
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.Normal(0, 1)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check A*v = lambda*v for each eigenpair.
+	for col := 0; col < n; col++ {
+		v := vecs.Col(col)
+		av := a.MulVec(v)
+		for i := 0; i < n; i++ {
+			if !approx(av[i], vals[col]*v[i], 1e-7) {
+				t.Fatalf("A*v != lambda*v for pair %d: %v vs %v", col, av[i], vals[col]*v[i])
+			}
+		}
+	}
+	// Eigenvalues must be sorted descending.
+	for i := 1; i < n; i++ {
+		if vals[i] > vals[i-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+	}
+	// Eigenvectors must be orthonormal.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d := Dot(vecs.Col(i), vecs.Col(j))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !approx(d, want, 1e-8) {
+				t.Fatalf("eigenvectors %d,%d not orthonormal: dot=%v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestEigenSymTraceInvariant(t *testing.T) {
+	r := rng.New(7)
+	n := 10
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.Normal(0, 2)
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, sum := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		trace += a.At(i, i)
+		sum += vals[i]
+	}
+	if !approx(trace, sum, 1e-8) {
+		t.Fatalf("trace %v != eigenvalue sum %v", trace, sum)
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Fatal("EigenSym accepted asymmetric matrix")
+	}
+}
+
+func TestEigenSymRejectsNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, _, err := EigenSym(a); err == nil {
+		t.Fatal("EigenSym accepted non-square matrix")
+	}
+}
+
+func TestDotNormAxpyScale(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	if !approx(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2(3,4) != 5")
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	if y[0] != 3 || y[1] != 5 || y[2] != 7 {
+		t.Fatalf("AXPY = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 1.5 || y[1] != 2.5 || y[2] != 3.5 {
+		t.Fatalf("Scale = %v", y)
+	}
+}
+
+// Property: covariance matrices of random data are always PSD (all Jacobi
+// eigenvalues >= -epsilon).
+func TestCovariancePSDProperty(t *testing.T) {
+	r := rng.New(11)
+	f := func(seed uint16) bool {
+		src := rng.New(uint64(seed) + 1)
+		m := NewMatrix(30, 4)
+		for i := range m.Data {
+			m.Data[i] = src.Normal(0, 1+float64(seed%5))
+		}
+		vals, _, err := EigenSym(m.Covariance())
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if v < -1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	_ = r
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A^T)^T == A.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		src := rng.New(uint64(seed))
+		rows := int(seed%5) + 1
+		cols := int(seed%7) + 1
+		m := NewMatrix(rows, cols)
+		for i := range m.Data {
+			m.Data[i] = src.Normal(0, 1)
+		}
+		tt := m.T().T()
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Inverse returns the inverse of a square matrix via Gauss-Jordan
+// elimination with partial pivoting. It returns an error when the matrix
+// is singular to working precision.
+func Inverse(a *Matrix) (*Matrix, error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, fmt.Errorf("mat: Inverse of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	// Augmented [A | I], reduced in place.
+	w := a.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(w.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("mat: singular matrix (pivot %d ~ %g)", col, best)
+		}
+		if pivot != col {
+			swapRows(w, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Normalize pivot row.
+		p := w.At(col, col)
+		Scale(1/p, w.Row(col))
+		Scale(1/p, inv.Row(col))
+		// Eliminate the column elsewhere.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := w.At(r, col)
+			if f == 0 {
+				continue
+			}
+			AXPY(-f, w.Row(col), w.Row(r))
+			AXPY(-f, inv.Row(col), inv.Row(r))
+		}
+	}
+	return inv, nil
+}
+
+// InverseRidge returns (A + lambda*I)^-1, the ridge-regularized inverse
+// used when A is a possibly ill-conditioned covariance matrix.
+func InverseRidge(a *Matrix, lambda float64) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("mat: InverseRidge of non-square matrix")
+	}
+	w := a.Clone()
+	for i := 0; i < w.Rows; i++ {
+		w.Set(i, i, w.At(i, i)+lambda)
+	}
+	return Inverse(w)
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}

@@ -1,0 +1,89 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestInverseKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{0.6, -0.7}, {-0.2, 0.4}})
+	for i := range want.Data {
+		if math.Abs(inv.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("inverse mismatch:\n%v", inv)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	n := 6
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = src.Normal(0, 1)
+	}
+	// Diagonal dominance keeps it well-conditioned.
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+5)
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-9 {
+				t.Fatalf("A*A^-1 != I at (%d,%d): %v", i, j, prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(a); err == nil {
+		t.Fatal("accepted singular matrix")
+	}
+	if _, err := Inverse(NewMatrix(2, 3)); err == nil {
+		t.Fatal("accepted non-square matrix")
+	}
+}
+
+func TestInverseRidgeRegularizes(t *testing.T) {
+	// Singular without ridge, invertible with it.
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	inv, err := InverseRidge(a, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (A + lambda I) * inv == I.
+	reg := a.Clone()
+	reg.Set(0, 0, reg.At(0, 0)+0.1)
+	reg.Set(1, 1, reg.At(1, 1)+0.1)
+	prod := reg.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(prod.At(i, j)-want) > 1e-9 {
+				t.Fatal("ridge inverse wrong")
+			}
+		}
+	}
+	if _, err := InverseRidge(NewMatrix(2, 3), 0.1); err == nil {
+		t.Fatal("accepted non-square matrix")
+	}
+}

@@ -1,0 +1,94 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// SVDResult holds a thin singular value decomposition A = U S V^T.
+type SVDResult struct {
+	// S holds the singular values in descending order.
+	S []float64
+	// V holds the right singular vectors as columns (attributes space).
+	V *Matrix
+	// U holds the left singular vectors as columns (instances space),
+	// one column per nonzero singular value.
+	U *Matrix
+}
+
+// SVD computes the thin singular value decomposition of a (rows >= 1,
+// cols >= 1) via the eigendecomposition of the Gram matrix A^T A — exact
+// for the small attribute counts this repository uses, and the approach
+// HPCMalHunter-style feature selection (thesis reference [2]) takes on
+// HPC vector streams.
+func SVD(a *Matrix) (*SVDResult, error) {
+	if a.Rows < 1 || a.Cols < 1 {
+		return nil, fmt.Errorf("mat: SVD of empty matrix")
+	}
+	gram := a.T().Mul(a) // cols x cols, symmetric PSD
+	vals, vecs, err := EigenSym(gram)
+	if err != nil {
+		return nil, fmt.Errorf("mat: SVD eigen step: %w", err)
+	}
+	s := make([]float64, len(vals))
+	for i, v := range vals {
+		if v < 0 {
+			v = 0
+		}
+		s[i] = math.Sqrt(v)
+	}
+	// U = A V S^-1 for nonzero singular values.
+	u := NewMatrix(a.Rows, a.Cols)
+	av := a.Mul(vecs)
+	for j := 0; j < a.Cols; j++ {
+		if s[j] <= 1e-12 {
+			continue
+		}
+		for i := 0; i < a.Rows; i++ {
+			u.Set(i, j, av.At(i, j)/s[j])
+		}
+	}
+	return &SVDResult{S: s, V: vecs, U: u}, nil
+}
+
+// Rank returns the numerical rank at the given relative tolerance
+// (fraction of the largest singular value; 0 means 1e-10).
+func (r *SVDResult) Rank(relTol float64) int {
+	if relTol <= 0 {
+		relTol = 1e-10
+	}
+	if len(r.S) == 0 || r.S[0] == 0 {
+		return 0
+	}
+	cut := r.S[0] * relTol
+	n := 0
+	for _, v := range r.S {
+		if v > cut {
+			n++
+		}
+	}
+	return n
+}
+
+// EnergyFraction returns the fraction of squared Frobenius norm captured
+// by the first k singular values.
+func (r *SVDResult) EnergyFraction(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > len(r.S) {
+		k = len(r.S)
+	}
+	total, head := 0.0, 0.0
+	for i, v := range r.S {
+		e := v * v
+		total += e
+		if i < k {
+			head += e
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return head / total
+}

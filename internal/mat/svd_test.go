@@ -1,0 +1,94 @@
+package mat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSVDReconstruction(t *testing.T) {
+	src := rng.New(1)
+	a := NewMatrix(20, 5)
+	for i := range a.Data {
+		a.Data[i] = src.Normal(0, 2)
+	}
+	r, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild A = U S V^T and compare.
+	us := NewMatrix(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			us.Set(i, j, r.U.At(i, j)*r.S[j])
+		}
+	}
+	rebuilt := us.Mul(r.V.T())
+	for i := range a.Data {
+		if math.Abs(rebuilt.Data[i]-a.Data[i]) > 1e-6 {
+			t.Fatalf("reconstruction error at %d: %v vs %v", i, rebuilt.Data[i], a.Data[i])
+		}
+	}
+	// Singular values descending, non-negative.
+	for i := range r.S {
+		if r.S[i] < 0 {
+			t.Fatal("negative singular value")
+		}
+		if i > 0 && r.S[i] > r.S[i-1]+1e-12 {
+			t.Fatal("singular values not descending")
+		}
+	}
+	// U columns orthonormal (full rank case).
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < a.Cols; j++ {
+			d := Dot(r.U.Col(i), r.U.Col(j))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(d-want) > 1e-8 {
+				t.Fatalf("U columns %d,%d not orthonormal: %v", i, j, d)
+			}
+		}
+	}
+}
+
+func TestSVDKnownValues(t *testing.T) {
+	// Diagonal matrix: singular values are the absolute diagonal entries.
+	a := FromRows([][]float64{{3, 0}, {0, -4}})
+	r, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.S[0]-4) > 1e-9 || math.Abs(r.S[1]-3) > 1e-9 {
+		t.Fatalf("singular values %v, want [4 3]", r.S)
+	}
+}
+
+func TestSVDRankAndEnergy(t *testing.T) {
+	// Rank-1 matrix.
+	a := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	r, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rank(0) != 1 {
+		t.Fatalf("rank %d, want 1", r.Rank(0))
+	}
+	if e := r.EnergyFraction(1); math.Abs(e-1) > 1e-9 {
+		t.Fatalf("rank-1 energy %v, want 1", e)
+	}
+	if r.EnergyFraction(0) != 0 {
+		t.Fatal("EnergyFraction(0) != 0")
+	}
+	if e := r.EnergyFraction(99); math.Abs(e-1) > 1e-9 {
+		t.Fatal("clamped energy != 1")
+	}
+}
+
+func TestSVDEmpty(t *testing.T) {
+	if _, err := SVD(NewMatrix(0, 0)); err == nil {
+		t.Fatal("accepted empty matrix")
+	}
+}

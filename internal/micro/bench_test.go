@@ -1,0 +1,33 @@
+package micro
+
+import "testing"
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := MustCache("bench", 32<<10, 8, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64) & 0xfffff)
+	}
+}
+
+func BenchmarkBranchPredict(b *testing.B) {
+	bp := NewBranchPredictor(14, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bp.Predict(uint64(i&1023)*4, i&7 != 0)
+	}
+}
+
+func BenchmarkExecuteBlock(b *testing.B) {
+	m := NewMachine(DefaultConfig(), 1)
+	blk := smallBlock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ExecuteBlock(blk, 1000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Report simulated instructions per second.
+	b.ReportMetric(float64(b.N)*1000/b.Elapsed().Seconds(), "instr/s")
+}

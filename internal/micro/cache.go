@@ -1,0 +1,251 @@
+// Package micro implements the microarchitectural substrate of the
+// reproduction: set-associative caches, TLBs, a gshare branch predictor and
+// a core model that turns abstract instruction-block descriptors into
+// hardware event counts.
+//
+// The paper measured real Haswell hardware through Linux perf; we replace
+// the silicon with structural models so that the 16 HPC features the
+// detector consumes arise from actual cache/branch/TLB mechanics reacting
+// to workload behaviour (footprints, strides, branch entropy), not from
+// hand-painted numbers. See DESIGN.md for the substitution argument.
+package micro
+
+import "fmt"
+
+// Cache is a set-associative cache with true-LRU replacement.
+// Tags are stored per way; LRU state is an age stamp from a monotonically
+// increasing access counter.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	lineBits uint // log2(line size)
+	setMask  uint64
+
+	tags  []uint64 // sets*ways
+	valid []bool
+	age   []uint64
+	clock uint64
+
+	prefetchNext bool
+
+	// Statistics since last Reset.
+	Accesses uint64
+	Misses   uint64
+	// Prefetches counts next-line prefetch requests issued on demand
+	// misses (when the prefetcher is enabled); PrefetchMisses counts the
+	// subset that actually had to fill (were not already resident).
+	Prefetches     uint64
+	PrefetchMisses uint64
+	PrefetchUseful uint64
+	prefetched     map[uint64]bool // lines resident due to prefetch, not yet demanded
+}
+
+// NewCache builds a cache with the given total size, associativity, and
+// line size, all in bytes. Size must be divisible by ways*lineSize and the
+// resulting set count must be a power of two.
+func NewCache(name string, size, ways, lineSize int) (*Cache, error) {
+	if size <= 0 || ways <= 0 || lineSize <= 0 {
+		return nil, fmt.Errorf("micro: cache %q: non-positive geometry", name)
+	}
+	if size%(ways*lineSize) != 0 {
+		return nil, fmt.Errorf("micro: cache %q: size %d not divisible by ways*line %d",
+			name, size, ways*lineSize)
+	}
+	sets := size / (ways * lineSize)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("micro: cache %q: set count %d not a power of two", name, sets)
+	}
+	if lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("micro: cache %q: line size %d not a power of two", name, lineSize)
+	}
+	lb := uint(0)
+	for 1<<lb < lineSize {
+		lb++
+	}
+	return &Cache{
+		name:     name,
+		sets:     sets,
+		ways:     ways,
+		lineBits: lb,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, sets*ways),
+		valid:    make([]bool, sets*ways),
+		age:      make([]uint64, sets*ways),
+	}, nil
+}
+
+// MustCache is NewCache that panics on configuration error; used for the
+// fixed, known-good machine configurations in this package.
+func MustCache(name string, size, ways, lineSize int) *Cache {
+	c, err := NewCache(name, size, ways, lineSize)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// EnablePrefetcher turns on the next-line prefetcher: every demand miss
+// also fills the sequentially next line, the dominant hardware prefetch
+// policy for streaming access patterns.
+func (c *Cache) EnablePrefetcher() {
+	c.prefetchNext = true
+	if c.prefetched == nil {
+		c.prefetched = make(map[uint64]bool)
+	}
+}
+
+// Access looks up addr, fills on miss, and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineBits
+	hit := c.lookupFill(line, false)
+	if !hit && c.prefetchNext {
+		c.Prefetches++
+		if !c.lookupFill(line+1, true) {
+			c.PrefetchMisses++
+		}
+	}
+	return hit
+}
+
+// lookupFill performs the set lookup and fill-on-miss for a line address.
+// Demand accesses update the access/miss statistics; prefetch fills do
+// not (they have their own counters at the call site).
+func (c *Cache) lookupFill(line uint64, prefetch bool) bool {
+	c.clock++
+	if !prefetch {
+		c.Accesses++
+	}
+	set := int(line & c.setMask)
+	tag := line
+	base := set * c.ways
+
+	victim := base
+	oldest := ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.age[i] = c.clock
+			if !prefetch && c.prefetched != nil && c.prefetched[line] {
+				c.PrefetchUseful++
+				delete(c.prefetched, line)
+			}
+			return true
+		}
+		if !c.valid[i] {
+			victim = i
+			oldest = 0
+		} else if c.age[i] < oldest {
+			victim = i
+			oldest = c.age[i]
+		}
+	}
+	if !prefetch {
+		c.Misses++
+	}
+	if c.prefetched != nil {
+		delete(c.prefetched, c.tags[victim])
+		if prefetch {
+			c.prefetched[line] = true
+		}
+	}
+	c.tags[victim] = tag
+	c.valid[victim] = true
+	c.age[victim] = c.clock
+	return false
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return 1 << c.lineBits }
+
+// SizeBytes returns the total capacity in bytes.
+func (c *Cache) SizeBytes() int { return c.sets * c.ways * c.LineSize() }
+
+// MissRate returns Misses/Accesses, or 0 with no accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// ResetStats clears the access/miss counters but keeps cache contents,
+// modelling a counter read-and-clear without disturbing the hierarchy.
+func (c *Cache) ResetStats() {
+	c.Accesses = 0
+	c.Misses = 0
+	c.Prefetches = 0
+	c.PrefetchMisses = 0
+	c.PrefetchUseful = 0
+}
+
+// Flush invalidates all lines and clears statistics (e.g. a fresh
+// container/machine per measured sample).
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.age[i] = 0
+	}
+	c.clock = 0
+	if c.prefetched != nil {
+		c.prefetched = make(map[uint64]bool)
+	}
+	c.ResetStats()
+}
+
+// TLB is a fully-associative translation lookaside buffer over fixed-size
+// pages with LRU replacement, reusing the cache machinery with one set.
+type TLB struct {
+	cache    *Cache
+	pageBits uint
+}
+
+// NewTLB builds a TLB with the given number of entries and page size.
+func NewTLB(name string, entries, pageSize int) (*TLB, error) {
+	if entries <= 0 || pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return nil, fmt.Errorf("micro: tlb %q: bad geometry entries=%d page=%d", name, entries, pageSize)
+	}
+	// One set, `entries` ways, "line size" of one byte: we feed it page
+	// numbers directly, so spatial locality inside a page maps to one tag.
+	c, err := NewCache(name, entries, entries, 1)
+	if err != nil {
+		return nil, err
+	}
+	pb := uint(0)
+	for 1<<pb < pageSize {
+		pb++
+	}
+	return &TLB{cache: c, pageBits: pb}, nil
+}
+
+// MustTLB is NewTLB that panics on configuration error.
+func MustTLB(name string, entries, pageSize int) *TLB {
+	t, err := NewTLB(name, entries, pageSize)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Access translates addr and reports whether the translation hit.
+func (t *TLB) Access(addr uint64) bool {
+	return t.cache.Access(addr >> t.pageBits)
+}
+
+// Accesses returns the number of lookups since the last reset.
+func (t *TLB) Accesses() uint64 { return t.cache.Accesses }
+
+// Misses returns the number of misses since the last reset.
+func (t *TLB) Misses() uint64 { return t.cache.Misses }
+
+// ResetStats clears counters, keeping TLB contents.
+func (t *TLB) ResetStats() { t.cache.ResetStats() }
+
+// Flush invalidates all entries.
+func (t *TLB) Flush() { t.cache.Flush() }

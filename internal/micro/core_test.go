@@ -1,0 +1,320 @@
+package micro
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// smallBlock returns a well-formed block for tests.
+func smallBlock() Block {
+	return Block{
+		LoadFrac:        0.25,
+		StoreFrac:       0.10,
+		BranchFrac:      0.20,
+		DataFootprint:   8 << 10,
+		DataStride:      64,
+		DataRandomFrac:  0.1,
+		CodeFootprint:   4 << 10,
+		CodeJumpFrac:    0.05,
+		BranchTakenProb: 0.6,
+		BranchEntropy:   0.3,
+	}
+}
+
+func TestExecuteBlockCounts(t *testing.T) {
+	m := NewMachine(DefaultConfig(), 1)
+	c, err := m.ExecuteBlock(smallBlock(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Instructions != 100000 {
+		t.Fatalf("instructions = %d", c.Instructions)
+	}
+	// Mix fractions are enforced by Bresenham scheduling: exact to +-1.
+	if d := int64(c.L1DCacheLoads) - 25000; d < -1 || d > 1 {
+		t.Fatalf("loads = %d, want ~25000", c.L1DCacheLoads)
+	}
+	if d := int64(c.L1DCacheStores) - 10000; d < -1 || d > 1 {
+		t.Fatalf("stores = %d, want ~10000", c.L1DCacheStores)
+	}
+	if d := int64(c.BranchInstructions) - 20000; d < -1 || d > 1 {
+		t.Fatalf("branches = %d, want ~20000", c.BranchInstructions)
+	}
+	// One fetch per 16 bytes at 4 B/instruction = n/4.
+	if d := int64(c.L1ICacheLoads) - 25000; d < -2 || d > 2 {
+		t.Fatalf("ifetches = %d, want ~25000", c.L1ICacheLoads)
+	}
+	if c.Cycles == 0 || c.BusCycles == 0 {
+		t.Fatal("timing model produced zero cycles")
+	}
+	if c.Cycles < c.BusCycles {
+		t.Fatal("core cycles fewer than bus cycles")
+	}
+}
+
+func TestExecuteBlockHierarchyInvariants(t *testing.T) {
+	m := NewMachine(DefaultConfig(), 2)
+	b := smallBlock()
+	b.DataFootprint = 2 << 20 // big footprint → real LLC traffic
+	b.DataRandomFrac = 0.8
+	c, err := m.ExecuteBlock(b, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.L1DCacheLoadMisses > c.L1DCacheLoads {
+		t.Fatal("more L1D load misses than loads")
+	}
+	if c.LLCLoadMisses > c.LLCLoads {
+		t.Fatal("more LLC load misses than LLC loads")
+	}
+	if c.CacheMisses > c.CacheReferences {
+		t.Fatal("more cache-misses than cache-references")
+	}
+	if c.BranchMisses > c.BranchInstructions {
+		t.Fatal("more branch misses than branches")
+	}
+	if c.NodeLoads != c.LLCLoadMisses {
+		t.Fatalf("node-loads %d != LLC load misses %d", c.NodeLoads, c.LLCLoadMisses)
+	}
+	if c.NodeStores != c.LLCStoreMisses {
+		t.Fatalf("node-stores %d != LLC store misses %d", c.NodeStores, c.LLCStoreMisses)
+	}
+	if c.LLCLoadMisses == 0 {
+		t.Fatal("2 MB random footprint produced zero LLC misses on scaled machine")
+	}
+}
+
+func TestFootprintDrivesMissRate(t *testing.T) {
+	cfg := DefaultConfig()
+	small := NewMachine(cfg, 3)
+	big := NewMachine(cfg, 3)
+
+	bSmall := smallBlock()
+	bSmall.DataFootprint = 1 << 10 // fits in L1D
+	bSmall.DataRandomFrac = 1
+
+	bBig := bSmall
+	bBig.DataFootprint = 1 << 20 // blows through LLC
+
+	// Warm up, then measure.
+	if _, err := small.ExecuteBlock(bSmall, 50000); err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := small.ExecuteBlock(bSmall, 100000)
+	if _, err := big.ExecuteBlock(bBig, 50000); err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := big.ExecuteBlock(bBig, 100000)
+
+	rs := float64(cs.L1DCacheLoadMisses) / float64(cs.L1DCacheLoads)
+	rb := float64(cb.L1DCacheLoadMisses) / float64(cb.L1DCacheLoads)
+	if rs >= rb {
+		t.Fatalf("small footprint L1D miss rate %v not below big footprint %v", rs, rb)
+	}
+	if cb.NodeLoads == 0 {
+		t.Fatal("big footprint generated no memory traffic")
+	}
+	if cs.NodeLoads > cb.NodeLoads/10 {
+		t.Fatalf("small footprint node loads %d not ≪ big %d", cs.NodeLoads, cb.NodeLoads)
+	}
+}
+
+func TestBranchEntropyDrivesMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	predictable := NewMachine(cfg, 4)
+	random := NewMachine(cfg, 4)
+
+	bp := smallBlock()
+	bp.BranchEntropy = 0
+	br := smallBlock()
+	br.BranchEntropy = 1
+	br.BranchTakenProb = 0.5
+
+	predictable.ExecuteBlock(bp, 50000) // warmup
+	cp, _ := predictable.ExecuteBlock(bp, 200000)
+	random.ExecuteBlock(br, 50000)
+	cr, _ := random.ExecuteBlock(br, 200000)
+
+	rp := float64(cp.BranchMisses) / float64(cp.BranchInstructions)
+	rr := float64(cr.BranchMisses) / float64(cr.BranchInstructions)
+	if rp >= rr/2 {
+		t.Fatalf("predictable mispredict rate %v not ≪ random %v", rp, rr)
+	}
+	if rr < 0.3 {
+		t.Fatalf("fully random branches mispredict rate %v, want >= 0.3", rr)
+	}
+}
+
+func TestCodeFootprintDrivesICacheMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	hot := NewMachine(cfg, 5)
+	cold := NewMachine(cfg, 5)
+
+	bh := smallBlock()
+	bh.CodeFootprint = 1 << 10 // fits L1I
+	bc := smallBlock()
+	bc.CodeFootprint = 256 << 10
+	bc.CodeJumpFrac = 0.5
+
+	hot.ExecuteBlock(bh, 50000)
+	ch, _ := hot.ExecuteBlock(bh, 200000)
+	cold.ExecuteBlock(bc, 50000)
+	cc, _ := cold.ExecuteBlock(bc, 200000)
+
+	if ch.L1ICacheLoadMisses >= cc.L1ICacheLoadMisses {
+		t.Fatalf("hot code icache misses %d not below cold %d",
+			ch.L1ICacheLoadMisses, cc.L1ICacheLoadMisses)
+	}
+	if cc.ITLBLoadMisses == 0 {
+		t.Fatal("256 KB jumping code produced no iTLB misses")
+	}
+}
+
+func TestExecuteBlockRejectsBadBlocks(t *testing.T) {
+	m := NewMachine(DefaultConfig(), 6)
+	b := smallBlock()
+	b.LoadFrac = 0.9 // sum > 1
+	if _, err := m.ExecuteBlock(b, 100); err == nil {
+		t.Fatal("accepted over-unity instruction mix")
+	}
+	b = smallBlock()
+	b.BranchEntropy = 1.5
+	if _, err := m.ExecuteBlock(b, 100); err == nil {
+		t.Fatal("accepted probability > 1")
+	}
+	b = smallBlock()
+	b.DataFootprint = 0
+	if _, err := m.ExecuteBlock(b, 100); err == nil {
+		t.Fatal("accepted zero footprint")
+	}
+	if _, err := m.ExecuteBlock(smallBlock(), -1); err == nil {
+		t.Fatal("accepted negative instruction count")
+	}
+}
+
+func TestMachineResetIsolation(t *testing.T) {
+	m := NewMachine(DefaultConfig(), 7)
+	b := smallBlock()
+	m.ExecuteBlock(b, 50000)
+	m.Reset()
+	// After reset the caches are cold again: the first window after reset
+	// must have at least one compulsory miss.
+	c, _ := m.ExecuteBlock(b, 10000)
+	if c.L1DCacheLoadMisses == 0 && c.L1ICacheLoadMisses == 0 {
+		t.Fatal("reset machine shows no compulsory misses")
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() Counts {
+		m := NewMachine(DefaultConfig(), 42)
+		c, _ := m.ExecuteBlock(smallBlock(), 50000)
+		return c
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced different counts:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestCountsAddAndScale(t *testing.T) {
+	a := Counts{Instructions: 100, BranchMisses: 10, NodeLoads: 4}
+	b := Counts{Instructions: 50, BranchMisses: 5, NodeLoads: 1}
+	a.Add(b)
+	if a.Instructions != 150 || a.BranchMisses != 15 || a.NodeLoads != 5 {
+		t.Fatalf("Add result %+v", a)
+	}
+	s := a.Scaled(2)
+	if s.Instructions != 300 || s.BranchMisses != 30 || s.NodeLoads != 10 {
+		t.Fatalf("Scaled result %+v", s)
+	}
+	z := a.Scaled(0)
+	if z.Instructions != 0 {
+		t.Fatal("Scaled(0) not zero")
+	}
+}
+
+func TestCountsGet(t *testing.T) {
+	c := Counts{BranchInstructions: 7, L1DCacheLoads: 3, NodeStores: 2}
+	if v, ok := c.Get("branch-instructions"); !ok || v != 7 {
+		t.Fatalf("Get(branch-instructions) = %d,%v", v, ok)
+	}
+	if v, ok := c.Get("L1-dcache-loads"); !ok || v != 3 {
+		t.Fatalf("Get(L1-dcache-loads) = %d,%v", v, ok)
+	}
+	if v, ok := c.Get("node-stores"); !ok || v != 2 {
+		t.Fatalf("Get(node-stores) = %d,%v", v, ok)
+	}
+	if _, ok := c.Get("no-such-event"); ok {
+		t.Fatal("Get accepted unknown event")
+	}
+}
+
+func TestWindowInstructions(t *testing.T) {
+	m := NewMachine(HaswellConfig(), 1)
+	n := m.WindowInstructions(0.01, 1.5) // 10 ms at IPC 1.5, 3.3 GHz
+	if n != 49_500_000 {
+		t.Fatalf("WindowInstructions = %d", n)
+	}
+}
+
+// Property: counts from any valid block obey the hierarchy inequalities.
+func TestHierarchyInvariantProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		m := NewMachine(DefaultConfig(), uint64(seed))
+		b := smallBlock()
+		b.DataRandomFrac = float64(seed%10) / 10
+		b.DataFootprint = 1 << (10 + seed%12)
+		c, err := m.ExecuteBlock(b, 20000)
+		if err != nil {
+			return false
+		}
+		return c.L1DCacheLoadMisses <= c.L1DCacheLoads &&
+			c.L1DCacheStoreMiss <= c.L1DCacheStores &&
+			c.L1ICacheLoadMisses <= c.L1ICacheLoads &&
+			c.CacheMisses <= c.CacheReferences &&
+			c.BranchMisses <= c.BranchInstructions &&
+			c.BranchLoads <= c.BranchInstructions &&
+			c.DTLBLoadMisses <= c.DTLBLoads &&
+			c.ITLBLoadMisses <= c.ITLBLoads
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaswellConfigGeometry(t *testing.T) {
+	cfg := HaswellConfig()
+	m := NewMachine(cfg, 1)
+	if m.Config().Name != "haswell-i5-4590" {
+		t.Fatal("wrong config name")
+	}
+	if cfg.LLCSize != 6<<20 || cfg.LLCWays != 12 {
+		t.Fatal("LLC geometry does not match i5-4590")
+	}
+	if cfg.FreqHz != 3_300_000_000 {
+		t.Fatal("frequency does not match i5-4590")
+	}
+}
+
+// Property: Counts.Add is commutative and Scaled(1) is the identity.
+func TestCountsAlgebraProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := Counts{Instructions: uint64(a), BranchMisses: uint64(a) / 3, NodeLoads: uint64(a) % 97}
+		y := Counts{Instructions: uint64(b), BranchMisses: uint64(b) / 5, NodeLoads: uint64(b) % 89}
+		p, q := x, y
+		p.Add(y)
+		q.Add(x)
+		if p != q {
+			return false
+		}
+		if x.Scaled(1) != x {
+			return false
+		}
+		z := x.Scaled(0)
+		return z == Counts{}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

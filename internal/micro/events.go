@@ -1,0 +1,212 @@
+package micro
+
+// Counts is the raw microarchitectural event tally produced by executing
+// instructions on a Machine. Field names follow the Linux perf event
+// vocabulary used in the paper's feature set (Figure 8 / Table 2).
+type Counts struct {
+	Instructions uint64
+	Cycles       uint64
+	RefCycles    uint64
+	BusCycles    uint64
+
+	BranchInstructions uint64
+	BranchMisses       uint64
+	BranchLoads        uint64 // BTB lookups on taken branches
+	BranchLoadMisses   uint64 // BTB misses
+
+	L1DCacheLoads      uint64
+	L1DCacheLoadMisses uint64
+	L1DCacheStores     uint64
+	L1DCacheStoreMiss  uint64
+	L1ICacheLoads      uint64
+	L1ICacheLoadMisses uint64
+
+	LLCLoads       uint64
+	LLCLoadMisses  uint64
+	LLCStores      uint64
+	LLCStoreMisses uint64
+
+	// Hardware next-line prefetcher activity (L1D and LLC).
+	L1DPrefetches     uint64
+	L1DPrefetchMisses uint64
+	LLCPrefetches     uint64
+	LLCPrefetchMisses uint64
+
+	// cache-references / cache-misses map to last-level cache references
+	// and misses, as on Intel hardware.
+	CacheReferences uint64
+	CacheMisses     uint64
+
+	DTLBLoads      uint64
+	DTLBLoadMisses uint64
+	DTLBStores     uint64
+	DTLBStoreMiss  uint64
+	ITLBLoads      uint64
+	ITLBLoadMisses uint64
+
+	// node-loads / node-stores count memory operations serviced by the
+	// local DRAM node (i.e. LLC misses that reach memory).
+	NodeLoads       uint64
+	NodeStores      uint64
+	NodeLoadMisses  uint64
+	NodeStoreMisses uint64
+}
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.Instructions += o.Instructions
+	c.Cycles += o.Cycles
+	c.RefCycles += o.RefCycles
+	c.BusCycles += o.BusCycles
+	c.BranchInstructions += o.BranchInstructions
+	c.BranchMisses += o.BranchMisses
+	c.BranchLoads += o.BranchLoads
+	c.BranchLoadMisses += o.BranchLoadMisses
+	c.L1DCacheLoads += o.L1DCacheLoads
+	c.L1DCacheLoadMisses += o.L1DCacheLoadMisses
+	c.L1DCacheStores += o.L1DCacheStores
+	c.L1DCacheStoreMiss += o.L1DCacheStoreMiss
+	c.L1ICacheLoads += o.L1ICacheLoads
+	c.L1ICacheLoadMisses += o.L1ICacheLoadMisses
+	c.LLCLoads += o.LLCLoads
+	c.LLCLoadMisses += o.LLCLoadMisses
+	c.LLCStores += o.LLCStores
+	c.LLCStoreMisses += o.LLCStoreMisses
+	c.L1DPrefetches += o.L1DPrefetches
+	c.L1DPrefetchMisses += o.L1DPrefetchMisses
+	c.LLCPrefetches += o.LLCPrefetches
+	c.LLCPrefetchMisses += o.LLCPrefetchMisses
+	c.CacheReferences += o.CacheReferences
+	c.CacheMisses += o.CacheMisses
+	c.DTLBLoads += o.DTLBLoads
+	c.DTLBLoadMisses += o.DTLBLoadMisses
+	c.DTLBStores += o.DTLBStores
+	c.DTLBStoreMiss += o.DTLBStoreMiss
+	c.ITLBLoads += o.ITLBLoads
+	c.ITLBLoadMisses += o.ITLBLoadMisses
+	c.NodeLoads += o.NodeLoads
+	c.NodeStores += o.NodeStores
+	c.NodeLoadMisses += o.NodeLoadMisses
+	c.NodeStoreMisses += o.NodeStoreMisses
+}
+
+// Scaled returns c with every field multiplied by factor (rounded to
+// nearest). Used to extrapolate a sampled simulation slice to the full
+// instruction count of a measurement window.
+func (c Counts) Scaled(factor float64) Counts {
+	s := func(v uint64) uint64 {
+		return uint64(float64(v)*factor + 0.5)
+	}
+	return Counts{
+		Instructions:       s(c.Instructions),
+		Cycles:             s(c.Cycles),
+		RefCycles:          s(c.RefCycles),
+		BusCycles:          s(c.BusCycles),
+		BranchInstructions: s(c.BranchInstructions),
+		BranchMisses:       s(c.BranchMisses),
+		BranchLoads:        s(c.BranchLoads),
+		BranchLoadMisses:   s(c.BranchLoadMisses),
+		L1DCacheLoads:      s(c.L1DCacheLoads),
+		L1DCacheLoadMisses: s(c.L1DCacheLoadMisses),
+		L1DCacheStores:     s(c.L1DCacheStores),
+		L1DCacheStoreMiss:  s(c.L1DCacheStoreMiss),
+		L1ICacheLoads:      s(c.L1ICacheLoads),
+		L1ICacheLoadMisses: s(c.L1ICacheLoadMisses),
+		LLCLoads:           s(c.LLCLoads),
+		LLCLoadMisses:      s(c.LLCLoadMisses),
+		LLCStores:          s(c.LLCStores),
+		LLCStoreMisses:     s(c.LLCStoreMisses),
+		L1DPrefetches:      s(c.L1DPrefetches),
+		L1DPrefetchMisses:  s(c.L1DPrefetchMisses),
+		LLCPrefetches:      s(c.LLCPrefetches),
+		LLCPrefetchMisses:  s(c.LLCPrefetchMisses),
+		CacheReferences:    s(c.CacheReferences),
+		CacheMisses:        s(c.CacheMisses),
+		DTLBLoads:          s(c.DTLBLoads),
+		DTLBLoadMisses:     s(c.DTLBLoadMisses),
+		DTLBStores:         s(c.DTLBStores),
+		DTLBStoreMiss:      s(c.DTLBStoreMiss),
+		ITLBLoads:          s(c.ITLBLoads),
+		ITLBLoadMisses:     s(c.ITLBLoadMisses),
+		NodeLoads:          s(c.NodeLoads),
+		NodeStores:         s(c.NodeStores),
+		NodeLoadMisses:     s(c.NodeLoadMisses),
+		NodeStoreMisses:    s(c.NodeStoreMisses),
+	}
+}
+
+// Get returns the value of the named raw event, and whether the name is
+// known. Names use the perf convention (e.g. "L1-dcache-load-misses").
+func (c *Counts) Get(name string) (uint64, bool) {
+	switch name {
+	case "instructions":
+		return c.Instructions, true
+	case "cpu-cycles", "cycles":
+		return c.Cycles, true
+	case "ref-cycles":
+		return c.RefCycles, true
+	case "bus-cycles":
+		return c.BusCycles, true
+	case "branch-instructions", "branches":
+		return c.BranchInstructions, true
+	case "branch-misses":
+		return c.BranchMisses, true
+	case "branch-loads":
+		return c.BranchLoads, true
+	case "branch-load-misses":
+		return c.BranchLoadMisses, true
+	case "L1-dcache-loads":
+		return c.L1DCacheLoads, true
+	case "L1-dcache-load-misses":
+		return c.L1DCacheLoadMisses, true
+	case "L1-dcache-stores":
+		return c.L1DCacheStores, true
+	case "L1-dcache-store-misses":
+		return c.L1DCacheStoreMiss, true
+	case "L1-icache-loads":
+		return c.L1ICacheLoads, true
+	case "L1-icache-load-misses":
+		return c.L1ICacheLoadMisses, true
+	case "LLC-loads":
+		return c.LLCLoads, true
+	case "LLC-load-misses":
+		return c.LLCLoadMisses, true
+	case "LLC-stores":
+		return c.LLCStores, true
+	case "LLC-store-misses":
+		return c.LLCStoreMisses, true
+	case "L1-dcache-prefetches":
+		return c.L1DPrefetches, true
+	case "L1-dcache-prefetch-misses":
+		return c.L1DPrefetchMisses, true
+	case "LLC-prefetches":
+		return c.LLCPrefetches, true
+	case "LLC-prefetch-misses":
+		return c.LLCPrefetchMisses, true
+	case "cache-references":
+		return c.CacheReferences, true
+	case "cache-misses":
+		return c.CacheMisses, true
+	case "dTLB-loads":
+		return c.DTLBLoads, true
+	case "dTLB-load-misses":
+		return c.DTLBLoadMisses, true
+	case "dTLB-stores":
+		return c.DTLBStores, true
+	case "dTLB-store-misses":
+		return c.DTLBStoreMiss, true
+	case "iTLB-loads":
+		return c.ITLBLoads, true
+	case "iTLB-load-misses":
+		return c.ITLBLoadMisses, true
+	case "node-loads":
+		return c.NodeLoads, true
+	case "node-stores":
+		return c.NodeStores, true
+	case "node-load-misses":
+		return c.NodeLoadMisses, true
+	case "node-store-misses":
+		return c.NodeStoreMisses, true
+	}
+	return 0, false
+}

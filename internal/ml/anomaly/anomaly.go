@@ -1,0 +1,244 @@
+// Package anomaly implements unsupervised malware detection over HPC
+// features: a detector trained only on benign behaviour flags anything
+// that deviates. This is the direction of Tang et al. (RAID'14, reference
+// [15] of the thesis) and of the thesis's future-work item on statistical
+// alternatives to supervised ML.
+//
+// Two detectors are provided: Mahalanobis (full-covariance distance to
+// the benign distribution, ridge-regularized) and ZScore (per-feature
+// standardized deviation, the cheapest hardware realization).
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// Detector scores instances by abnormality: higher means more anomalous.
+// Detect applies the threshold calibrated at training time.
+type Detector interface {
+	Name() string
+	// Fit learns the benign profile from benign-only rows, calibrating
+	// the detection threshold at the given false-positive quantile
+	// (e.g. 0.99 keeps ~1% training false positives).
+	Fit(benign [][]float64, quantile float64) error
+	// Score returns the abnormality of one instance.
+	Score(features []float64) float64
+	// Detect reports whether the instance exceeds the threshold.
+	Detect(features []float64) bool
+}
+
+// logmap applies sign(x)*log1p(|x|) — the count-data normalizer shared
+// with the Bayes classifier; HPC counts are heavy-tailed and a Gaussian
+// benign profile over raw counts is hopelessly wide.
+func logmap(v float64) float64 {
+	if v < 0 {
+		return -math.Log1p(-v)
+	}
+	return math.Log1p(v)
+}
+
+func logRows(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		tr := make([]float64, len(row))
+		for j, v := range row {
+			tr[j] = logmap(v)
+		}
+		out[i] = tr
+	}
+	return out
+}
+
+// checkFit validates shared Fit preconditions and returns dimensionality.
+func checkFit(benign [][]float64, quantile float64) (int, error) {
+	if len(benign) < 4 {
+		return 0, fmt.Errorf("anomaly: need at least 4 benign rows, have %d", len(benign))
+	}
+	if quantile <= 0 || quantile >= 1 {
+		return 0, fmt.Errorf("anomaly: quantile %v out of (0,1)", quantile)
+	}
+	dim := len(benign[0])
+	if dim == 0 {
+		return 0, fmt.Errorf("anomaly: zero-dimensional features")
+	}
+	for i, row := range benign {
+		if len(row) != dim {
+			return 0, fmt.Errorf("anomaly: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	return dim, nil
+}
+
+// thresholdAt returns the q-quantile of the (copied, sorted) scores.
+func thresholdAt(scores []float64, q float64) float64 {
+	s := append([]float64{}, scores...)
+	sort.Float64s(s)
+	idx := int(q * float64(len(s)-1))
+	return s[idx]
+}
+
+// Mahalanobis models benign behaviour as a single Gaussian and scores by
+// squared Mahalanobis distance.
+type Mahalanobis struct {
+	// Ridge is the covariance regularizer (default: 1e-6 x mean variance).
+	Ridge float64
+	// LogTransform maps features through sign(x)*log1p(|x|) before
+	// fitting/scoring (recommended for raw HPC counts).
+	LogTransform bool
+
+	mean      []float64
+	covInv    *mat.Matrix
+	threshold float64
+	trained   bool
+}
+
+// Name implements Detector.
+func (m *Mahalanobis) Name() string { return "Mahalanobis" }
+
+// Fit implements Detector.
+func (m *Mahalanobis) Fit(benign [][]float64, quantile float64) error {
+	dim, err := checkFit(benign, quantile)
+	if err != nil {
+		return err
+	}
+	if m.LogTransform {
+		benign = logRows(benign)
+	}
+	x := mat.FromRows(benign)
+	m.mean = x.ColMeans()
+	cov := x.Covariance()
+	ridge := m.Ridge
+	if ridge <= 0 {
+		tr := 0.0
+		for i := 0; i < dim; i++ {
+			tr += cov.At(i, i)
+		}
+		ridge = 1e-6*tr/float64(dim) + 1e-12
+	}
+	m.covInv, err = mat.InverseRidge(cov, ridge)
+	if err != nil {
+		return fmt.Errorf("anomaly: inverting benign covariance: %w", err)
+	}
+	m.trained = true
+	scores := make([]float64, len(benign))
+	for i, row := range benign {
+		scores[i] = m.scoreTransformed(row)
+	}
+	m.threshold = thresholdAt(scores, quantile)
+	return nil
+}
+
+// Score implements Detector: squared Mahalanobis distance to the benign
+// mean.
+func (m *Mahalanobis) Score(features []float64) float64 {
+	if !m.trained {
+		panic("anomaly: detector not fitted")
+	}
+	if m.LogTransform {
+		tr := make([]float64, len(features))
+		for j, v := range features {
+			tr[j] = logmap(v)
+		}
+		features = tr
+	}
+	return m.scoreTransformed(features)
+}
+
+// scoreTransformed scores a row already in the fitted feature space.
+func (m *Mahalanobis) scoreTransformed(features []float64) float64 {
+	d := make([]float64, len(m.mean))
+	for i := range d {
+		d[i] = features[i] - m.mean[i]
+	}
+	tmp := m.covInv.MulVec(d)
+	return mat.Dot(d, tmp)
+}
+
+// Detect implements Detector.
+func (m *Mahalanobis) Detect(features []float64) bool {
+	return m.Score(features) > m.threshold
+}
+
+// Threshold returns the calibrated detection threshold.
+func (m *Mahalanobis) Threshold() float64 {
+	if !m.trained {
+		panic("anomaly: detector not fitted")
+	}
+	return m.threshold
+}
+
+// ZScore scores by the maximum absolute per-feature z-score — a bank of
+// comparators in hardware, no multipliers beyond the normalization.
+type ZScore struct {
+	// LogTransform maps features through sign(x)*log1p(|x|) before
+	// fitting/scoring (recommended for raw HPC counts).
+	LogTransform bool
+
+	mean, std []float64
+	threshold float64
+	trained   bool
+}
+
+// Name implements Detector.
+func (z *ZScore) Name() string { return "ZScore" }
+
+// Fit implements Detector.
+func (z *ZScore) Fit(benign [][]float64, quantile float64) error {
+	if _, err := checkFit(benign, quantile); err != nil {
+		return err
+	}
+	if z.LogTransform {
+		benign = logRows(benign)
+	}
+	x := mat.FromRows(benign)
+	z.mean = x.ColMeans()
+	z.std = x.ColStddevs()
+	for j, s := range z.std {
+		if s == 0 {
+			z.std[j] = 1
+		}
+	}
+	z.trained = true
+	scores := make([]float64, len(benign))
+	for i, row := range benign {
+		scores[i] = z.scoreTransformed(row)
+	}
+	z.threshold = thresholdAt(scores, quantile)
+	return nil
+}
+
+// Score implements Detector.
+func (z *ZScore) Score(features []float64) float64 {
+	if !z.trained {
+		panic("anomaly: detector not fitted")
+	}
+	if z.LogTransform {
+		tr := make([]float64, len(features))
+		for j, v := range features {
+			tr[j] = logmap(v)
+		}
+		features = tr
+	}
+	return z.scoreTransformed(features)
+}
+
+// scoreTransformed scores a row already in the fitted feature space.
+func (z *ZScore) scoreTransformed(features []float64) float64 {
+	worst := 0.0
+	for j, v := range features {
+		d := math.Abs(v-z.mean[j]) / z.std[j]
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Detect implements Detector.
+func (z *ZScore) Detect(features []float64) bool {
+	return z.Score(features) > z.threshold
+}

@@ -1,0 +1,215 @@
+package anomaly
+
+import (
+	"testing"
+
+	"repro/internal/ml/eval"
+	"repro/internal/rng"
+)
+
+// benignCluster draws n points around the origin; anomalies sit far away.
+func benignCluster(seed uint64, n, dim int) [][]float64 {
+	src := rng.New(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = src.Normal(0, 1)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func anomalies(seed uint64, n, dim int, shift float64) [][]float64 {
+	src := rng.New(seed)
+	out := make([][]float64, n)
+	for i := range out {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = shift + src.Normal(0, 1)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func testDetector(t *testing.T, d Detector) {
+	t.Helper()
+	benign := benignCluster(1, 400, 4)
+	if err := d.Fit(benign, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	bad := anomalies(2, 100, 4, 6)
+
+	// Detection rate on far anomalies must be high; benign false-positive
+	// rate near the calibrated 1%.
+	caught := 0
+	for _, row := range bad {
+		if d.Detect(row) {
+			caught++
+		}
+	}
+	if caught < 95 {
+		t.Fatalf("%s caught %d/100 distant anomalies", d.Name(), caught)
+	}
+	fresh := benignCluster(3, 400, 4)
+	fp := 0
+	for _, row := range fresh {
+		if d.Detect(row) {
+			fp++
+		}
+	}
+	if fp > 40 { // 10% on held-out benign, calibrated at 1% on train
+		t.Fatalf("%s false-positive count %d/400", d.Name(), fp)
+	}
+}
+
+func TestMahalanobisDetects(t *testing.T) { testDetector(t, &Mahalanobis{}) }
+func TestZScoreDetects(t *testing.T)      { testDetector(t, &ZScore{}) }
+
+func TestMahalanobisUsesCorrelation(t *testing.T) {
+	// Benign data is tightly correlated (x1 ~= x0). A point inside the
+	// marginal ranges but off the correlation line is anomalous for
+	// Mahalanobis, invisible to per-feature z-scores.
+	src := rng.New(4)
+	benign := make([][]float64, 500)
+	for i := range benign {
+		v := src.Normal(0, 2)
+		benign[i] = []float64{v, v + src.Normal(0, 0.1)}
+	}
+	m := &Mahalanobis{}
+	if err := m.Fit(benign, 0.995); err != nil {
+		t.Fatal(err)
+	}
+	z := &ZScore{}
+	if err := z.Fit(benign, 0.995); err != nil {
+		t.Fatal(err)
+	}
+	offLine := []float64{2, -2} // inside marginals, off the line
+	if !m.Detect(offLine) {
+		t.Fatal("Mahalanobis missed a correlation-breaking anomaly")
+	}
+	if z.Detect(offLine) {
+		t.Fatal("ZScore claims to see a correlation-breaking anomaly (should not)")
+	}
+}
+
+func TestScoresRankAnomalies(t *testing.T) {
+	benign := benignCluster(5, 300, 3)
+	m := &Mahalanobis{}
+	if err := m.Fit(benign, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	var scores []float64
+	var labels []int
+	for _, row := range benignCluster(6, 200, 3) {
+		scores = append(scores, m.Score(row))
+		labels = append(labels, 0)
+	}
+	for _, row := range anomalies(7, 200, 3, 4) {
+		scores = append(scores, m.Score(row))
+		labels = append(labels, 1)
+	}
+	auc, err := eval.AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.98 {
+		t.Fatalf("anomaly AUC %v on well-separated data", auc)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	for _, d := range []Detector{&Mahalanobis{}, &ZScore{}} {
+		if err := d.Fit(nil, 0.99); err == nil {
+			t.Fatalf("%s accepted empty benign set", d.Name())
+		}
+		if err := d.Fit(benignCluster(1, 10, 2), 1.5); err == nil {
+			t.Fatalf("%s accepted quantile > 1", d.Name())
+		}
+		if err := d.Fit([][]float64{{1}, {1, 2}, {1}, {1}}, 0.9); err == nil {
+			t.Fatalf("%s accepted ragged rows", d.Name())
+		}
+	}
+}
+
+func TestDetectorPanicsUnfitted(t *testing.T) {
+	for _, f := range []func(){
+		func() { (&Mahalanobis{}).Score([]float64{1}) },
+		func() { (&ZScore{}).Score([]float64{1}) },
+		func() { (&Mahalanobis{}).Threshold() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic before Fit")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConstantFeatureHandled(t *testing.T) {
+	// A constant benign feature must not break either detector.
+	src := rng.New(8)
+	benign := make([][]float64, 100)
+	for i := range benign {
+		benign[i] = []float64{src.Normal(0, 1), 7}
+	}
+	z := &ZScore{}
+	if err := z.Fit(benign, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	m := &Mahalanobis{}
+	if err := m.Fit(benign, 0.95); err != nil {
+		t.Fatal(err)
+	}
+	// A deviation in the constant feature is maximally anomalous.
+	if !z.Detect([]float64{0, 100}) || !m.Detect([]float64{0, 100}) {
+		t.Fatal("deviation in constant feature not detected")
+	}
+}
+
+func TestLogTransformPaths(t *testing.T) {
+	// Heavy-tailed benign data: log transform keeps the profile tight.
+	src := rng.New(21)
+	benign := make([][]float64, 300)
+	for i := range benign {
+		benign[i] = []float64{src.LogNormal(10, 0.4), src.LogNormal(8, 0.4)}
+	}
+	for _, d := range []Detector{
+		&Mahalanobis{LogTransform: true},
+		&ZScore{LogTransform: true},
+	} {
+		if d.Name() == "" {
+			t.Fatal("empty detector name")
+		}
+		if err := d.Fit(benign, 0.99); err != nil {
+			t.Fatalf("%s: %v", d.Name(), err)
+		}
+		// A typical benign point stays quiet; a 100x outlier alarms.
+		if d.Detect([]float64{22000, 3000}) {
+			t.Fatalf("%s flagged a typical benign point", d.Name())
+		}
+		if !d.Detect([]float64{2.2e6, 3000}) {
+			t.Fatalf("%s missed a 100x outlier", d.Name())
+		}
+	}
+	// logmap symmetry.
+	if logmap(-5) != -logmap(5) {
+		t.Fatal("logmap not odd-symmetric")
+	}
+}
+
+func TestMahalanobisThresholdAccessor(t *testing.T) {
+	benign := benignCluster(22, 100, 3)
+	m := &Mahalanobis{}
+	if err := m.Fit(benign, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if m.Threshold() <= 0 {
+		t.Fatalf("threshold %v", m.Threshold())
+	}
+}

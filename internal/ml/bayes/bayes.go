@@ -1,0 +1,161 @@
+// Package bayes implements Gaussian Naive Bayes (WEKA's NaiveBayes with
+// numeric attributes): class-conditional independent normal densities with
+// Laplace-smoothed priors.
+package bayes
+
+import (
+	"math"
+
+	"repro/internal/ml"
+)
+
+// NaiveBayes is a Gaussian naive Bayes classifier.
+type NaiveBayes struct {
+	// LogTransform applies sign(x)*log1p(|x|) to every feature before
+	// fitting/scoring. Raw HPC counts are heavy-tailed, which breaks the
+	// per-class Gaussian assumption badly; the transform is the standard
+	// count-data remedy (WEKA users reach for discretization instead).
+	LogTransform bool
+
+	numClasses int
+	priors     []float64   // log priors
+	means      [][]float64 // [class][attr]
+	vars       [][]float64 // [class][attr], floored
+	trained    bool
+}
+
+// New returns an untrained NaiveBayes.
+func New() *NaiveBayes { return &NaiveBayes{} }
+
+// Name implements ml.Classifier.
+func (nb *NaiveBayes) Name() string { return "NaiveBayes" }
+
+// transform applies the optional log1p mapping to one value.
+func (nb *NaiveBayes) transform(v float64) float64 {
+	if !nb.LogTransform {
+		return v
+	}
+	if v < 0 {
+		return -math.Log1p(-v)
+	}
+	return math.Log1p(v)
+}
+
+// Train implements ml.Classifier.
+func (nb *NaiveBayes) Train(x [][]float64, y []int, numClasses int) error {
+	dim, err := ml.CheckTrainingSet(x, y, numClasses)
+	if err != nil {
+		return err
+	}
+	if nb.LogTransform {
+		tx := make([][]float64, len(x))
+		for i, row := range x {
+			tr := make([]float64, len(row))
+			for j, v := range row {
+				tr[j] = nb.transform(v)
+			}
+			tx[i] = tr
+		}
+		x = tx
+	}
+	nb.numClasses = numClasses
+	nb.priors = make([]float64, numClasses)
+	nb.means = make([][]float64, numClasses)
+	nb.vars = make([][]float64, numClasses)
+	counts := make([]int, numClasses)
+	for c := 0; c < numClasses; c++ {
+		nb.means[c] = make([]float64, dim)
+		nb.vars[c] = make([]float64, dim)
+	}
+	for i, row := range x {
+		c := y[i]
+		counts[c]++
+		for j, v := range row {
+			nb.means[c][j] += v
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		if counts[c] > 0 {
+			for j := range nb.means[c] {
+				nb.means[c][j] /= float64(counts[c])
+			}
+		}
+	}
+	for i, row := range x {
+		c := y[i]
+		for j, v := range row {
+			d := v - nb.means[c][j]
+			nb.vars[c][j] += d * d
+		}
+	}
+	// Global variance floor keeps degenerate (constant) attributes from
+	// producing infinite densities; WEKA uses a similar precision floor.
+	var globalVar float64
+	for c := 0; c < numClasses; c++ {
+		denom := float64(counts[c] - 1)
+		if denom < 1 {
+			denom = 1
+		}
+		for j := range nb.vars[c] {
+			nb.vars[c][j] /= denom
+			globalVar += nb.vars[c][j]
+		}
+	}
+	floor := 1e-9 * (globalVar/float64(numClasses*dim) + 1)
+	for c := 0; c < numClasses; c++ {
+		for j := range nb.vars[c] {
+			if nb.vars[c][j] < floor {
+				nb.vars[c][j] = floor
+			}
+		}
+	}
+	// Laplace-smoothed log priors.
+	n := float64(len(y))
+	for c := 0; c < numClasses; c++ {
+		nb.priors[c] = math.Log((float64(counts[c]) + 1) / (n + float64(numClasses)))
+	}
+	nb.trained = true
+	return nil
+}
+
+// logJoint returns the unnormalized log posterior for each class.
+func (nb *NaiveBayes) logJoint(features []float64) []float64 {
+	scores := make([]float64, nb.numClasses)
+	for c := 0; c < nb.numClasses; c++ {
+		s := nb.priors[c]
+		for j, raw := range features {
+			v := nb.transform(raw)
+			mu, va := nb.means[c][j], nb.vars[c][j]
+			d := v - mu
+			s += -0.5*math.Log(2*math.Pi*va) - d*d/(2*va)
+		}
+		scores[c] = s
+	}
+	return scores
+}
+
+// Predict implements ml.Classifier.
+func (nb *NaiveBayes) Predict(features []float64) int {
+	if !nb.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return ml.ArgMax(nb.logJoint(features))
+}
+
+// Proba implements ml.ProbClassifier via softmax over log joints.
+func (nb *NaiveBayes) Proba(features []float64) []float64 {
+	if !nb.trained {
+		panic(ml.ErrNotTrained)
+	}
+	scores := nb.logJoint(features)
+	maxS := scores[ml.ArgMax(scores)]
+	sum := 0.0
+	for i, s := range scores {
+		scores[i] = math.Exp(s - maxS)
+		sum += scores[i]
+	}
+	for i := range scores {
+		scores[i] /= sum
+	}
+	return scores
+}

@@ -1,0 +1,157 @@
+package bayes
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml/mltest"
+	"repro/internal/rng"
+)
+
+func TestNBSeparable(t *testing.T) {
+	x, y := mltest.TwoBlobs(1, 200)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.97 {
+		t.Fatalf("accuracy %v, want >= 0.97", acc)
+	}
+}
+
+func TestNBMulticlass(t *testing.T) {
+	x, y := mltest.ThreeBlobs(2, 150)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.85 {
+		t.Fatalf("3-class accuracy %v, want >= 0.85", acc)
+	}
+}
+
+func TestNBProbaSumsToOne(t *testing.T) {
+	x, y := mltest.ThreeBlobs(3, 100)
+	c := New()
+	if err := c.Train(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		p := c.Proba(x[i])
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				t.Fatalf("probability %v out of range", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+		// Predict must agree with argmax of Proba.
+		best := 0
+		for k := range p {
+			if p[k] > p[best] {
+				best = k
+			}
+		}
+		if c.Predict(x[i]) != best {
+			t.Fatal("Predict disagrees with Proba argmax")
+		}
+	}
+}
+
+func TestNBConstantAttribute(t *testing.T) {
+	// A zero-variance attribute must not produce NaN/Inf.
+	x := [][]float64{{1, 5}, {2, 5}, {10, 5}, {11, 5}}
+	y := []int{0, 0, 1, 1}
+	c := New()
+	if err := c.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Proba([]float64{1.5, 5})
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("degenerate attribute produced %v", p)
+		}
+	}
+	if c.Predict([]float64{1.5, 5}) != 0 {
+		t.Fatal("misclassified near-cluster point")
+	}
+}
+
+func TestNBMissingClassInTrain(t *testing.T) {
+	// numClasses=3 but only classes 0,1 present: class 2 must get a small
+	// prior, not break.
+	x := [][]float64{{0}, {1}, {10}, {11}}
+	y := []int{0, 0, 1, 1}
+	c := New()
+	if err := c.Train(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Proba([]float64{0.5})
+	if p[2] >= p[0] {
+		t.Fatalf("absent class got probability %v >= present class %v", p[2], p[0])
+	}
+}
+
+func TestNBPanicsUntrained(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before Train")
+		}
+	}()
+	New().Predict([]float64{1})
+}
+
+func TestNBRejectsBadInput(t *testing.T) {
+	if err := New().Train([][]float64{{1}}, []int{0}, 1); err == nil {
+		t.Fatal("accepted numClasses 1")
+	}
+}
+
+func TestNBLogTransformOnHeavyTails(t *testing.T) {
+	// Lognormal-ish count data: class 0 around exp(2), class 1 around
+	// exp(4), both with multiplicative noise. Plain Gaussian NB struggles
+	// with the asymmetric spread; the log transform restores normality.
+	src := rng.New(42)
+	var x [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		x = append(x, []float64{src.LogNormal(2, 0.5), src.LogNormal(5, 0.4)})
+		y = append(y, 0)
+		x = append(x, []float64{src.LogNormal(4, 0.5), src.LogNormal(3, 0.4)})
+		y = append(y, 1)
+	}
+	plain := New()
+	if err := plain.Train(x[:600], y[:600], 2); err != nil {
+		t.Fatal(err)
+	}
+	logged := New()
+	logged.LogTransform = true
+	if err := logged.Train(x[:600], y[:600], 2); err != nil {
+		t.Fatal(err)
+	}
+	accOf := func(nb *NaiveBayes) float64 {
+		correct := 0
+		for i := 600; i < len(x); i++ {
+			if nb.Predict(x[i]) == y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(x)-600)
+	}
+	pAcc, lAcc := accOf(plain), accOf(logged)
+	if lAcc < pAcc-0.02 {
+		t.Fatalf("log transform hurt: plain %v vs logged %v", pAcc, lAcc)
+	}
+	if lAcc < 0.95 {
+		t.Fatalf("logged NB accuracy %v on separable lognormal data", lAcc)
+	}
+	// Negative inputs are mapped symmetrically, not dropped.
+	if v := logged.transform(-(math.E - 1)); math.Abs(v+1) > 1e-12 {
+		t.Fatalf("transform(-(e-1)) = %v, want -1", v)
+	}
+}

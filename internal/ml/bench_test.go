@@ -1,0 +1,64 @@
+package ml_test
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/bayes"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/mlp"
+	"repro/internal/ml/mltest"
+	"repro/internal/ml/oner"
+	"repro/internal/ml/rules"
+	"repro/internal/ml/tree"
+)
+
+// benchTrain measures training cost of one classifier on a fixed 3-class
+// problem.
+func benchTrain(b *testing.B, factory func() ml.Classifier) {
+	x, y := mltest.ThreeBlobs(1, 300)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := factory()
+		if err := c.Train(x, y, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPredict measures inference cost.
+func benchPredict(b *testing.B, factory func() ml.Classifier) {
+	x, y := mltest.ThreeBlobs(1, 300)
+	c := factory()
+	if err := c.Train(x, y, 3); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Predict(x[i%len(x)])
+	}
+}
+
+func BenchmarkTrainOneR(b *testing.B) { benchTrain(b, func() ml.Classifier { return oner.New() }) }
+func BenchmarkTrainJ48(b *testing.B)  { benchTrain(b, func() ml.Classifier { return tree.NewJ48() }) }
+func BenchmarkTrainREPTree(b *testing.B) {
+	benchTrain(b, func() ml.Classifier { return tree.NewREPTree() })
+}
+func BenchmarkTrainJRip(b *testing.B) { benchTrain(b, func() ml.Classifier { return rules.New() }) }
+func BenchmarkTrainNB(b *testing.B)   { benchTrain(b, func() ml.Classifier { return bayes.New() }) }
+func BenchmarkTrainLogistic(b *testing.B) {
+	benchTrain(b, func() ml.Classifier { return linear.NewLogistic() })
+}
+func BenchmarkTrainSVM(b *testing.B) { benchTrain(b, func() ml.Classifier { return linear.NewSVM() }) }
+func BenchmarkTrainMLP(b *testing.B) { benchTrain(b, func() ml.Classifier { return mlp.New() }) }
+
+func BenchmarkPredictOneR(b *testing.B) { benchPredict(b, func() ml.Classifier { return oner.New() }) }
+func BenchmarkPredictJ48(b *testing.B) {
+	benchPredict(b, func() ml.Classifier { return tree.NewJ48() })
+}
+func BenchmarkPredictMLP(b *testing.B) { benchPredict(b, func() ml.Classifier { return mlp.New() }) }
+func BenchmarkPredictLogistic(b *testing.B) {
+	benchPredict(b, func() ml.Classifier { return linear.NewLogistic() })
+}

@@ -1,0 +1,392 @@
+// Package ensemble implements the ensemble-learning techniques the
+// thesis's related-work line builds on (Khasawneh et al. RAID'15, Sayadi
+// et al. DAC'18 study them for hardware malware detection): bagging,
+// AdaBoost.M1 boosting, majority voting, and stacked generalization over
+// the repository's base classifiers.
+package ensemble
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/tree"
+	"repro/internal/rng"
+)
+
+// Factory builds a fresh, untrained base classifier.
+type Factory func() ml.Classifier
+
+// Bagging trains N base classifiers on bootstrap resamples and predicts
+// by majority vote.
+type Bagging struct {
+	// Base builds each member (required).
+	Base Factory
+	// N is the ensemble size (default 10, WEKA's default).
+	N int
+	// Seed controls the bootstrap draws.
+	Seed uint64
+
+	models     []ml.Classifier
+	numClasses int
+	trained    bool
+}
+
+// Name implements ml.Classifier.
+func (b *Bagging) Name() string { return "Bagging" }
+
+// Train implements ml.Classifier.
+func (b *Bagging) Train(x [][]float64, y []int, numClasses int) error {
+	if b.Base == nil {
+		return fmt.Errorf("ensemble: Bagging.Base is nil")
+	}
+	if _, err := ml.CheckTrainingSet(x, y, numClasses); err != nil {
+		return err
+	}
+	if b.N <= 0 {
+		b.N = 10
+	}
+	b.numClasses = numClasses
+	b.models = make([]ml.Classifier, b.N)
+	src := rng.New(b.Seed)
+	n := len(x)
+	for m := 0; m < b.N; m++ {
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := src.Intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		c := b.Base()
+		if err := c.Train(bx, by, numClasses); err != nil {
+			return fmt.Errorf("ensemble: bagging member %d: %w", m, err)
+		}
+		b.models[m] = c
+	}
+	b.trained = true
+	return nil
+}
+
+// Predict implements ml.Classifier by unweighted majority vote.
+func (b *Bagging) Predict(features []float64) int {
+	if !b.trained {
+		panic(ml.ErrNotTrained)
+	}
+	votes := make([]int, b.numClasses)
+	for _, m := range b.models {
+		votes[m.Predict(features)]++
+	}
+	return ml.ArgMaxInt(votes)
+}
+
+// Members returns the trained base models.
+func (b *Bagging) Members() []ml.Classifier {
+	if !b.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return b.models
+}
+
+// AdaBoostM1 is Freund & Schapire's AdaBoost.M1 with weighted
+// resampling (base learners need not support instance weights).
+type AdaBoostM1 struct {
+	// Base builds each weak learner (required).
+	Base Factory
+	// Rounds is the maximum boosting rounds (default 10).
+	Rounds int
+	// Seed controls resampling.
+	Seed uint64
+
+	models     []ml.Classifier
+	alphas     []float64
+	numClasses int
+	trained    bool
+}
+
+// Name implements ml.Classifier.
+func (a *AdaBoostM1) Name() string { return "AdaBoostM1" }
+
+// Train implements ml.Classifier.
+func (a *AdaBoostM1) Train(x [][]float64, y []int, numClasses int) error {
+	if a.Base == nil {
+		return fmt.Errorf("ensemble: AdaBoostM1.Base is nil")
+	}
+	if _, err := ml.CheckTrainingSet(x, y, numClasses); err != nil {
+		return err
+	}
+	if a.Rounds <= 0 {
+		a.Rounds = 10
+	}
+	a.numClasses = numClasses
+	a.models = a.models[:0]
+	a.alphas = a.alphas[:0]
+	src := rng.New(a.Seed)
+
+	n := len(x)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	for round := 0; round < a.Rounds; round++ {
+		// Weighted resample.
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := src.Categorical(w)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		c := a.Base()
+		if err := c.Train(bx, by, numClasses); err != nil {
+			return fmt.Errorf("ensemble: boosting round %d: %w", round, err)
+		}
+		// Weighted error on the original distribution.
+		eps := 0.0
+		wrong := make([]bool, n)
+		for i := range x {
+			if c.Predict(x[i]) != y[i] {
+				eps += w[i]
+				wrong[i] = true
+			}
+		}
+		if eps <= 0 {
+			// Perfect learner: keep it with a large finite weight.
+			a.models = append(a.models, c)
+			a.alphas = append(a.alphas, 10)
+			break
+		}
+		if eps >= 0.5 {
+			if len(a.models) == 0 {
+				// Weak learner no better than chance even on round 0:
+				// keep one model so Predict works, with neutral weight.
+				a.models = append(a.models, c)
+				a.alphas = append(a.alphas, 1e-3)
+			}
+			break
+		}
+		beta := eps / (1 - eps)
+		a.models = append(a.models, c)
+		a.alphas = append(a.alphas, math.Log(1/beta))
+		// Reweight: correct instances shrink by beta, then normalize.
+		sum := 0.0
+		for i := range w {
+			if !wrong[i] {
+				w[i] *= beta
+			}
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+	}
+	a.trained = true
+	return nil
+}
+
+// Predict implements ml.Classifier: alpha-weighted vote.
+func (a *AdaBoostM1) Predict(features []float64) int {
+	if !a.trained {
+		panic(ml.ErrNotTrained)
+	}
+	votes := make([]float64, a.numClasses)
+	for i, m := range a.models {
+		votes[m.Predict(features)] += a.alphas[i]
+	}
+	return ml.ArgMax(votes)
+}
+
+// NumRounds returns how many boosting rounds survived training.
+func (a *AdaBoostM1) NumRounds() int {
+	if !a.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return len(a.models)
+}
+
+// Voting combines heterogeneous classifiers by majority vote, breaking
+// ties toward the earlier model in the list (WEKA's Vote with majority
+// combination).
+type Voting struct {
+	// Factories build the member classifiers (required, >= 1).
+	Factories []Factory
+
+	models     []ml.Classifier
+	numClasses int
+	trained    bool
+}
+
+// Name implements ml.Classifier.
+func (v *Voting) Name() string { return "Voting" }
+
+// Train implements ml.Classifier.
+func (v *Voting) Train(x [][]float64, y []int, numClasses int) error {
+	if len(v.Factories) == 0 {
+		return fmt.Errorf("ensemble: Voting has no member factories")
+	}
+	if _, err := ml.CheckTrainingSet(x, y, numClasses); err != nil {
+		return err
+	}
+	v.numClasses = numClasses
+	v.models = make([]ml.Classifier, len(v.Factories))
+	for i, f := range v.Factories {
+		c := f()
+		if err := c.Train(x, y, numClasses); err != nil {
+			return fmt.Errorf("ensemble: voting member %d (%s): %w", i, c.Name(), err)
+		}
+		v.models[i] = c
+	}
+	v.trained = true
+	return nil
+}
+
+// Predict implements ml.Classifier.
+func (v *Voting) Predict(features []float64) int {
+	if !v.trained {
+		panic(ml.ErrNotTrained)
+	}
+	votes := make([]float64, v.numClasses)
+	for i, m := range v.models {
+		// Earlier members win ties via an epsilon bonus.
+		votes[m.Predict(features)] += 1 + float64(len(v.models)-i)*1e-9
+	}
+	return ml.ArgMax(votes)
+}
+
+// Stacking trains base classifiers and a logistic meta-learner over their
+// predictions, using an internal holdout so the meta-learner never sees
+// the bases' training data (stacked generalization, Wolpert).
+type Stacking struct {
+	// Factories build the base classifiers (required, >= 1).
+	Factories []Factory
+	// MetaFrac is the fraction of data held out for the meta-learner
+	// (default 0.3).
+	MetaFrac float64
+	// Seed controls the holdout split.
+	Seed uint64
+
+	models     []ml.Classifier
+	meta       *linear.Logistic
+	numClasses int
+	trained    bool
+}
+
+// Name implements ml.Classifier.
+func (s *Stacking) Name() string { return "Stacking" }
+
+// Train implements ml.Classifier.
+func (s *Stacking) Train(x [][]float64, y []int, numClasses int) error {
+	if len(s.Factories) == 0 {
+		return fmt.Errorf("ensemble: Stacking has no member factories")
+	}
+	if _, err := ml.CheckTrainingSet(x, y, numClasses); err != nil {
+		return err
+	}
+	if s.MetaFrac <= 0 || s.MetaFrac >= 1 {
+		s.MetaFrac = 0.3
+	}
+	s.numClasses = numClasses
+
+	src := rng.New(s.Seed)
+	perm := src.Perm(len(x))
+	nMeta := int(float64(len(x)) * s.MetaFrac)
+	if nMeta < numClasses || len(x)-nMeta < numClasses {
+		return fmt.Errorf("ensemble: too few rows (%d) for stacking", len(x))
+	}
+	metaIdx, baseIdx := perm[:nMeta], perm[nMeta:]
+
+	bx := make([][]float64, len(baseIdx))
+	by := make([]int, len(baseIdx))
+	for i, j := range baseIdx {
+		bx[i], by[i] = x[j], y[j]
+	}
+	s.models = make([]ml.Classifier, len(s.Factories))
+	for i, f := range s.Factories {
+		c := f()
+		if err := c.Train(bx, by, numClasses); err != nil {
+			return fmt.Errorf("ensemble: stacking base %d (%s): %w", i, c.Name(), err)
+		}
+		s.models[i] = c
+	}
+
+	// Meta features: one-hot base predictions on the holdout.
+	mx := make([][]float64, len(metaIdx))
+	my := make([]int, len(metaIdx))
+	for i, j := range metaIdx {
+		mx[i] = s.metaFeatures(x[j])
+		my[i] = y[j]
+	}
+	s.meta = linear.NewLogistic()
+	s.meta.Seed = s.Seed ^ 0x5bd1e995
+	if err := s.meta.Train(mx, my, numClasses); err != nil {
+		return fmt.Errorf("ensemble: stacking meta-learner: %w", err)
+	}
+	s.trained = true
+	return nil
+}
+
+// metaFeatures encodes the base models' predictions one-hot.
+func (s *Stacking) metaFeatures(features []float64) []float64 {
+	out := make([]float64, len(s.models)*s.numClasses)
+	for i, m := range s.models {
+		out[i*s.numClasses+m.Predict(features)] = 1
+	}
+	return out
+}
+
+// Predict implements ml.Classifier.
+func (s *Stacking) Predict(features []float64) int {
+	if !s.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return s.meta.Predict(s.metaFeatures(features))
+}
+
+// RandomForest is Breiman's random forest: bagged random-subspace trees
+// with majority voting.
+type RandomForest struct {
+	// Trees is the forest size (default 20).
+	Trees int
+	// K is the attribute subset per split (0 = sqrt(dim)).
+	K int
+	// MaxDepth bounds member depth (0 = unlimited).
+	MaxDepth int
+	// Seed controls bootstraps and subspace draws.
+	Seed uint64
+
+	bag *Bagging
+}
+
+// Name implements ml.Classifier.
+func (rf *RandomForest) Name() string { return "RandomForest" }
+
+// Train implements ml.Classifier.
+func (rf *RandomForest) Train(x [][]float64, y []int, numClasses int) error {
+	if rf.Trees <= 0 {
+		rf.Trees = 20
+	}
+	seed := rf.Seed
+	memberSeed := seed
+	rf.bag = &Bagging{
+		N:    rf.Trees,
+		Seed: seed,
+		Base: func() ml.Classifier {
+			memberSeed++
+			t := tree.NewRandomTree()
+			t.K = rf.K
+			t.MaxDepth = rf.MaxDepth
+			t.Seed = memberSeed * 0x9e3779b97f4a7c15
+			return t
+		},
+	}
+	return rf.bag.Train(x, y, numClasses)
+}
+
+// Predict implements ml.Classifier.
+func (rf *RandomForest) Predict(features []float64) int {
+	if rf.bag == nil {
+		panic(ml.ErrNotTrained)
+	}
+	return rf.bag.Predict(features)
+}

@@ -1,0 +1,259 @@
+package ensemble
+
+import (
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/mltest"
+	"repro/internal/ml/oner"
+	"repro/internal/ml/tree"
+	"repro/internal/rng"
+)
+
+// diagonal builds a binary problem with boundary x0 + x1 > 0.
+func diagonal(seed uint64, n int) ([][]float64, []int) {
+	src := rng.New(seed)
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		a, b := src.Normal(0, 2), src.Normal(0, 2)
+		x[i] = []float64{a, b}
+		if a+b > 0 {
+			y[i] = 1
+		}
+	}
+	return x, y
+}
+
+func stumpFactory() Factory {
+	return func() ml.Classifier { return &tree.J48{MinLeaf: 2, CF: 0.25, MaxDepth: 1} }
+}
+
+func treeFactory() Factory {
+	return func() ml.Classifier { return tree.NewJ48() }
+}
+
+func TestBaggingAccuracy(t *testing.T) {
+	x, y := mltest.ThreeBlobs(1, 200)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	b := &Bagging{Base: treeFactory(), N: 10, Seed: 1}
+	if err := b.Train(xtr, ytr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(b.Predict, xte, yte); acc < 0.85 {
+		t.Fatalf("bagging accuracy %v", acc)
+	}
+	if len(b.Members()) != 10 {
+		t.Fatalf("members %d", len(b.Members()))
+	}
+}
+
+func TestBaggingReducesVariance(t *testing.T) {
+	// On noisy data a bagged tree should do at least as well as a single
+	// tree trained the same way (averaged over test accuracy).
+	x, y := mltest.Blobs(2, [][]float64{{0, 0}, {1.5, 1.5}}, 300, 1.3)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	single := tree.NewJ48()
+	if err := single.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	bagged := &Bagging{Base: treeFactory(), N: 15, Seed: 2}
+	if err := bagged.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	sAcc := mltest.Accuracy(single.Predict, xte, yte)
+	bAcc := mltest.Accuracy(bagged.Predict, xte, yte)
+	if bAcc+0.03 < sAcc {
+		t.Fatalf("bagging %v clearly worse than single tree %v", bAcc, sAcc)
+	}
+}
+
+func TestAdaBoostBoostsStumps(t *testing.T) {
+	// A diagonal boundary (x0 + x1 > 0) cannot be matched by one
+	// axis-aligned stump, but stumps stay better than chance, so boosting
+	// staircases toward the diagonal. (XOR would not work here: every
+	// stump is exactly at chance and AdaBoost stops immediately.)
+	x, y := diagonal(3, 400)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+
+	stump := stumpFactory()()
+	if err := stump.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	sAcc := mltest.Accuracy(stump.Predict, xte, yte)
+
+	boost := &AdaBoostM1{Base: stumpFactory(), Rounds: 25, Seed: 3}
+	if err := boost.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	bAcc := mltest.Accuracy(boost.Predict, xte, yte)
+	if bAcc <= sAcc+0.1 {
+		t.Fatalf("boosting %v did not improve on stump %v", bAcc, sAcc)
+	}
+	if boost.NumRounds() < 2 {
+		t.Fatalf("only %d boosting rounds", boost.NumRounds())
+	}
+}
+
+func TestAdaBoostPerfectLearnerStopsEarly(t *testing.T) {
+	x, y := mltest.TwoBlobs(4, 150)
+	boost := &AdaBoostM1{Base: treeFactory(), Rounds: 20, Seed: 4}
+	if err := boost.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Separable blobs: a full tree nails it; boosting should stop well
+	// before 20 rounds.
+	if boost.NumRounds() > 5 {
+		t.Fatalf("boosting ran %d rounds on separable data", boost.NumRounds())
+	}
+	if acc := mltest.Accuracy(boost.Predict, x, y); acc < 0.97 {
+		t.Fatalf("boosted accuracy %v", acc)
+	}
+}
+
+func TestVotingHeterogeneous(t *testing.T) {
+	x, y := mltest.ThreeBlobs(5, 200)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	v := &Voting{Factories: []Factory{
+		func() ml.Classifier { return oner.New() },
+		func() ml.Classifier { return tree.NewJ48() },
+		func() ml.Classifier { return linear.NewLogistic() },
+	}}
+	if err := v.Train(xtr, ytr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(v.Predict, xte, yte); acc < 0.85 {
+		t.Fatalf("voting accuracy %v", acc)
+	}
+}
+
+func TestStacking(t *testing.T) {
+	x, y := mltest.ThreeBlobs(6, 300)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	s := &Stacking{
+		Factories: []Factory{
+			func() ml.Classifier { return tree.NewJ48() },
+			func() ml.Classifier { return linear.NewLogistic() },
+		},
+		Seed: 6,
+	}
+	if err := s.Train(xtr, ytr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(s.Predict, xte, yte); acc < 0.8 {
+		t.Fatalf("stacking accuracy %v", acc)
+	}
+}
+
+func TestEnsembleErrors(t *testing.T) {
+	x, y := mltest.TwoBlobs(7, 20)
+	if err := (&Bagging{}).Train(x, y, 2); err == nil {
+		t.Fatal("bagging accepted nil base")
+	}
+	if err := (&AdaBoostM1{}).Train(x, y, 2); err == nil {
+		t.Fatal("boosting accepted nil base")
+	}
+	if err := (&Voting{}).Train(x, y, 2); err == nil {
+		t.Fatal("voting accepted no factories")
+	}
+	if err := (&Stacking{}).Train(x, y, 2); err == nil {
+		t.Fatal("stacking accepted no factories")
+	}
+	s := &Stacking{Factories: []Factory{treeFactory()}}
+	if err := s.Train(x[:3], y[:3], 2); err == nil {
+		t.Fatal("stacking accepted too few rows")
+	}
+	b := &Bagging{Base: treeFactory()}
+	if err := b.Train(nil, nil, 2); err == nil {
+		t.Fatal("bagging accepted empty set")
+	}
+}
+
+func TestEnsemblePanicsUntrained(t *testing.T) {
+	for _, f := range []func(){
+		func() { (&Bagging{}).Predict([]float64{1}) },
+		func() { (&AdaBoostM1{}).Predict([]float64{1}) },
+		func() { (&Voting{}).Predict([]float64{1}) },
+		func() { (&Stacking{}).Predict([]float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic before Train")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEnsembleDeterministic(t *testing.T) {
+	x, y := mltest.ThreeBlobs(8, 150)
+	a := &Bagging{Base: treeFactory(), N: 5, Seed: 11}
+	b := &Bagging{Base: treeFactory(), N: 5, Seed: 11}
+	if err := a.Train(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Train(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if a.Predict(x[i]) != b.Predict(x[i]) {
+			t.Fatal("same seed, different ensemble")
+		}
+	}
+}
+
+func TestRandomTreeAndForest(t *testing.T) {
+	x, y := mltest.ThreeBlobs(9, 300)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+
+	rt := tree.NewRandomTree()
+	if err := rt.Train(xtr, ytr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Size() < 3 {
+		t.Fatalf("random tree size %d", rt.Size())
+	}
+	rtAcc := mltest.Accuracy(rt.Predict, xte, yte)
+
+	rf := &RandomForest{Trees: 15, Seed: 9}
+	if err := rf.Train(xtr, ytr, 3); err != nil {
+		t.Fatal(err)
+	}
+	rfAcc := mltest.Accuracy(rf.Predict, xte, yte)
+	if rfAcc < 0.85 {
+		t.Fatalf("forest accuracy %v", rfAcc)
+	}
+	// The forest should not be clearly worse than one random tree.
+	if rfAcc+0.03 < rtAcc {
+		t.Fatalf("forest %v worse than single random tree %v", rfAcc, rtAcc)
+	}
+}
+
+func TestRandomForestDeterministic(t *testing.T) {
+	x, y := mltest.TwoBlobs(10, 150)
+	a := &RandomForest{Trees: 5, Seed: 3}
+	b := &RandomForest{Trees: 5, Seed: 3}
+	if err := a.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if a.Predict(x[i]) != b.Predict(x[i]) {
+			t.Fatal("same seed, different forests")
+		}
+	}
+}
+
+func TestRandomForestPanicsUntrained(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before Train")
+		}
+	}()
+	(&RandomForest{}).Predict([]float64{1})
+}

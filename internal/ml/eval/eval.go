@@ -1,0 +1,230 @@
+// Package eval implements the evaluation protocol of the paper: accuracy,
+// confusion matrices, per-class metrics, and train/test harnesses
+// mirroring WEKA's "supplied test set" mode.
+package eval
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+)
+
+// Confusion is a confusion matrix: Counts[actual][predicted].
+type Confusion struct {
+	NumClasses int
+	Counts     [][]int
+}
+
+// NewConfusion allocates a k-class confusion matrix.
+func NewConfusion(k int) *Confusion {
+	c := &Confusion{NumClasses: k, Counts: make([][]int, k)}
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, k)
+	}
+	return c
+}
+
+// Observe records one (actual, predicted) pair.
+func (c *Confusion) Observe(actual, predicted int) {
+	c.Counts[actual][predicted]++
+}
+
+// Total returns the number of observed instances.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the fraction of correctly classified instances.
+func (c *Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < c.NumClasses; i++ {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(n)
+}
+
+// Recall returns the per-class recall (a.k.a. per-class accuracy in the
+// paper's Figure 18): correct predictions of class k over actual class-k
+// instances. Classes with no instances report 0.
+func (c *Confusion) Recall(class int) float64 {
+	total := 0
+	for _, v := range c.Counts[class] {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Counts[class][class]) / float64(total)
+}
+
+// Precision returns correct predictions of class k over all predictions
+// of class k.
+func (c *Confusion) Precision(class int) float64 {
+	total := 0
+	for a := 0; a < c.NumClasses; a++ {
+		total += c.Counts[a][class]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Counts[class][class]) / float64(total)
+}
+
+// F1 returns the harmonic mean of precision and recall for a class.
+func (c *Confusion) F1(class int) float64 {
+	p, r := c.Precision(class), c.Recall(class)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix with actual classes as rows.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	for i, row := range c.Counts {
+		fmt.Fprintf(&b, "actual %d:", i)
+		for _, v := range row {
+			fmt.Fprintf(&b, " %6d", v)
+		}
+		b.WriteByte('\n')
+		_ = i
+	}
+	return b.String()
+}
+
+// Result is the outcome of evaluating a trained classifier on a test set.
+type Result struct {
+	Classifier string
+	Confusion  *Confusion
+	// TrainSeconds and TestSeconds hold wall-clock costs when measured by
+	// the harness (zero otherwise).
+	TrainSeconds float64
+	TestSeconds  float64
+}
+
+// Accuracy is shorthand for the confusion accuracy.
+func (r *Result) Accuracy() float64 { return r.Confusion.Accuracy() }
+
+// Evaluate runs a trained classifier over a test set.
+func Evaluate(c ml.Classifier, xTest [][]float64, yTest []int, numClasses int) (*Result, error) {
+	if len(xTest) != len(yTest) {
+		return nil, fmt.Errorf("eval: %d rows but %d labels", len(xTest), len(yTest))
+	}
+	if len(xTest) == 0 {
+		return nil, fmt.Errorf("eval: empty test set")
+	}
+	conf := NewConfusion(numClasses)
+	for i, x := range xTest {
+		p := c.Predict(x)
+		if p < 0 || p >= numClasses {
+			return nil, fmt.Errorf("eval: %s predicted out-of-range label %d", c.Name(), p)
+		}
+		conf.Observe(yTest[i], p)
+	}
+	return &Result{Classifier: c.Name(), Confusion: conf}, nil
+}
+
+// TrainAndTest fits the classifier on the training split and evaluates on
+// the test split — WEKA's "supplied test set" protocol used throughout the
+// paper.
+func TrainAndTest(c ml.Classifier, xTrain [][]float64, yTrain []int,
+	xTest [][]float64, yTest []int, numClasses int) (*Result, error) {
+	if err := c.Train(xTrain, yTrain, numClasses); err != nil {
+		return nil, fmt.Errorf("eval: training %s: %w", c.Name(), err)
+	}
+	return Evaluate(c, xTest, yTest, numClasses)
+}
+
+// CrossValidate performs stratified k-fold cross validation using factory
+// to produce a fresh classifier per fold, and returns the pooled confusion
+// matrix over all folds.
+func CrossValidate(factory func() ml.Classifier, x [][]float64, y []int,
+	numClasses, folds int, seed uint64) (*Result, error) {
+	if folds < 2 {
+		return nil, fmt.Errorf("eval: folds %d < 2", folds)
+	}
+	if len(x) != len(y) || len(x) < folds {
+		return nil, fmt.Errorf("eval: bad shape for %d-fold CV over %d rows", folds, len(x))
+	}
+	// Stratified fold assignment.
+	byClass := make(map[int][]int)
+	for i, label := range y {
+		byClass[label] = append(byClass[label], i)
+	}
+	src := rng.New(seed)
+	fold := make([]int, len(x))
+	for label := 0; label < numClasses; label++ {
+		rows := byClass[label]
+		src.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		for i, r := range rows {
+			fold[r] = i % folds
+		}
+	}
+	conf := NewConfusion(numClasses)
+	name := ""
+	for f := 0; f < folds; f++ {
+		var xtr, xte [][]float64
+		var ytr, yte []int
+		for i := range x {
+			if fold[i] == f {
+				xte = append(xte, x[i])
+				yte = append(yte, y[i])
+			} else {
+				xtr = append(xtr, x[i])
+				ytr = append(ytr, y[i])
+			}
+		}
+		c := factory()
+		name = c.Name()
+		if err := c.Train(xtr, ytr, numClasses); err != nil {
+			return nil, fmt.Errorf("eval: CV fold %d: %w", f, err)
+		}
+		for i := range xte {
+			conf.Observe(yte[i], c.Predict(xte[i]))
+		}
+	}
+	return &Result{Classifier: name, Confusion: conf}, nil
+}
+
+// WriteReport renders a per-class classification report (precision,
+// recall, F1, support) plus overall accuracy — the summary WEKA prints
+// after evaluation. classNames maps label indices to display names; nil
+// uses numeric labels.
+func (r *Result) WriteReport(w io.Writer, classNames []string) error {
+	c := r.Confusion
+	name := func(i int) string {
+		if i < len(classNames) {
+			return classNames[i]
+		}
+		return fmt.Sprintf("class %d", i)
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %9s %9s %9s %9s\n",
+		r.Classifier, "precision", "recall", "f1", "support"); err != nil {
+		return err
+	}
+	for i := 0; i < c.NumClasses; i++ {
+		support := 0
+		for _, v := range c.Counts[i] {
+			support += v
+		}
+		fmt.Fprintf(w, "%-12s %8.1f%% %8.1f%% %8.1f%% %9d\n",
+			name(i), c.Precision(i)*100, c.Recall(i)*100, c.F1(i)*100, support)
+	}
+	_, err := fmt.Fprintf(w, "%-12s %29.1f%% %9d\n", "accuracy",
+		c.Accuracy()*100, c.Total())
+	return err
+}

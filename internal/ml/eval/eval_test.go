@@ -1,0 +1,146 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/bayes"
+	"repro/internal/ml/mltest"
+	"repro/internal/ml/oner"
+)
+
+func TestConfusionMetrics(t *testing.T) {
+	c := NewConfusion(2)
+	// actual 0: 8 right, 2 wrong; actual 1: 6 right, 4 wrong.
+	for i := 0; i < 8; i++ {
+		c.Observe(0, 0)
+	}
+	for i := 0; i < 2; i++ {
+		c.Observe(0, 1)
+	}
+	for i := 0; i < 6; i++ {
+		c.Observe(1, 1)
+	}
+	for i := 0; i < 4; i++ {
+		c.Observe(1, 0)
+	}
+	if c.Total() != 20 {
+		t.Fatalf("total %d", c.Total())
+	}
+	if math.Abs(c.Accuracy()-0.7) > 1e-12 {
+		t.Fatalf("accuracy %v, want 0.7", c.Accuracy())
+	}
+	if math.Abs(c.Recall(0)-0.8) > 1e-12 {
+		t.Fatalf("recall(0) %v", c.Recall(0))
+	}
+	if math.Abs(c.Recall(1)-0.6) > 1e-12 {
+		t.Fatalf("recall(1) %v", c.Recall(1))
+	}
+	if math.Abs(c.Precision(0)-8.0/12) > 1e-12 {
+		t.Fatalf("precision(0) %v", c.Precision(0))
+	}
+	wantF1 := 2 * (8.0 / 12) * 0.8 / (8.0/12 + 0.8)
+	if math.Abs(c.F1(0)-wantF1) > 1e-12 {
+		t.Fatalf("f1(0) %v, want %v", c.F1(0), wantF1)
+	}
+}
+
+func TestConfusionEmptyClass(t *testing.T) {
+	c := NewConfusion(3)
+	c.Observe(0, 0)
+	if c.Recall(2) != 0 || c.Precision(2) != 0 || c.F1(2) != 0 {
+		t.Fatal("empty class metrics not zero")
+	}
+}
+
+func TestTrainAndTest(t *testing.T) {
+	x, y := mltest.TwoBlobs(1, 200)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	res, err := TrainAndTest(bayes.New(), xtr, ytr, xte, yte, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Classifier != "NaiveBayes" {
+		t.Fatalf("classifier name %q", res.Classifier)
+	}
+	if res.Accuracy() < 0.95 {
+		t.Fatalf("accuracy %v", res.Accuracy())
+	}
+	if res.Confusion.Total() != len(yte) {
+		t.Fatal("confusion total != test size")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	c := bayes.New()
+	x, y := mltest.TwoBlobs(2, 50)
+	if err := c.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Evaluate(c, nil, nil, 2); err == nil {
+		t.Fatal("accepted empty test set")
+	}
+	if _, err := Evaluate(c, x, y[:10], 2); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	x, y := mltest.TwoBlobs(3, 150)
+	res, err := CrossValidate(func() ml.Classifier { return oner.New() }, x, y, 2, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confusion.Total() != len(y) {
+		t.Fatalf("CV observed %d instances, want %d", res.Confusion.Total(), len(y))
+	}
+	if res.Accuracy() < 0.9 {
+		t.Fatalf("CV accuracy %v", res.Accuracy())
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	x, y := mltest.TwoBlobs(4, 10)
+	if _, err := CrossValidate(func() ml.Classifier { return oner.New() }, x, y, 2, 1, 1); err == nil {
+		t.Fatal("accepted folds < 2")
+	}
+	if _, err := CrossValidate(func() ml.Classifier { return oner.New() }, x[:3], y[:3], 2, 5, 1); err == nil {
+		t.Fatal("accepted folds > rows")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := NewConfusion(2)
+	c.Observe(0, 1)
+	if c.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	x, y := mltest.TwoBlobs(5, 100)
+	res, err := TrainAndTest(bayes.New(), x[:50], y[:50], x[50:], y[50:], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := res.WriteReport(&buf, []string{"benign", "malware"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"NaiveBayes", "precision", "benign", "malware", "accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Unnamed classes fall back to numeric labels.
+	var buf2 strings.Builder
+	if err := res.WriteReport(&buf2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "class 0") {
+		t.Fatal("numeric fallback missing")
+	}
+}

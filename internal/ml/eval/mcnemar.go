@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// McNemarResult is the outcome of McNemar's paired test between two
+// classifiers evaluated on the same instances.
+type McNemarResult struct {
+	// BOnly counts instances classifier A got right and B got wrong;
+	// COnly the reverse.
+	BOnly, COnly int
+	// Statistic is the continuity-corrected chi-square statistic
+	// (1 degree of freedom).
+	Statistic float64
+	// PValue is the two-sided p-value.
+	PValue float64
+}
+
+// Significant reports whether the accuracy difference is significant at
+// the given alpha (e.g. 0.05).
+func (m *McNemarResult) Significant(alpha float64) bool {
+	return m.PValue < alpha
+}
+
+// McNemar runs McNemar's test with Edwards' continuity correction on two
+// classifiers' predictions over the same labelled instances. It answers
+// "is the disagreement between A and B systematic, or coin-flip noise?" —
+// the standard check before claiming one detector beats another on a
+// shared test set.
+func McNemar(predsA, predsB, labels []int) (*McNemarResult, error) {
+	if len(predsA) != len(labels) || len(predsB) != len(labels) {
+		return nil, fmt.Errorf("eval: McNemar length mismatch (%d, %d, %d)",
+			len(predsA), len(predsB), len(labels))
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("eval: McNemar on empty test set")
+	}
+	res := &McNemarResult{}
+	for i, y := range labels {
+		aOK := predsA[i] == y
+		bOK := predsB[i] == y
+		switch {
+		case aOK && !bOK:
+			res.BOnly++
+		case !aOK && bOK:
+			res.COnly++
+		}
+	}
+	n := res.BOnly + res.COnly
+	if n == 0 {
+		// Identical error patterns: no evidence of difference.
+		res.Statistic = 0
+		res.PValue = 1
+		return res, nil
+	}
+	d := math.Abs(float64(res.BOnly-res.COnly)) - 1 // continuity correction
+	if d < 0 {
+		d = 0
+	}
+	res.Statistic = d * d / float64(n)
+	res.PValue = chi2Survival1(res.Statistic)
+	return res, nil
+}
+
+// chi2Survival1 returns P(X >= x) for a chi-square distribution with one
+// degree of freedom: erfc(sqrt(x/2)).
+func chi2Survival1(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return math.Erfc(math.Sqrt(x / 2))
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMcNemarIdenticalClassifiers(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 0, 1}
+	preds := []int{0, 1, 1, 1, 0, 0}
+	res, err := McNemar(preds, preds, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue != 1 || res.Statistic != 0 {
+		t.Fatalf("identical classifiers: stat %v p %v", res.Statistic, res.PValue)
+	}
+	if res.Significant(0.05) {
+		t.Fatal("identical classifiers flagged significant")
+	}
+}
+
+func TestMcNemarOneSidedDominance(t *testing.T) {
+	// A is right on 40 instances where B is wrong; B never wins.
+	n := 40
+	labels := make([]int, n)
+	predsA := make([]int, n)
+	predsB := make([]int, n)
+	for i := range labels {
+		labels[i] = 1
+		predsA[i] = 1
+		predsB[i] = 0
+	}
+	res, err := McNemar(predsA, predsB, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BOnly != 40 || res.COnly != 0 {
+		t.Fatalf("discordant counts %d/%d", res.BOnly, res.COnly)
+	}
+	// Statistic = (40-1)^2/40 = 38.025; p tiny.
+	if math.Abs(res.Statistic-38.025) > 1e-9 {
+		t.Fatalf("statistic %v", res.Statistic)
+	}
+	if !res.Significant(0.001) {
+		t.Fatalf("clear dominance p=%v not significant", res.PValue)
+	}
+}
+
+func TestMcNemarBalancedDisagreement(t *testing.T) {
+	// A and B each uniquely win 10 instances: no systematic difference.
+	labels := make([]int, 20)
+	predsA := make([]int, 20)
+	predsB := make([]int, 20)
+	for i := 0; i < 10; i++ {
+		labels[i] = 1
+		predsA[i] = 1 // A right
+		predsB[i] = 0 // B wrong
+	}
+	for i := 10; i < 20; i++ {
+		labels[i] = 1
+		predsA[i] = 0
+		predsB[i] = 1
+	}
+	res, err := McNemar(predsA, predsB, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.05) {
+		t.Fatalf("balanced disagreement p=%v flagged significant", res.PValue)
+	}
+	// Known value: |10-10|-1 clamps to 0 → statistic 0, p 1.
+	if res.Statistic != 0 {
+		t.Fatalf("statistic %v, want 0", res.Statistic)
+	}
+}
+
+func TestMcNemarKnownChiSquare(t *testing.T) {
+	// b=15, c=5: stat = (|10|-1)^2/20 = 4.05, p ≈ 0.0441.
+	labels := make([]int, 20)
+	predsA := make([]int, 20)
+	predsB := make([]int, 20)
+	for i := 0; i < 15; i++ {
+		labels[i], predsA[i], predsB[i] = 1, 1, 0
+	}
+	for i := 15; i < 20; i++ {
+		labels[i], predsA[i], predsB[i] = 1, 0, 1
+	}
+	res, err := McNemar(predsA, predsB, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Statistic-4.05) > 1e-9 {
+		t.Fatalf("statistic %v, want 4.05", res.Statistic)
+	}
+	if math.Abs(res.PValue-0.0441) > 0.001 {
+		t.Fatalf("p-value %v, want ~0.0441", res.PValue)
+	}
+}
+
+func TestMcNemarErrors(t *testing.T) {
+	if _, err := McNemar([]int{1}, []int{1, 0}, []int{1, 0}); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if _, err := McNemar(nil, nil, nil); err == nil {
+		t.Fatal("accepted empty input")
+	}
+}
+
+func TestChi2Survival(t *testing.T) {
+	// Known 1-dof quantiles: P(X >= 3.841) ≈ 0.05, P(X >= 6.635) ≈ 0.01.
+	if p := chi2Survival1(3.841); math.Abs(p-0.05) > 0.001 {
+		t.Fatalf("chi2 sf(3.841) = %v", p)
+	}
+	if p := chi2Survival1(6.635); math.Abs(p-0.01) > 0.001 {
+		t.Fatalf("chi2 sf(6.635) = %v", p)
+	}
+	if chi2Survival1(0) != 1 || chi2Survival1(-1) != 1 {
+		t.Fatal("chi2 sf at zero wrong")
+	}
+}

@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AUC computes the area under the ROC curve from anomaly/posterior scores
+// (higher = more positive) and binary labels (1 = positive), using the
+// rank-sum (Mann-Whitney) formulation with midrank tie handling.
+func AUC(scores []float64, labels []int) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, fmt.Errorf("eval: %d scores but %d labels", len(scores), len(labels))
+	}
+	nPos, nNeg := 0, 0
+	for _, l := range labels {
+		switch l {
+		case 0:
+			nNeg++
+		case 1:
+			nPos++
+		default:
+			return 0, fmt.Errorf("eval: AUC labels must be 0/1, got %d", l)
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0, fmt.Errorf("eval: AUC needs both classes (pos=%d neg=%d)", nPos, nNeg)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Midranks over tied score groups.
+	ranks := make([]float64, len(scores))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	sumPos := 0.0
+	for i, l := range labels {
+		if l == 1 {
+			sumPos += ranks[i]
+		}
+	}
+	u := sumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg)), nil
+}
+
+// ROCPoint is one operating point of a ROC curve.
+type ROCPoint struct {
+	Threshold float64
+	TPR       float64 // true-positive rate (recall)
+	FPR       float64 // false-positive rate
+}
+
+// ROC returns the ROC curve points sweeping the threshold over every
+// distinct score, from the most permissive to the strictest.
+func ROC(scores []float64, labels []int) ([]ROCPoint, error) {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return nil, fmt.Errorf("eval: bad ROC input (%d scores, %d labels)", len(scores), len(labels))
+	}
+	nPos, nNeg := 0, 0
+	for _, l := range labels {
+		if l == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil, fmt.Errorf("eval: ROC needs both classes")
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Descending by score: lowering the threshold admits more positives.
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var out []ROCPoint
+	tp, fp := 0, 0
+	for i := 0; i < len(idx); {
+		thr := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == thr {
+			if labels[idx[i]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		out = append(out, ROCPoint{
+			Threshold: thr,
+			TPR:       float64(tp) / float64(nPos),
+			FPR:       float64(fp) / float64(nNeg),
+		})
+	}
+	return out, nil
+}

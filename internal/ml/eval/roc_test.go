@@ -1,0 +1,90 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAUCPerfect(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []int{0, 0, 1, 1}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("perfect separation AUC %v", auc)
+	}
+	// Inverted scores give AUC 0.
+	inv := []float64{0.9, 0.8, 0.2, 0.1}
+	auc, _ = AUC(inv, labels)
+	if auc != 0 {
+		t.Fatalf("inverted AUC %v", auc)
+	}
+}
+
+func TestAUCChanceAndTies(t *testing.T) {
+	// All scores identical: AUC must be exactly 0.5 via midranks.
+	scores := []float64{5, 5, 5, 5, 5, 5}
+	labels := []int{0, 1, 0, 1, 0, 1}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC %v, want 0.5", auc)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// One inversion among 2x2: AUC = 3/4.
+	scores := []float64{0.1, 0.6, 0.4, 0.9}
+	labels := []int{0, 0, 1, 1}
+	auc, _ := AUC(scores, labels)
+	if math.Abs(auc-0.75) > 1e-12 {
+		t.Fatalf("AUC %v, want 0.75", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{1}, []int{1, 0}); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if _, err := AUC([]float64{1, 2}, []int{1, 1}); err == nil {
+		t.Fatal("accepted single-class labels")
+	}
+	if _, err := AUC([]float64{1, 2}, []int{1, 3}); err == nil {
+		t.Fatal("accepted non-binary labels")
+	}
+}
+
+func TestROCCurve(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.6}
+	labels := []int{1, 0, 1, 0}
+	pts, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d ROC points", len(pts))
+	}
+	// Monotone non-decreasing TPR and FPR as threshold loosens.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TPR < pts[i-1].TPR || pts[i].FPR < pts[i-1].FPR {
+			t.Fatal("ROC not monotone")
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Fatalf("ROC does not end at (1,1): %+v", last)
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC(nil, nil); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	if _, err := ROC([]float64{1, 2}, []int{0, 0}); err == nil {
+		t.Fatal("accepted single-class labels")
+	}
+}

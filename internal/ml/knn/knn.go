@@ -1,0 +1,158 @@
+// Package knn implements k-nearest-neighbours classification (WEKA's IBk),
+// the instance-based learner of Demme et al. (ISCA'13), the paper's
+// foundational reference. KNN is interesting here precisely because it is
+// hostile to hardware: the "model" is the entire training set, so its
+// FPGA realization needs a distance engine plus enough BRAM to hold every
+// stored exemplar — the antithesis of OneR's eleven LUTs.
+package knn
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/ml"
+)
+
+// KNN is a brute-force k-nearest-neighbours classifier with internal
+// feature standardization (Euclidean distance over raw HPC counts would
+// be dominated by the largest-magnitude counter).
+type KNN struct {
+	// K is the neighbour count (default 5).
+	K int
+	// Weighted enables inverse-distance vote weighting (WEKA -I).
+	Weighted bool
+
+	x          [][]float64 // standardized training features
+	y          []int
+	mean, std  []float64
+	numClasses int
+	trained    bool
+}
+
+// New returns a KNN with default parameters.
+func New() *KNN { return &KNN{K: 5} }
+
+// Name implements ml.Classifier.
+func (k *KNN) Name() string { return "KNN" }
+
+// Train implements ml.Classifier: it standardizes and stores the data.
+func (k *KNN) Train(x [][]float64, y []int, numClasses int) error {
+	dim, err := ml.CheckTrainingSet(x, y, numClasses)
+	if err != nil {
+		return err
+	}
+	if k.K <= 0 {
+		k.K = 5
+	}
+	k.numClasses = numClasses
+	k.mean = make([]float64, dim)
+	k.std = make([]float64, dim)
+	n := float64(len(x))
+	for _, row := range x {
+		for j, v := range row {
+			k.mean[j] += v
+		}
+	}
+	for j := range k.mean {
+		k.mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - k.mean[j]
+			k.std[j] += d * d
+		}
+	}
+	for j := range k.std {
+		k.std[j] = math.Sqrt(k.std[j] / n)
+		if k.std[j] == 0 {
+			k.std[j] = 1
+		}
+	}
+	k.x = make([][]float64, len(x))
+	k.y = append([]int{}, y...)
+	for i, row := range x {
+		k.x[i] = k.standardize(row)
+	}
+	k.trained = true
+	return nil
+}
+
+func (k *KNN) standardize(row []float64) []float64 {
+	out := make([]float64, len(row))
+	for j, v := range row {
+		out[j] = (v - k.mean[j]) / k.std[j]
+	}
+	return out
+}
+
+// neighbourHeap is a max-heap on distance so the worst of the current k
+// best sits on top.
+type neighbour struct {
+	dist  float64
+	label int
+}
+type neighbourHeap []neighbour
+
+func (h neighbourHeap) Len() int            { return len(h) }
+func (h neighbourHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h neighbourHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighbourHeap) Push(x interface{}) { *h = append(*h, x.(neighbour)) }
+func (h *neighbourHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// Predict implements ml.Classifier.
+func (k *KNN) Predict(features []float64) int {
+	if !k.trained {
+		panic(ml.ErrNotTrained)
+	}
+	q := k.standardize(features)
+	kk := k.K
+	if kk > len(k.x) {
+		kk = len(k.x)
+	}
+	h := make(neighbourHeap, 0, kk+1)
+	for i, row := range k.x {
+		d := 0.0
+		for j, v := range row {
+			diff := v - q[j]
+			d += diff * diff
+		}
+		if len(h) < kk {
+			heap.Push(&h, neighbour{d, k.y[i]})
+		} else if d < h[0].dist {
+			heap.Pop(&h)
+			heap.Push(&h, neighbour{d, k.y[i]})
+		}
+	}
+	votes := make([]float64, k.numClasses)
+	for _, nb := range h {
+		w := 1.0
+		if k.Weighted {
+			w = 1 / (math.Sqrt(nb.dist) + 1e-9)
+		}
+		votes[nb.label] += w
+	}
+	return ml.ArgMax(votes)
+}
+
+// NumStored returns the stored exemplar count; the hardware model sizes
+// the exemplar memory from it.
+func (k *KNN) NumStored() int {
+	if !k.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return len(k.x)
+}
+
+// Dim returns the feature dimensionality of the stored exemplars.
+func (k *KNN) Dim() int {
+	if !k.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return len(k.mean)
+}

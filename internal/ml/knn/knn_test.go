@@ -1,0 +1,111 @@
+package knn
+
+import (
+	"testing"
+
+	"repro/internal/ml/mltest"
+)
+
+func TestKNNSeparable(t *testing.T) {
+	x, y := mltest.TwoBlobs(1, 200)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.97 {
+		t.Fatalf("accuracy %v", acc)
+	}
+}
+
+func TestKNNSolvesXOR(t *testing.T) {
+	// Local methods handle XOR trivially.
+	x, y := mltest.XOR(2, 200)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.95 {
+		t.Fatalf("XOR accuracy %v", acc)
+	}
+}
+
+func TestKNNMulticlassAndAccessors(t *testing.T) {
+	x, y := mltest.ThreeBlobs(3, 150)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.85 {
+		t.Fatalf("3-class accuracy %v", acc)
+	}
+	if c.NumStored() != len(xtr) || c.Dim() != 4 {
+		t.Fatalf("stored %d dim %d", c.NumStored(), c.Dim())
+	}
+}
+
+func TestKNNScaleInvariance(t *testing.T) {
+	x, y := mltest.TwoBlobs(4, 150)
+	for i := range x {
+		x[i][0] *= 1e6
+	}
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.95 {
+		t.Fatalf("accuracy %v on skewed scales", acc)
+	}
+}
+
+func TestKNNK1Memorizes(t *testing.T) {
+	x, y := mltest.ThreeBlobs(5, 60)
+	c := &KNN{K: 1}
+	if err := c.Train(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	// 1-NN on its own training set is perfect.
+	if acc := mltest.Accuracy(c.Predict, x, y); acc != 1 {
+		t.Fatalf("1-NN training accuracy %v", acc)
+	}
+}
+
+func TestKNNWeighted(t *testing.T) {
+	x, y := mltest.TwoBlobs(6, 150)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := &KNN{K: 7, Weighted: true}
+	if err := c.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.95 {
+		t.Fatalf("weighted accuracy %v", acc)
+	}
+}
+
+func TestKNNKLargerThanData(t *testing.T) {
+	x := [][]float64{{0}, {1}, {10}}
+	y := []int{0, 0, 1}
+	c := &KNN{K: 50}
+	if err := c.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	// k clamps to n; majority of all = class 0.
+	if c.Predict([]float64{0.5}) != 0 {
+		t.Fatal("clamped-k prediction wrong")
+	}
+}
+
+func TestKNNPanicsAndErrors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before Train")
+		}
+	}()
+	if err := New().Train(nil, nil, 2); err == nil {
+		t.Fatal("accepted empty training set")
+	}
+	New().Predict([]float64{1})
+}

@@ -1,0 +1,365 @@
+// Package linear implements the paper's linear models: multinomial
+// logistic regression (WEKA's Logistic, the thesis's "MLR") and a linear
+// support vector machine trained with the Pegasos subgradient method
+// (WEKA's SMO counterpart), with one-vs-rest reduction for multiclass.
+//
+// Raw HPC counts span many orders of magnitude, so both models
+// standardize features internally using training-set statistics.
+package linear
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+)
+
+// scaler standardizes features with train-set statistics.
+type scaler struct {
+	mean, std []float64
+}
+
+func fitScaler(x [][]float64) *scaler {
+	dim := len(x[0])
+	s := &scaler{mean: make([]float64, dim), std: make([]float64, dim)}
+	n := float64(len(x))
+	for _, row := range x {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+func (s *scaler) apply(row []float64, out []float64) {
+	for j, v := range row {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+}
+
+// Logistic is multinomial logistic regression (softmax) trained with
+// mini-batch SGD and L2 regularization.
+type Logistic struct {
+	// Epochs over the training set (default 60).
+	Epochs int
+	// LR is the initial learning rate (default 0.1, 1/t decay).
+	LR float64
+	// L2 is the ridge penalty (default 1e-4, WEKA default ridge 1e-8 is
+	// too loose for SGD).
+	L2 float64
+	// Batch is the mini-batch size (default 32).
+	Batch int
+	// Seed controls shuffling.
+	Seed uint64
+	// ClassWeights optionally re-weights the loss per true class (length
+	// numClasses). Used to balance one-vs-rest experts trained on skewed
+	// label distributions; nil means uniform weights.
+	ClassWeights []float64
+
+	w       [][]float64 // [class][dim+1], last is bias
+	scale   *scaler
+	k, dim  int
+	trained bool
+}
+
+// NewLogistic returns an MLR with default hyperparameters.
+func NewLogistic() *Logistic {
+	return &Logistic{Epochs: 60, LR: 0.1, L2: 1e-4, Batch: 32, Seed: 1}
+}
+
+// Name implements ml.Classifier.
+func (lg *Logistic) Name() string { return "Logistic" }
+
+func (lg *Logistic) fillDefaults() {
+	d := NewLogistic()
+	if lg.Epochs <= 0 {
+		lg.Epochs = d.Epochs
+	}
+	if lg.LR <= 0 {
+		lg.LR = d.LR
+	}
+	if lg.L2 < 0 {
+		lg.L2 = d.L2
+	}
+	if lg.Batch <= 0 {
+		lg.Batch = d.Batch
+	}
+}
+
+// Train implements ml.Classifier.
+func (lg *Logistic) Train(x [][]float64, y []int, numClasses int) error {
+	dim, err := ml.CheckTrainingSet(x, y, numClasses)
+	if err != nil {
+		return err
+	}
+	lg.fillDefaults()
+	if lg.ClassWeights != nil && len(lg.ClassWeights) != numClasses {
+		return fmt.Errorf("linear: %d class weights for %d classes",
+			len(lg.ClassWeights), numClasses)
+	}
+	lg.k, lg.dim = numClasses, dim
+	lg.scale = fitScaler(x)
+	lg.w = make([][]float64, numClasses)
+	for c := range lg.w {
+		lg.w[c] = make([]float64, dim+1)
+	}
+
+	n := len(x)
+	z := make([][]float64, n)
+	for i := range x {
+		z[i] = make([]float64, dim)
+		lg.scale.apply(x[i], z[i])
+	}
+
+	src := rng.New(lg.Seed)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	probs := make([]float64, numClasses)
+	step := 0
+	for epoch := 0; epoch < lg.Epochs; epoch++ {
+		src.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += lg.Batch {
+			end := start + lg.Batch
+			if end > n {
+				end = n
+			}
+			step++
+			lr := lg.LR / (1 + 0.001*float64(step))
+			scale := lr / float64(end-start)
+			for _, idx := range order[start:end] {
+				row := z[idx]
+				lg.softmax(row, probs)
+				sw := 1.0
+				if lg.ClassWeights != nil {
+					sw = lg.ClassWeights[y[idx]]
+				}
+				for c := 0; c < numClasses; c++ {
+					g := sw * probs[c]
+					if c == y[idx] {
+						g -= sw
+					}
+					wc := lg.w[c]
+					for j, v := range row {
+						wc[j] -= scale * g * v
+					}
+					wc[dim] -= scale * g
+				}
+			}
+			// L2 shrinkage (biases excluded).
+			if lg.L2 > 0 {
+				shrink := 1 - lr*lg.L2
+				for c := range lg.w {
+					for j := 0; j < dim; j++ {
+						lg.w[c][j] *= shrink
+					}
+				}
+			}
+		}
+	}
+	lg.trained = true
+	return nil
+}
+
+// softmax fills out with class probabilities for a standardized row.
+func (lg *Logistic) softmax(z []float64, out []float64) {
+	maxS := math.Inf(-1)
+	for c := 0; c < lg.k; c++ {
+		wc := lg.w[c]
+		s := wc[lg.dim]
+		for j, v := range z {
+			s += wc[j] * v
+		}
+		out[c] = s
+		if s > maxS {
+			maxS = s
+		}
+	}
+	sum := 0.0
+	for c := range out {
+		out[c] = math.Exp(out[c] - maxS)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+}
+
+// Predict implements ml.Classifier.
+func (lg *Logistic) Predict(features []float64) int {
+	return ml.ArgMax(lg.Proba(features))
+}
+
+// Proba implements ml.ProbClassifier.
+func (lg *Logistic) Proba(features []float64) []float64 {
+	if !lg.trained {
+		panic(ml.ErrNotTrained)
+	}
+	z := make([]float64, lg.dim)
+	lg.scale.apply(features, z)
+	out := make([]float64, lg.k)
+	lg.softmax(z, out)
+	return out
+}
+
+// Weights returns the learned weight matrix ([class][dim+1], bias last);
+// the hardware cost model sizes the MAC array from it.
+func (lg *Logistic) Weights() [][]float64 {
+	if !lg.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return lg.w
+}
+
+// SVM is a linear SVM trained with Pegasos; multiclass via one-vs-rest.
+type SVM struct {
+	// Lambda is the Pegasos regularization (default 1e-4).
+	Lambda float64
+	// Epochs over the training set (default 40).
+	Epochs int
+	// Seed controls sampling.
+	Seed uint64
+
+	w       [][]float64 // one weight vector (dim+1) per class, OvR
+	scale   *scaler
+	k, dim  int
+	trained bool
+}
+
+// NewSVM returns a linear SVM with default hyperparameters.
+func NewSVM() *SVM { return &SVM{Lambda: 1e-4, Epochs: 40, Seed: 1} }
+
+// Name implements ml.Classifier.
+func (s *SVM) Name() string { return "SVM" }
+
+// Train implements ml.Classifier.
+func (s *SVM) Train(x [][]float64, y []int, numClasses int) error {
+	dim, err := ml.CheckTrainingSet(x, y, numClasses)
+	if err != nil {
+		return err
+	}
+	if s.Lambda <= 0 {
+		s.Lambda = 1e-4
+	}
+	if s.Epochs <= 0 {
+		s.Epochs = 40
+	}
+	s.k, s.dim = numClasses, dim
+	s.scale = fitScaler(x)
+	n := len(x)
+	z := make([][]float64, n)
+	for i := range x {
+		z[i] = make([]float64, dim)
+		s.scale.apply(x[i], z[i])
+	}
+
+	s.w = make([][]float64, numClasses)
+	for c := 0; c < numClasses; c++ {
+		s.w[c] = s.trainBinary(z, y, c)
+	}
+	s.trained = true
+	return nil
+}
+
+// trainBinary runs Pegasos for class c vs rest and returns w (dim+1).
+func (s *SVM) trainBinary(z [][]float64, y []int, c int) []float64 {
+	n := len(z)
+	w := make([]float64, s.dim+1)
+	src := rng.New(s.Seed + uint64(c)*7919)
+	t := 0
+	for epoch := 0; epoch < s.Epochs; epoch++ {
+		for i := 0; i < n; i++ {
+			t++
+			idx := src.Intn(n)
+			label := -1.0
+			if y[idx] == c {
+				label = 1.0
+			}
+			eta := 1 / (s.Lambda * float64(t))
+			row := z[idx]
+			margin := w[s.dim]
+			for j, v := range row {
+				margin += w[j] * v
+			}
+			// Regularization shrink (weights only).
+			shrink := 1 - eta*s.Lambda
+			for j := 0; j < s.dim; j++ {
+				w[j] *= shrink
+			}
+			if label*margin < 1 {
+				for j, v := range row {
+					w[j] += eta * label * v
+				}
+				w[s.dim] += eta * label
+			}
+		}
+	}
+	return w
+}
+
+// decision returns the OvR margins for a standardized row.
+func (s *SVM) decision(z []float64) []float64 {
+	out := make([]float64, s.k)
+	for c := 0; c < s.k; c++ {
+		wc := s.w[c]
+		m := wc[s.dim]
+		for j, v := range z {
+			m += wc[j] * v
+		}
+		out[c] = m
+	}
+	return out
+}
+
+// Predict implements ml.Classifier.
+func (s *SVM) Predict(features []float64) int {
+	if !s.trained {
+		panic(ml.ErrNotTrained)
+	}
+	z := make([]float64, s.dim)
+	s.scale.apply(features, z)
+	return ml.ArgMax(s.decision(z))
+}
+
+// Weights returns the per-class OvR weight vectors (bias last).
+func (s *SVM) Weights() [][]float64 {
+	if !s.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return s.w
+}
+
+// Scaler exposes the internal standardization statistics (means, stddevs)
+// fitted at training time; hardware code generation folds them into the
+// weights so the emitted datapath consumes raw features.
+func (lg *Logistic) Scaler() (means, stddevs []float64) {
+	if !lg.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return append([]float64{}, lg.scale.mean...), append([]float64{}, lg.scale.std...)
+}
+
+// Scaler exposes the internal standardization statistics (see Logistic).
+func (s *SVM) Scaler() (means, stddevs []float64) {
+	if !s.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return append([]float64{}, s.scale.mean...), append([]float64{}, s.scale.std...)
+}

@@ -1,0 +1,117 @@
+// Package ml defines the classifier interface shared by all learning
+// algorithms in this repository and small utilities they have in common.
+//
+// The paper trains its models in WEKA; each WEKA classifier it uses has a
+// from-scratch Go counterpart in a subpackage:
+//
+//	OneR                -> ml/oner
+//	J48 (C4.5), REPTree -> ml/tree
+//	JRip (RIPPER)       -> ml/rules
+//	NaiveBayes          -> ml/bayes
+//	Logistic / MLR, SVM -> ml/linear
+//	MultilayerPerceptron-> ml/mlp
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Classifier is a trainable multiclass classifier over dense float
+// features. Labels are ints in [0, numClasses).
+type Classifier interface {
+	// Name returns the classifier's display name (WEKA-style).
+	Name() string
+	// Train fits the model. Implementations must not retain X or y.
+	Train(x [][]float64, y []int, numClasses int) error
+	// Predict returns the predicted label for one instance. Predict must
+	// only be called after a successful Train.
+	Predict(features []float64) int
+}
+
+// ProbClassifier is a Classifier that can also report class-membership
+// probabilities.
+type ProbClassifier interface {
+	Classifier
+	// Proba returns a probability distribution over classes, summing to 1.
+	Proba(features []float64) []float64
+}
+
+// ErrNotTrained is returned/panicked by models used before Train.
+var ErrNotTrained = errors.New("ml: classifier not trained")
+
+// CheckTrainingSet validates the common preconditions shared by every
+// Train implementation and returns the feature dimensionality.
+func CheckTrainingSet(x [][]float64, y []int, numClasses int) (dim int, err error) {
+	if len(x) == 0 {
+		return 0, errors.New("ml: empty training set")
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("ml: %d feature rows but %d labels", len(x), len(y))
+	}
+	if numClasses < 2 {
+		return 0, fmt.Errorf("ml: numClasses %d < 2", numClasses)
+	}
+	dim = len(x[0])
+	if dim == 0 {
+		return 0, errors.New("ml: zero-dimensional features")
+	}
+	for i, row := range x {
+		if len(row) != dim {
+			return 0, fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), dim)
+		}
+	}
+	for i, label := range y {
+		if label < 0 || label >= numClasses {
+			return 0, fmt.Errorf("ml: row %d has label %d outside [0,%d)", i, label, numClasses)
+		}
+	}
+	return dim, nil
+}
+
+// MajorityLabel returns the most frequent label in y (ties broken toward
+// the smaller label), along with its count.
+func MajorityLabel(y []int, numClasses int) (label, count int) {
+	counts := make([]int, numClasses)
+	for _, v := range y {
+		counts[v]++
+	}
+	label, count = 0, counts[0]
+	for c := 1; c < numClasses; c++ {
+		if counts[c] > count {
+			label, count = c, counts[c]
+		}
+	}
+	return label, count
+}
+
+// ArgMax returns the index of the largest value (first on ties).
+func ArgMax(v []float64) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMaxInt returns the index of the largest int value (first on ties).
+func ArgMaxInt(v []int) int {
+	best := 0
+	for i := 1; i < len(v); i++ {
+		if v[i] > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// CopyMatrix deep-copies a feature matrix so models can safely keep it.
+func CopyMatrix(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		out[i] = append([]float64{}, row...)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package ml
+
+import "testing"
+
+func TestCheckTrainingSet(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	y := []int{0, 1}
+	dim, err := CheckTrainingSet(x, y, 2)
+	if err != nil || dim != 2 {
+		t.Fatalf("valid set rejected: dim=%d err=%v", dim, err)
+	}
+	if _, err := CheckTrainingSet(nil, nil, 2); err == nil {
+		t.Fatal("accepted empty set")
+	}
+	if _, err := CheckTrainingSet(x, []int{0}, 2); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if _, err := CheckTrainingSet(x, y, 1); err == nil {
+		t.Fatal("accepted numClasses < 2")
+	}
+	if _, err := CheckTrainingSet([][]float64{{1}, {1, 2}}, y, 2); err == nil {
+		t.Fatal("accepted ragged rows")
+	}
+	if _, err := CheckTrainingSet(x, []int{0, 5}, 2); err == nil {
+		t.Fatal("accepted out-of-range label")
+	}
+	if _, err := CheckTrainingSet([][]float64{{}, {}}, y, 2); err == nil {
+		t.Fatal("accepted zero-dimensional features")
+	}
+}
+
+func TestMajorityLabel(t *testing.T) {
+	label, count := MajorityLabel([]int{0, 1, 1, 2, 1}, 3)
+	if label != 1 || count != 3 {
+		t.Fatalf("majority = %d/%d", label, count)
+	}
+	// Ties break toward the smaller label.
+	label, _ = MajorityLabel([]int{0, 0, 1, 1}, 2)
+	if label != 0 {
+		t.Fatalf("tie broke to %d, want 0", label)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 5, 3}) != 1 {
+		t.Fatal("ArgMax wrong")
+	}
+	if ArgMax([]float64{7}) != 0 {
+		t.Fatal("ArgMax single wrong")
+	}
+	// First wins ties.
+	if ArgMax([]float64{2, 2}) != 0 {
+		t.Fatal("ArgMax tie wrong")
+	}
+}
+
+func TestArgMaxInt(t *testing.T) {
+	if ArgMaxInt([]int{0, 9, 9}) != 1 {
+		t.Fatal("ArgMaxInt tie wrong")
+	}
+}
+
+func TestCopyMatrix(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}}
+	c := CopyMatrix(x)
+	c[0][0] = 99
+	if x[0][0] != 1 {
+		t.Fatal("CopyMatrix did not deep copy")
+	}
+}

@@ -1,0 +1,120 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml/mltest"
+)
+
+func TestMLPSeparable(t *testing.T) {
+	x, y := mltest.TwoBlobs(1, 200)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.97 {
+		t.Fatalf("accuracy %v, want >= 0.97", acc)
+	}
+}
+
+func TestMLPSolvesXOR(t *testing.T) {
+	// The defining capability over the linear models.
+	x, y := mltest.XOR(2, 150)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	c.Hidden = 8
+	c.Epochs = 200
+	if err := c.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.9 {
+		t.Fatalf("XOR accuracy %v, want >= 0.9", acc)
+	}
+}
+
+func TestMLPMulticlass(t *testing.T) {
+	x, y := mltest.ThreeBlobs(3, 150)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 3); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.85 {
+		t.Fatalf("3-class accuracy %v, want >= 0.85", acc)
+	}
+}
+
+func TestMLPProbaAndTopology(t *testing.T) {
+	x, y := mltest.ThreeBlobs(4, 80)
+	c := New()
+	if err := c.Train(x, y, 3); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Proba(x[0])
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	in, hid, out := c.Topology()
+	if in != 4 || out != 3 {
+		t.Fatalf("topology %d-%d-%d", in, hid, out)
+	}
+	// WEKA default 'a': (4+3)/2 = 3.
+	if hid != 3 {
+		t.Fatalf("default hidden %d, want 3", hid)
+	}
+}
+
+func TestMLPScaleInvariance(t *testing.T) {
+	x, y := mltest.TwoBlobs(5, 150)
+	for i := range x {
+		x[i][0] *= 1e6
+		x[i][1] *= 1e4
+	}
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(c.Predict, xte, yte); acc < 0.95 {
+		t.Fatalf("accuracy %v on HPC-scale features", acc)
+	}
+}
+
+func TestMLPDeterministicWithSeed(t *testing.T) {
+	x, y := mltest.TwoBlobs(6, 80)
+	a, b := New(), New()
+	a.Seed, b.Seed = 3, 3
+	a.Epochs, b.Epochs = 20, 20
+	if err := a.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if a.Predict(x[i]) != b.Predict(x[i]) {
+			t.Fatal("same seed, different predictions")
+		}
+	}
+}
+
+func TestMLPPanicsUntrained(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic before Train")
+		}
+	}()
+	New().Predict([]float64{1, 2})
+}
+
+func TestMLPRejectsBadInput(t *testing.T) {
+	if err := New().Train(nil, nil, 2); err == nil {
+		t.Fatal("accepted empty training set")
+	}
+}

@@ -1,0 +1,84 @@
+// Package mltest provides shared synthetic datasets for classifier tests:
+// separable Gaussian blobs, overlapping blobs, and XOR (non-linearly
+// separable) problems, all deterministic in a seed.
+package mltest
+
+import "repro/internal/rng"
+
+// Blobs generates n points per class around class-specific centers with
+// the given noise stddev. Returns features and labels.
+func Blobs(seed uint64, centers [][]float64, n int, noise float64) (x [][]float64, y []int) {
+	src := rng.New(seed)
+	dim := len(centers[0])
+	for c, center := range centers {
+		for i := 0; i < n; i++ {
+			row := make([]float64, dim)
+			for j := range row {
+				row[j] = center[j] + src.Normal(0, noise)
+			}
+			x = append(x, row)
+			y = append(y, c)
+		}
+	}
+	// Shuffle jointly so classes interleave.
+	src.Shuffle(len(x), func(i, j int) {
+		x[i], x[j] = x[j], x[i]
+		y[i], y[j] = y[j], y[i]
+	})
+	return x, y
+}
+
+// TwoBlobs is a binary, well-separated 2-D problem.
+func TwoBlobs(seed uint64, n int) ([][]float64, []int) {
+	return Blobs(seed, [][]float64{{0, 0}, {4, 4}}, n, 0.7)
+}
+
+// ThreeBlobs is a 3-class, 4-D problem with moderate overlap.
+func ThreeBlobs(seed uint64, n int) ([][]float64, []int) {
+	return Blobs(seed, [][]float64{
+		{0, 0, 0, 0},
+		{3, 3, 0, 0},
+		{0, 3, 3, 1},
+	}, n, 1.0)
+}
+
+// XOR is the classic non-linearly-separable binary problem: four Gaussian
+// clusters at square corners, diagonal corners sharing a label.
+func XOR(seed uint64, n int) ([][]float64, []int) {
+	src := rng.New(seed)
+	var x [][]float64
+	var y []int
+	corners := [][3]float64{
+		{0, 0, 0}, {4, 4, 0}, // class 0
+		{0, 4, 1}, {4, 0, 1}, // class 1
+	}
+	for _, c := range corners {
+		for i := 0; i < n; i++ {
+			x = append(x, []float64{c[0] + src.Normal(0, 0.5), c[1] + src.Normal(0, 0.5)})
+			y = append(y, int(c[2]))
+		}
+	}
+	src.Shuffle(len(x), func(i, j int) {
+		x[i], x[j] = x[j], x[i]
+		y[i], y[j] = y[j], y[i]
+	})
+	return x, y
+}
+
+// Accuracy computes the fraction of correct predictions of predict over
+// the given set.
+func Accuracy(predict func([]float64) int, x [][]float64, y []int) float64 {
+	correct := 0
+	for i := range x {
+		if predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+// SplitHalf splits a dataset into two halves (train/test).
+func SplitHalf(x [][]float64, y []int) (xa [][]float64, ya []int, xb [][]float64, yb []int) {
+	h := len(x) / 2
+	return x[:h], y[:h], x[h:], y[h:]
+}

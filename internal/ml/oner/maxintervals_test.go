@@ -1,0 +1,29 @@
+package oner
+
+import (
+	"testing"
+
+	"repro/internal/ml/mltest"
+)
+
+func TestOneRMaxIntervals(t *testing.T) {
+	// Alternating fine-grained labels produce many intervals by default;
+	// MaxIntervals must bound them.
+	x, y := mltest.Blobs(9, [][]float64{{0}, {0.4}}, 2000, 1.5)
+	free := New()
+	if err := free.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	capped := New()
+	capped.MaxIntervals = 8
+	if err := capped.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if capped.NumIntervals() > 8 {
+		t.Fatalf("capped rule has %d intervals, want <= 8", capped.NumIntervals())
+	}
+	if free.NumIntervals() <= capped.NumIntervals() {
+		t.Fatalf("cap had no effect: free %d vs capped %d",
+			free.NumIntervals(), capped.NumIntervals())
+	}
+}

@@ -1,0 +1,108 @@
+package oner
+
+import (
+	"testing"
+
+	"repro/internal/ml/mltest"
+)
+
+func TestOneRSeparable(t *testing.T) {
+	x, y := mltest.TwoBlobs(1, 200)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 2); err != nil {
+		t.Fatal(err)
+	}
+	acc := mltest.Accuracy(c.Predict, xte, yte)
+	if acc < 0.95 {
+		t.Fatalf("accuracy %v on separable blobs, want >= 0.95", acc)
+	}
+}
+
+func TestOneRPicksInformativeAttribute(t *testing.T) {
+	// Attribute 0 is noise, attribute 1 perfectly separates.
+	x := [][]float64{}
+	y := []int{}
+	for i := 0; i < 40; i++ {
+		v := float64(i % 7)
+		if i < 20 {
+			x = append(x, []float64{v, 0})
+			y = append(y, 0)
+		} else {
+			x = append(x, []float64{v, 10})
+			y = append(y, 1)
+		}
+	}
+	c := New()
+	if err := c.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Attribute() != 1 {
+		t.Fatalf("picked attribute %d, want 1", c.Attribute())
+	}
+	if c.Predict([]float64{3, 0}) != 0 || c.Predict([]float64{3, 10}) != 1 {
+		t.Fatal("rule misclassifies the pure clusters")
+	}
+}
+
+func TestOneRMulticlass(t *testing.T) {
+	x, y := mltest.Blobs(2, [][]float64{{0}, {5}, {10}}, 100, 0.5)
+	xtr, ytr, xte, yte := mltest.SplitHalf(x, y)
+	c := New()
+	if err := c.Train(xtr, ytr, 3); err != nil {
+		t.Fatal(err)
+	}
+	acc := mltest.Accuracy(c.Predict, xte, yte)
+	if acc < 0.9 {
+		t.Fatalf("1-D 3-class accuracy %v, want >= 0.9", acc)
+	}
+	if c.NumIntervals() < 3 {
+		t.Fatalf("rule has %d intervals, want >= 3", c.NumIntervals())
+	}
+}
+
+func TestOneRXORIsHard(t *testing.T) {
+	// A single-attribute rule cannot solve XOR: accuracy must hover
+	// around chance.
+	x, y := mltest.XOR(3, 100)
+	c := New()
+	if err := c.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	acc := mltest.Accuracy(c.Predict, x, y)
+	if acc > 0.75 {
+		t.Fatalf("OneR on XOR scored %v; single thresholds should not do that", acc)
+	}
+}
+
+func TestOneRRejectsBadInput(t *testing.T) {
+	c := New()
+	if err := c.Train(nil, nil, 2); err == nil {
+		t.Fatal("accepted empty training set")
+	}
+}
+
+func TestOneRPanicsUntrained(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Predict before Train did not panic")
+		}
+	}()
+	New().Predict([]float64{1})
+}
+
+func TestOneRDeterministic(t *testing.T) {
+	x, y := mltest.TwoBlobs(5, 100)
+	a, b := New(), New()
+	if err := a.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if a.Predict(x[i]) != b.Predict(x[i]) {
+			t.Fatal("training is not deterministic")
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package online_test
+
+import (
+	"fmt"
+
+	"repro/internal/online"
+)
+
+// ExampleMajorityVoter shows decision smoothing: one noisy malware
+// verdict never alarms, a sustained run does.
+func ExampleMajorityVoter() {
+	v := &online.MajorityVoter{Window: 4, Threshold: 0.5}
+	fmt.Println("one-off:", v.Observe(1))
+	v.Reset()
+	stream := []int{0, 1, 1, 1}
+	alarmAt := -1
+	for i, verdict := range stream {
+		if v.Observe(verdict) && alarmAt < 0 {
+			alarmAt = i
+		}
+	}
+	fmt.Println("sustained alarm at window:", alarmAt)
+	// Output:
+	// one-off: false
+	// sustained alarm at window: 2
+}

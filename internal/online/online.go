@@ -1,0 +1,158 @@
+// Package online turns the per-window classifiers into run-time malware
+// detectors: predictions over consecutive 10 ms HPC samples are smoothed
+// by a sliding-window majority vote or an exponentially weighted moving
+// average before raising an alarm. This is the "online detection" setting
+// of Demme et al. (ISCA'13) and Ozsoy et al. (HPCA'15) that the thesis's
+// related work and future work discuss: a single noisy window should not
+// trigger, but sustained malicious behaviour should — quickly.
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+	"repro/internal/trace"
+)
+
+// Smoother accumulates binary per-window verdicts (1 = malware) and
+// decides when to raise the alarm.
+type Smoother interface {
+	Name() string
+	// Observe consumes one window verdict and reports whether the alarm
+	// is raised as of this window.
+	Observe(pred int) bool
+	// Reset clears state for a new monitored process.
+	Reset()
+}
+
+// MajorityVoter alarms when at least Threshold of the last Window
+// verdicts are malware.
+type MajorityVoter struct {
+	// Window is the sliding-window length in samples (default 8).
+	Window int
+	// Threshold is the malware fraction that triggers (default 0.5).
+	Threshold float64
+
+	hist []int
+	pos  int
+	n    int
+	sum  int
+}
+
+// Name implements Smoother.
+func (m *MajorityVoter) Name() string { return "MajorityVoter" }
+
+func (m *MajorityVoter) init() {
+	if m.Window <= 0 {
+		m.Window = 8
+	}
+	if m.Threshold <= 0 || m.Threshold > 1 {
+		m.Threshold = 0.5
+	}
+	if m.hist == nil {
+		m.hist = make([]int, m.Window)
+	}
+}
+
+// Observe implements Smoother.
+func (m *MajorityVoter) Observe(pred int) bool {
+	m.init()
+	if pred != 0 {
+		pred = 1
+	}
+	if m.n == m.Window {
+		m.sum -= m.hist[m.pos]
+	} else {
+		m.n++
+	}
+	m.hist[m.pos] = pred
+	m.sum += pred
+	m.pos = (m.pos + 1) % m.Window
+	// The vote is over the filled portion, so detection can fire before
+	// the window is full under a strong signal.
+	return float64(m.sum) >= m.Threshold*float64(m.Window)
+}
+
+// Reset implements Smoother.
+func (m *MajorityVoter) Reset() {
+	m.init()
+	for i := range m.hist {
+		m.hist[i] = 0
+	}
+	m.pos, m.n, m.sum = 0, 0, 0
+}
+
+// EWMA alarms when the exponentially weighted malware-verdict average
+// exceeds Threshold.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0,1] (default 0.25).
+	Alpha float64
+	// Threshold is the alarm level (default 0.6).
+	Threshold float64
+
+	state float64
+}
+
+// Name implements Smoother.
+func (e *EWMA) Name() string { return "EWMA" }
+
+func (e *EWMA) init() {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		e.Alpha = 0.25
+	}
+	if e.Threshold <= 0 || e.Threshold >= 1 {
+		e.Threshold = 0.6
+	}
+}
+
+// Observe implements Smoother.
+func (e *EWMA) Observe(pred int) bool {
+	e.init()
+	v := 0.0
+	if pred != 0 {
+		v = 1
+	}
+	e.state = e.Alpha*v + (1-e.Alpha)*e.state
+	return e.state > e.Threshold
+}
+
+// Reset implements Smoother.
+func (e *EWMA) Reset() { e.state = 0 }
+
+// Result is the outcome of monitoring one trace.
+type Result struct {
+	// Detected reports whether the alarm fired at any window.
+	Detected bool
+	// Window is the 0-based index of the first alarmed window
+	// (-1 if never).
+	Window int
+	// LatencySeconds is Window+1 sampling periods (0 if never detected).
+	LatencySeconds float64
+}
+
+// Monitor replays a trace through a trained binary classifier and a
+// smoother, returning when (if ever) the alarm fires. The classifier must
+// have been trained on the same event set as the trace, with binary
+// labels (1 = malware).
+func Monitor(clf ml.Classifier, sm Smoother, tr *trace.Trace, samplePeriod float64) (*Result, error) {
+	if clf == nil || sm == nil || tr == nil {
+		return nil, fmt.Errorf("online: nil argument")
+	}
+	if samplePeriod <= 0 {
+		return nil, fmt.Errorf("online: non-positive sample period")
+	}
+	sm.Reset()
+	res := &Result{Window: -1}
+	for i := range tr.Records {
+		pred := clf.Predict(tr.Records[i].Values())
+		if sm.Observe(pred) && !res.Detected {
+			res.Detected = true
+			res.Window = i
+			res.LatencySeconds = float64(i+1) * samplePeriod
+			// Keep consuming: callers may want post-detection stats
+			// later; for now first alarm decides.
+			break
+		}
+	}
+	return res, nil
+}

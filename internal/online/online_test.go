@@ -1,0 +1,197 @@
+package online
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func TestMajorityVoterWindow(t *testing.T) {
+	v := &MajorityVoter{Window: 4, Threshold: 0.5}
+	// 1 malware vote out of 4: no alarm (1 < 2).
+	if v.Observe(1) {
+		t.Fatal("single vote raised alarm")
+	}
+	if v.Observe(0) || v.Observe(0) {
+		t.Fatal("early alarm")
+	}
+	// Second malware vote: 2/4 >= 0.5 → alarm.
+	if !v.Observe(1) {
+		t.Fatal("2/4 malware did not alarm at threshold 0.5")
+	}
+	// Old votes slide out: after 4 benign votes, calm again.
+	for i := 0; i < 4; i++ {
+		v.Observe(0)
+	}
+	if v.Observe(0) {
+		t.Fatal("alarm persisted after window flushed")
+	}
+}
+
+func TestMajorityVoterReset(t *testing.T) {
+	v := &MajorityVoter{Window: 2, Threshold: 0.5}
+	v.Observe(1)
+	v.Reset()
+	if v.Observe(0) {
+		t.Fatal("reset did not clear votes")
+	}
+}
+
+func TestMajorityVoterDefaults(t *testing.T) {
+	v := &MajorityVoter{}
+	// Defaults: window 8, threshold 0.5 → 4 consecutive malware votes.
+	alarmAt := -1
+	for i := 0; i < 8; i++ {
+		if v.Observe(1) && alarmAt == -1 {
+			alarmAt = i
+		}
+	}
+	if alarmAt != 3 {
+		t.Fatalf("default voter alarmed at vote %d, want 3", alarmAt)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := &EWMA{Alpha: 0.5, Threshold: 0.6}
+	if e.Observe(1) {
+		t.Fatal("one vote should not cross 0.6 at alpha 0.5")
+	}
+	if !e.Observe(1) {
+		t.Fatal("two malware votes (state 0.75) should alarm")
+	}
+	e.Reset()
+	if e.Observe(0) {
+		t.Fatal("reset did not clear state")
+	}
+	// Decay: after an alarm, benign stream calms it down.
+	e.Reset()
+	e.Observe(1)
+	e.Observe(1)
+	for i := 0; i < 5; i++ {
+		e.Observe(0)
+	}
+	if e.Observe(0) {
+		t.Fatal("EWMA did not decay")
+	}
+}
+
+// constClassifier always predicts the same label.
+type constClassifier int
+
+func (c constClassifier) Name() string                        { return "const" }
+func (c constClassifier) Train([][]float64, []int, int) error { return nil }
+func (c constClassifier) Predict([]float64) int               { return int(c) }
+
+var _ ml.Classifier = constClassifier(0)
+
+func collectTrace(t *testing.T, class workload.Class, windows int) *trace.Trace {
+	t.Helper()
+	cfg := trace.DefaultConfig()
+	cfg.WindowsPerSample = windows
+	cfg.SimInstrPerSlice = 300
+	tr, err := trace.CollectSample(cfg, class, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestMonitorDetectsSustainedMalware(t *testing.T) {
+	tr := collectTrace(t, workload.Worm, 12)
+	res, err := Monitor(constClassifier(1), &MajorityVoter{Window: 4, Threshold: 0.5}, tr, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("sustained malware verdicts did not alarm")
+	}
+	// 2 of 4 votes at threshold 0.5 → window index 1, latency 20 ms.
+	if res.Window != 1 {
+		t.Fatalf("alarm at window %d, want 1", res.Window)
+	}
+	if res.LatencySeconds != 0.02 {
+		t.Fatalf("latency %v, want 0.02", res.LatencySeconds)
+	}
+}
+
+func TestMonitorStaysQuietOnBenign(t *testing.T) {
+	tr := collectTrace(t, workload.Benign, 12)
+	res, err := Monitor(constClassifier(0), &MajorityVoter{}, tr, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Fatal("benign verdicts raised alarm")
+	}
+	if res.Window != -1 || res.LatencySeconds != 0 {
+		t.Fatalf("quiet result malformed: %+v", res)
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	tr := collectTrace(t, workload.Benign, 2)
+	if _, err := Monitor(nil, &EWMA{}, tr, 0.01); err == nil {
+		t.Fatal("accepted nil classifier")
+	}
+	if _, err := Monitor(constClassifier(0), nil, tr, 0.01); err == nil {
+		t.Fatal("accepted nil smoother")
+	}
+	if _, err := Monitor(constClassifier(0), &EWMA{}, nil, 0.01); err == nil {
+		t.Fatal("accepted nil trace")
+	}
+	if _, err := Monitor(constClassifier(0), &EWMA{}, tr, 0); err == nil {
+		t.Fatal("accepted zero period")
+	}
+}
+
+func TestSmootherRobustToFlakyVotes(t *testing.T) {
+	// Alternating verdicts at threshold 0.75 never alarm: smoothing
+	// suppresses one-off misclassifications.
+	v := &MajorityVoter{Window: 8, Threshold: 0.75}
+	for i := 0; i < 50; i++ {
+		if v.Observe(i % 2) {
+			t.Fatal("flaky verdict stream raised alarm at high threshold")
+		}
+	}
+}
+
+// Property: whenever the majority voter alarms, at least
+// ceil(threshold*window) of the most recent observations were malware.
+func TestVoterAlarmImpliesVotesProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		window := src.Intn(10) + 2
+		v := &MajorityVoter{Window: window, Threshold: 0.5}
+		var history []int
+		for i := 0; i < 200; i++ {
+			pred := 0
+			if src.Bool(0.4) {
+				pred = 1
+			}
+			history = append(history, pred)
+			alarm := v.Observe(pred)
+			if alarm {
+				// Count malware votes in the filled window.
+				lo := len(history) - window
+				if lo < 0 {
+					lo = 0
+				}
+				sum := 0
+				for _, p := range history[lo:] {
+					sum += p
+				}
+				if float64(sum) < 0.5*float64(window) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package pca
+
+import (
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+func benchData(rows, cols int) *mat.Matrix {
+	src := rng.New(1)
+	x := mat.NewMatrix(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = src.Normal(0, 1)
+	}
+	return x
+}
+
+func BenchmarkFit16Features(b *testing.B) {
+	x := benchData(2000, 16)
+	attrs := make([]string, 16)
+	for i := range attrs {
+		attrs[i] = "a"
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(x, attrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProjectMatrix(b *testing.B) {
+	x := benchData(2000, 16)
+	attrs := make([]string, 16)
+	for i := range attrs {
+		attrs[i] = "a"
+	}
+	p, err := Fit(x, attrs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ProjectMatrix(x, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package pca_test
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/pca"
+)
+
+// ExampleFit shows the basic PCA flow: fit, inspect variance coverage,
+// rank attributes, project to 2-D.
+func ExampleFit() {
+	// Three correlated columns: a carries the signal, b = 2a, c is tiny
+	// independent noise (deterministic here for a stable example).
+	rows := [][]float64{
+		{1, 2, 0.01}, {2, 4, -0.02}, {3, 6, 0.03},
+		{4, 8, -0.01}, {5, 10, 0.02}, {6, 12, -0.03},
+	}
+	p, err := pca.Fit(mat.FromRows(rows), []string{"a", "b", "c"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("components for 95%% variance: %d\n", p.NumComponentsFor(0.95))
+	fmt.Printf("top attribute: %s\n", p.TopAttributes(1, 0.95)[0])
+	proj, _ := p.Project(rows[0], 2)
+	fmt.Printf("first row projects to %d components\n", len(proj))
+	// Output:
+	// components for 95% variance: 2
+	// top attribute: a
+	// first row projects to 2 components
+}

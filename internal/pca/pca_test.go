@@ -1,0 +1,322 @@
+package pca
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// corrData builds a dataset where columns 0-2 carry one strongly
+// correlated signal (so the leading component dominates) and column 3 is
+// independent noise.
+func corrData(seed uint64, n int) (*mat.Matrix, []string) {
+	src := rng.New(seed)
+	x := mat.NewMatrix(n, 4)
+	for i := 0; i < n; i++ {
+		s := src.Normal(0, 3)
+		x.Set(i, 0, s+src.Normal(0, 0.3))
+		x.Set(i, 1, -s+src.Normal(0, 0.3))
+		x.Set(i, 2, 2*s+src.Normal(0, 0.3))
+		x.Set(i, 3, src.Normal(0, 0.1))
+	}
+	return x, []string{"a", "b", "c", "d"}
+}
+
+func TestFitBasics(t *testing.T) {
+	x, attrs := corrData(1, 500)
+	p, err := Fit(x, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Values) != 4 {
+		t.Fatalf("%d eigenvalues", len(p.Values))
+	}
+	for i := 1; i < 4; i++ {
+		if p.Values[i] > p.Values[i-1]+1e-12 {
+			t.Fatal("eigenvalues not descending")
+		}
+	}
+	for _, v := range p.Values {
+		if v < 0 {
+			t.Fatalf("negative eigenvalue %v", v)
+		}
+	}
+	// Correlation-matrix PCA: eigenvalue sum equals the number of
+	// non-degenerate standardized columns.
+	if math.Abs(p.TotalVariance()-4) > 1e-6 {
+		t.Fatalf("total variance %v, want 4", p.TotalVariance())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	x := mat.NewMatrix(1, 3)
+	if _, err := Fit(x, []string{"a", "b", "c"}); err == nil {
+		t.Fatal("accepted single row")
+	}
+	x2 := mat.NewMatrix(10, 3)
+	if _, err := Fit(x2, []string{"a"}); err == nil {
+		t.Fatal("accepted attribute count mismatch")
+	}
+}
+
+func TestVarianceFractionAndCoverage(t *testing.T) {
+	x, attrs := corrData(2, 500)
+	p, _ := Fit(x, attrs)
+	if f := p.VarianceFraction(4); math.Abs(f-1) > 1e-9 {
+		t.Fatalf("full coverage %v, want 1", f)
+	}
+	if p.VarianceFraction(1) <= p.VarianceFraction(0) {
+		t.Fatal("variance fraction not increasing")
+	}
+	k := p.NumComponentsFor(0.95)
+	if k < 1 || k > 4 {
+		t.Fatalf("components for 0.95 = %d", k)
+	}
+	if p.VarianceFraction(k) < 0.95 {
+		t.Fatal("coverage target not met")
+	}
+	if k > 1 && p.VarianceFraction(k-1) >= 0.95 {
+		t.Fatal("k not minimal")
+	}
+	// The correlated triple compresses into one component: 2 components
+	// must explain essentially everything.
+	if p.VarianceFraction(2) < 0.99 {
+		t.Fatalf("2 components explain only %v", p.VarianceFraction(2))
+	}
+}
+
+func TestRankAttributesFindsSignal(t *testing.T) {
+	x, attrs := corrData(3, 800)
+	p, _ := Fit(x, attrs)
+	ranked := p.RankAttributes(0.95)
+	if len(ranked) != 4 {
+		t.Fatalf("%d ranked attributes", len(ranked))
+	}
+	// The correlated signal pair (a, b) must outrank pure noise (d).
+	pos := map[string]int{}
+	for i, r := range ranked {
+		pos[r.Name] = i
+	}
+	if pos["a"] > pos["d"] || pos["b"] > pos["d"] {
+		t.Fatalf("noise outranked signal: %v", ranked)
+	}
+	// Scores must be descending.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Score > ranked[i-1].Score+1e-12 {
+			t.Fatal("scores not descending")
+		}
+	}
+}
+
+func TestTopAttributes(t *testing.T) {
+	x, attrs := corrData(4, 500)
+	p, _ := Fit(x, attrs)
+	top2 := p.TopAttributes(2, 0.95)
+	if len(top2) != 2 {
+		t.Fatalf("top2 = %v", top2)
+	}
+	topAll := p.TopAttributes(99, 0.95)
+	if len(topAll) != 4 {
+		t.Fatalf("k clamp failed: %v", topAll)
+	}
+}
+
+func TestProjectReconstruction(t *testing.T) {
+	x, attrs := corrData(5, 400)
+	p, _ := Fit(x, attrs)
+	// Projections onto all components preserve squared norm of the
+	// standardized row (orthonormal basis).
+	row := x.Row(0)
+	proj, err := p.Project(row, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, 4)
+	for j, v := range row {
+		d := v - p.Means[j]
+		if p.Stddevs[j] > 0 {
+			d /= p.Stddevs[j]
+		}
+		z[j] = d
+	}
+	if math.Abs(mat.Dot(proj, proj)-mat.Dot(z, z)) > 1e-9 {
+		t.Fatal("projection does not preserve norm")
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	x, attrs := corrData(6, 100)
+	p, _ := Fit(x, attrs)
+	if _, err := p.Project([]float64{1, 2}, 2); err == nil {
+		t.Fatal("accepted wrong row length")
+	}
+	if _, err := p.Project(x.Row(0), 0); err == nil {
+		t.Fatal("accepted ncomp 0")
+	}
+	if _, err := p.Project(x.Row(0), 5); err == nil {
+		t.Fatal("accepted ncomp > dim")
+	}
+}
+
+func TestProjectMatrixSeparatesClusters(t *testing.T) {
+	// Two clusters in 4-D must remain separated in the top-2 projection.
+	src := rng.New(7)
+	n := 200
+	x := mat.NewMatrix(2*n, 4)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 4; j++ {
+			x.Set(i, j, src.Normal(0, 1))
+			x.Set(n+i, j, src.Normal(6, 1))
+		}
+	}
+	p, _ := Fit(x, []string{"a", "b", "c", "d"})
+	proj, err := p.ProjectMatrix(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanA, meanB := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		meanA += proj.At(i, 0)
+		meanB += proj.At(n+i, 0)
+	}
+	meanA /= float64(n)
+	meanB /= float64(n)
+	if math.Abs(meanA-meanB) < 3 {
+		t.Fatalf("clusters not separated on PC1: %v vs %v", meanA, meanB)
+	}
+}
+
+// labelledGroup builds a two-cluster dataset: label-1 rows are shifted
+// along shiftCols; sharedCols separate the clusters in every group.
+func labelledGroup(seed uint64, n int, sharedCols, shiftCols []int) Group {
+	src := rng.New(seed)
+	x := mat.NewMatrix(2*n, 5)
+	labels := make([]int, 2*n)
+	for i := 0; i < 2*n; i++ {
+		label := 0
+		if i >= n {
+			label = 1
+		}
+		labels[i] = label
+		for j := 0; j < 5; j++ {
+			x.Set(i, j, src.Normal(0, 1))
+		}
+		if label == 1 {
+			for _, c := range sharedCols {
+				x.Set(i, c, x.At(i, c)+4)
+			}
+			for _, c := range shiftCols {
+				x.Set(i, c, x.At(i, c)+4)
+			}
+		}
+	}
+	return Group{X: x, Labels: labels}
+}
+
+func TestClassCustomFeatures(t *testing.T) {
+	attrs := []string{"a0", "a1", "a2", "a3", "a4"}
+	shared := []int{0, 1}
+	groups := map[string]Group{
+		"c1": labelledGroup(1, 150, shared, []int{2}),
+		"c2": labelledGroup(2, 150, shared, []int{3}),
+		"c3": labelledGroup(3, 150, shared, []int{4}),
+	}
+	custom, common, err := ClassCustomFeatures(groups, attrs, 3, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(custom) != 3 {
+		t.Fatalf("custom sets %d", len(custom))
+	}
+	for name, set := range custom {
+		if len(set) != 3 {
+			t.Fatalf("class %s custom set %v", name, set)
+		}
+	}
+	// The shared discriminators a0 and a1 must be in every custom set.
+	commonSet := map[string]bool{}
+	for _, a := range common {
+		commonSet[a] = true
+	}
+	if !commonSet["a0"] || !commonSet["a1"] {
+		t.Fatalf("shared discriminators not common: %v (custom %v)", common, custom)
+	}
+	// Each group's private discriminator must appear in its own set.
+	wantPrivate := map[string]string{"c1": "a2", "c2": "a3", "c3": "a4"}
+	for name, private := range wantPrivate {
+		found := false
+		for _, a := range custom[name] {
+			if a == private {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("group %s custom set %v missing its discriminator %s",
+				name, custom[name], private)
+		}
+	}
+}
+
+func TestRankAttributesDiscriminative(t *testing.T) {
+	g := labelledGroup(5, 200, []int{2}, nil)
+	p, err := Fit(g.X, []string{"a0", "a1", "a2", "a3", "a4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := p.RankAttributesDiscriminative(g.X, g.Labels, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Name != "a2" {
+		t.Fatalf("discriminator not ranked first: %v", ranked)
+	}
+	// Errors: label length mismatch, single-cluster labels.
+	if _, err := p.RankAttributesDiscriminative(g.X, g.Labels[:3], 0.95); err == nil {
+		t.Fatal("accepted label length mismatch")
+	}
+	ones := make([]int, g.X.Rows)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if _, err := p.RankAttributesDiscriminative(g.X, ones, 0.95); err == nil {
+		t.Fatal("accepted single-cluster labels")
+	}
+}
+
+func TestClassCustomFeaturesErrors(t *testing.T) {
+	if _, _, err := ClassCustomFeatures(nil, []string{"a"}, 1, 0.95); err == nil {
+		t.Fatal("accepted empty groups")
+	}
+	groups := map[string]Group{"c": {X: mat.NewMatrix(1, 1), Labels: []int{0}}}
+	if _, _, err := ClassCustomFeatures(groups, []string{"a"}, 1, 0.95); err == nil {
+		t.Fatal("accepted degenerate group")
+	}
+}
+
+func TestSVDRankAttributes(t *testing.T) {
+	x, attrs := corrData(8, 500)
+	ranked, err := SVDRankAttributes(x, attrs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 4 {
+		t.Fatalf("%d ranked attributes", len(ranked))
+	}
+	// The correlated signal triple must outrank pure noise (d).
+	pos := map[string]int{}
+	for i, r := range ranked {
+		pos[r.Name] = i
+	}
+	if pos["a"] > pos["d"] || pos["c"] > pos["d"] {
+		t.Fatalf("SVD ranking put noise above signal: %v", ranked)
+	}
+	// Errors.
+	if _, err := SVDRankAttributes(x, attrs[:2], 0.95); err == nil {
+		t.Fatal("accepted attribute mismatch")
+	}
+	if _, err := SVDRankAttributes(mat.NewMatrix(1, 4), attrs, 0.95); err == nil {
+		t.Fatal("accepted single row")
+	}
+}

@@ -1,0 +1,264 @@
+package pmu
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/micro"
+)
+
+func TestCatalogHas52Events(t *testing.T) {
+	names := Catalog()
+	if len(names) != 52 {
+		t.Fatalf("catalog has %d events, want 52", len(names))
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate catalog event %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestPaperFeaturesAreInCatalog(t *testing.T) {
+	feats := PaperFeatures()
+	if len(feats) != 16 {
+		t.Fatalf("paper feature set has %d events, want 16", len(feats))
+	}
+	for _, f := range feats {
+		if _, err := Lookup(f); err != nil {
+			t.Fatalf("paper feature %q not in catalog: %v", f, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("definitely-not-an-event"); err == nil {
+		t.Fatal("Lookup accepted unknown event")
+	}
+}
+
+func TestNewRejectsBadPrograms(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("accepted empty program")
+	}
+	if _, err := New([]string{"instructions", "instructions"}); err == nil {
+		t.Fatal("accepted duplicate event")
+	}
+	if _, err := New([]string{"bogus"}); err == nil {
+		t.Fatal("accepted unknown event")
+	}
+	if _, err := New([]string{"instructions"}, WithCounters(0)); err == nil {
+		t.Fatal("accepted zero counters")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	p, err := New(PaperFeatures()) // 16 events, 8 counters
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Groups() != 2 {
+		t.Fatalf("16 events on 8 counters: groups = %d, want 2", p.Groups())
+	}
+	p8, _ := New(PaperFeatures()[:8])
+	if p8.Groups() != 1 {
+		t.Fatalf("8 events on 8 counters: groups = %d, want 1", p8.Groups())
+	}
+}
+
+// uniformSlices builds n identical slices with the given per-slice counts.
+func uniformSlices(n int, c micro.Counts) []micro.Counts {
+	out := make([]micro.Counts, n)
+	for i := range out {
+		out[i] = c
+	}
+	return out
+}
+
+func TestMeasureExactWhenNoMultiplexing(t *testing.T) {
+	p, _ := New([]string{"instructions", "branch-misses"})
+	slices := uniformSlices(10, micro.Counts{Instructions: 1000, BranchMisses: 50})
+	rs, err := p.Measure(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Value != 10000 || rs[0].TimeRunningFrac != 1 {
+		t.Fatalf("instructions reading %+v", rs[0])
+	}
+	if rs[1].Value != 500 {
+		t.Fatalf("branch-misses reading %+v", rs[1])
+	}
+}
+
+func TestMeasureMultiplexedUniformIsExact(t *testing.T) {
+	// With perfectly uniform slices, multiplex extrapolation is exact.
+	p, _ := New(PaperFeatures())
+	slices := uniformSlices(10, micro.Counts{
+		Instructions: 1000, BranchInstructions: 200, BranchMisses: 20,
+		CacheReferences: 100, CacheMisses: 10, L1DCacheLoads: 250,
+	})
+	rs, err := p.Measure(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.TimeRunningFrac <= 0 || r.TimeRunningFrac >= 1 {
+			t.Fatalf("multiplexed event %s has frac %v, want in (0,1)", r.Name, r.TimeRunningFrac)
+		}
+	}
+	// branch-instructions: 200/slice * 10 slices = 2000 after scaling.
+	for _, r := range rs {
+		if r.Name == "branch-instructions" && math.Abs(r.Value-2000) > 1e-9 {
+			t.Fatalf("branch-instructions = %v, want 2000", r.Value)
+		}
+	}
+}
+
+func TestMeasureMultiplexingIntroducesError(t *testing.T) {
+	// Non-uniform slices: an event that observes only even slices will
+	// extrapolate wrongly. Build slices where activity alternates.
+	p, _ := New(PaperFeatures())
+	slices := make([]micro.Counts, 10)
+	for i := range slices {
+		v := uint64(100)
+		if i%2 == 1 {
+			v = 300 // odd slices have 3x the branches
+		}
+		slices[i] = micro.Counts{BranchInstructions: v, Instructions: 1000}
+	}
+	rs, err := p.Measure(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueTotal := 100.0*5 + 300.0*5
+	var measured float64
+	for _, r := range rs {
+		if r.Name == "branch-instructions" {
+			measured = r.Value
+		}
+	}
+	if math.Abs(measured-trueTotal) < 1e-9 {
+		t.Fatalf("alternating activity should produce extrapolation error, got exact %v", measured)
+	}
+	// But error must be bounded by the activity ratio.
+	if measured < trueTotal/3 || measured > trueTotal*3 {
+		t.Fatalf("extrapolation error implausibly large: %v vs %v", measured, trueTotal)
+	}
+}
+
+func TestWithoutMultiplexingIsExact(t *testing.T) {
+	p, _ := New(PaperFeatures(), WithoutMultiplexing())
+	slices := make([]micro.Counts, 10)
+	for i := range slices {
+		v := uint64(100)
+		if i%2 == 1 {
+			v = 300
+		}
+		slices[i] = micro.Counts{BranchInstructions: v}
+	}
+	rs, err := p.Measure(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Name == "branch-instructions" {
+			if r.Value != 2000 {
+				t.Fatalf("exact mode value %v, want 2000", r.Value)
+			}
+			if r.TimeRunningFrac != 1 {
+				t.Fatalf("exact mode frac %v, want 1", r.TimeRunningFrac)
+			}
+		}
+	}
+}
+
+func TestMeasureStarvedEvent(t *testing.T) {
+	// 16 events in 2 groups but only 1 slice: group 1 never runs.
+	p, _ := New(PaperFeatures())
+	rs, err := p.Measure(uniformSlices(1, micro.Counts{Instructions: 100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	starved := 0
+	for _, r := range rs {
+		if r.TimeRunningFrac == 0 {
+			if r.Value != 0 {
+				t.Fatalf("starved event %s has nonzero value %v", r.Name, r.Value)
+			}
+			starved++
+		}
+	}
+	if starved != 8 {
+		t.Fatalf("%d starved events, want 8", starved)
+	}
+}
+
+func TestMeasureNoSlices(t *testing.T) {
+	p, _ := New([]string{"instructions"})
+	if _, err := p.Measure(nil); err == nil {
+		t.Fatal("Measure accepted empty slice list")
+	}
+}
+
+func TestDerivedEventsRespondToActivity(t *testing.T) {
+	quiet := micro.Counts{Instructions: 1000}
+	busy := micro.Counts{Instructions: 1000, L1DCacheLoadMisses: 500, CacheMisses: 100,
+		L1ICacheLoadMisses: 200, BranchMisses: 100, DTLBLoadMisses: 50,
+		ITLBLoadMisses: 20, LLCLoadMisses: 80, NodeLoads: 80}
+	for _, name := range []string{"stalled-cycles-frontend", "stalled-cycles-backend",
+		"dTLB-prefetches", "node-prefetches", "resource-stalls"} {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Derive(&busy) <= e.Derive(&quiet) {
+			t.Fatalf("derived event %s does not respond to memory pressure", name)
+		}
+	}
+}
+
+func TestRawPrefetchEvents(t *testing.T) {
+	// Prefetch events at L1D and LLC are raw counters now: they read the
+	// simulator's next-line prefetcher directly.
+	c := micro.Counts{L1DPrefetches: 7, L1DPrefetchMisses: 5,
+		LLCPrefetches: 3, LLCPrefetchMisses: 2}
+	for name, want := range map[string]float64{
+		"L1-dcache-prefetches":      7,
+		"L1-dcache-prefetch-misses": 5,
+		"LLC-prefetches":            3,
+		"LLC-prefetch-misses":       2,
+	} {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Derive(&c); got != want {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestEventNamesOrder(t *testing.T) {
+	names := []string{"cache-misses", "instructions", "bus-cycles"}
+	p, _ := New(names)
+	got := p.EventNames()
+	for i, n := range names {
+		if got[i] != n {
+			t.Fatalf("EventNames order mismatch: %v", got)
+		}
+	}
+}
+
+func TestSortedCatalog(t *testing.T) {
+	s := SortedCatalog()
+	if len(s) != 52 {
+		t.Fatalf("sorted catalog has %d entries", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			t.Fatalf("catalog not sorted at %d: %s >= %s", i, s[i-1], s[i])
+		}
+	}
+}

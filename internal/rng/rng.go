@@ -1,0 +1,299 @@
+// Package rng provides a deterministic, seedable pseudo-random number
+// generator and the sampling distributions used throughout the simulator.
+//
+// Every experiment in this repository must be reproducible from a single
+// integer seed, so the package deliberately avoids math/rand's global state:
+// each Source is an independent xoshiro256** stream whose state is derived
+// from the seed with SplitMix64, following the reference initialization
+// recommended by the xoshiro authors.
+package rng
+
+import "math"
+
+// Source is a xoshiro256** pseudo-random number generator.
+// The zero value is not usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used only to expand the user seed into the xoshiro state.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield
+// statistically independent streams.
+func New(seed uint64) *Source {
+	var r Source
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// Guard against the (astronomically unlikely) all-zero state, which
+	// xoshiro cannot escape.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split derives a new independent Source from r. The derived stream is
+// decorrelated from r's future output, so subsystems can be given their own
+// generators without consuming each other's sequences.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation is overkill here;
+	// modulo bias is negligible for the n values used in this project,
+	// but we still reject to keep the distribution exact.
+	bound := uint64(n)
+	threshold := -bound % bound
+	for {
+		v := r.Uint64()
+		low := v % bound
+		if v-low <= ^uint64(0)-threshold {
+			return int(low)
+		}
+	}
+}
+
+// Int63 returns a uniform non-negative int64.
+func (r *Source) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Range returns a uniform value in [lo, hi). It panics if hi < lo.
+func (r *Source) Range(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *Source) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Marsaglia polar method.
+func (r *Source) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// LogNormal returns exp(N(mu, sigma)). mu and sigma parameterize the
+// underlying normal, not the resulting distribution's mean.
+func (r *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (lambda). The mean of the distribution is 1/rate.
+func (r *Source) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exp with non-positive rate")
+	}
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Poisson returns a Poisson-distributed count with the given mean.
+// It uses Knuth's method for small means and a normal approximation with
+// continuity correction for large ones.
+func (r *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		v := r.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	limit := math.Exp(-mean)
+	p := 1.0
+	n := 0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return n
+		}
+		n++
+	}
+}
+
+// Zipf returns values in [1, n] with probability proportional to
+// 1/rank^s, via inverse-CDF over a precomputed table. For repeated draws
+// with the same parameters use NewZipf.
+type Zipf struct {
+	cdf []float64
+	src *Source
+}
+
+// NewZipf builds a Zipf sampler over ranks 1..n with exponent s > 0.
+func NewZipf(src *Source, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("rng: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, src: src}
+}
+
+// Draw returns a rank in [1, n].
+func (z *Zipf) Draw() int {
+	u := z.src.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Dirichlet fills out with a draw from a Dirichlet distribution with the
+// given concentration parameters. out and alpha must have equal length.
+// The result sums to 1.
+func (r *Source) Dirichlet(alpha []float64, out []float64) {
+	if len(alpha) != len(out) {
+		panic("rng: Dirichlet length mismatch")
+	}
+	sum := 0.0
+	for i, a := range alpha {
+		g := r.Gamma(a)
+		out[i] = g
+		sum += g
+	}
+	if sum == 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia-Tsang method
+// (with Johnk-style boosting for shape < 1).
+func (r *Source) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma with non-positive shape")
+	}
+	if shape < 1 {
+		// boost: Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.Normal(0, 1)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Categorical returns an index drawn with probability proportional to
+// weights[i]. Weights must be non-negative with a positive sum.
+func (r *Source) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: Categorical with negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Categorical with non-positive weight sum")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle performs a Fisher-Yates shuffle over n elements using swap.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

@@ -1,0 +1,284 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(7)
+	c := a.Split()
+	// The split stream must not replay the parent stream.
+	av := make([]uint64, 50)
+	for i := range av {
+		av[i] = a.Uint64()
+	}
+	matches := 0
+	for i := 0; i < 50; i++ {
+		v := c.Uint64()
+		for _, x := range av {
+			if v == x {
+				matches++
+			}
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("split stream shares %d values with parent", matches)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(9)
+	seen := make(map[int]int)
+	for i := 0; i < 60000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for k := 0; k < 6; k++ {
+		if seen[k] < 8000 || seen[k] > 12000 {
+			t.Fatalf("Intn(6) bucket %d count %d outside [8000,12000]", k, seen[k])
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-3) > 0.03 {
+		t.Fatalf("normal mean %v too far from 3", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Fatalf("normal variance %v too far from 4", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(0.5)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("exponential mean %v too far from 2", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, lambda := range []float64{0.5, 4, 30, 120} {
+		r := New(17)
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			v := r.Poisson(lambda)
+			if v < 0 {
+				t.Fatalf("Poisson produced negative count %d", v)
+			}
+			sum += v
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Fatalf("Poisson(%v) mean %v too far off", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	r := New(1)
+	if v := r.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", v)
+	}
+	if v := r.Poisson(-1); v != 0 {
+		t.Fatalf("Poisson(-1) = %d, want 0", v)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(19)
+	z := NewZipf(r, 100, 1.2)
+	counts := make([]int, 101)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Draw()
+		if v < 1 || v > 100 {
+			t.Fatalf("Zipf draw out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[1] <= counts[2] || counts[2] <= counts[10] {
+		t.Fatalf("Zipf counts not decreasing: c1=%d c2=%d c10=%d",
+			counts[1], counts[2], counts[10])
+	}
+	if counts[1] < n/10 {
+		t.Fatalf("Zipf rank-1 mass %d too small for s=1.2", counts[1])
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	r := New(23)
+	alpha := []float64{1, 2, 3, 0.5}
+	out := make([]float64, 4)
+	for i := 0; i < 100; i++ {
+		r.Dirichlet(alpha, out)
+		sum := 0.0
+		for _, v := range out {
+			if v < 0 {
+				t.Fatalf("Dirichlet produced negative component %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Dirichlet sum %v != 1", sum)
+		}
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		r := New(29)
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.05*shape+0.02 {
+			t.Fatalf("Gamma(%v) mean %v too far from shape", shape, mean)
+		}
+	}
+}
+
+func TestCategoricalWeighting(t *testing.T) {
+	r := New(31)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("category ratio %v too far from 3", ratio)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(37)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+// Property: Intn(n) always lies in [0, n) for any positive n.
+func TestIntnProperty(t *testing.T) {
+	r := New(43)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same seed always produces the same first draw.
+func TestSeedDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		return New(seed).Uint64() == New(seed).Uint64()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

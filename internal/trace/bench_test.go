@@ -1,0 +1,19 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func BenchmarkCollectSample(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.WindowsPerSample = 4
+	cfg.SimInstrPerSlice = 1000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CollectSample(cfg, workload.Trojan, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

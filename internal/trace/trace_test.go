@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/pmu"
+	"repro/internal/workload"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WindowsPerSample = 4
+	cfg.SimInstrPerSlice = 500
+	return cfg
+}
+
+func TestCollectSampleShape(t *testing.T) {
+	cfg := testConfig()
+	tr, err := CollectSample(cfg, workload.Worm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Class != workload.Worm {
+		t.Fatalf("trace class %v", tr.Class)
+	}
+	if len(tr.Records) != 4 {
+		t.Fatalf("got %d records, want 4", len(tr.Records))
+	}
+	if len(tr.Events) != 16 {
+		t.Fatalf("got %d events, want 16 paper features", len(tr.Events))
+	}
+	for _, rec := range tr.Records {
+		if len(rec.Readings) != 16 {
+			t.Fatalf("window %d has %d readings", rec.Window, len(rec.Readings))
+		}
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	cfg := testConfig()
+	a, err := CollectSample(cfg, workload.Virus, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CollectSample(cfg, workload.Virus, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		av, bv := a.Records[i].Values(), b.Records[i].Values()
+		for j := range av {
+			if av[j] != bv[j] {
+				t.Fatalf("window %d event %d differs: %v vs %v", i, j, av[j], bv[j])
+			}
+		}
+	}
+}
+
+func TestTraceSeedsDiffer(t *testing.T) {
+	cfg := testConfig()
+	a, _ := CollectSample(cfg, workload.Virus, 1)
+	b, _ := CollectSample(cfg, workload.Virus, 2)
+	same := true
+	for i := range a.Records {
+		av, bv := a.Records[i].Values(), b.Records[i].Values()
+		for j := range av {
+			if av[j] != bv[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestReadingsHaveActivity(t *testing.T) {
+	cfg := testConfig()
+	tr, err := CollectSample(cfg, workload.Benign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least branch-instructions and L1-dcache-loads must be nonzero in
+	// some window (the program is running).
+	nonzero := make(map[string]bool)
+	for _, rec := range tr.Records {
+		for _, rd := range rec.Readings {
+			if rd.Value > 0 {
+				nonzero[rd.Name] = true
+			}
+		}
+	}
+	for _, name := range []string{"branch-instructions", "L1-dcache-loads", "bus-cycles"} {
+		if !nonzero[name] {
+			t.Fatalf("event %s never nonzero across trace", name)
+		}
+	}
+}
+
+func TestMultiplexingFlagChangesFractions(t *testing.T) {
+	cfgM := testConfig()
+	trM, err := CollectSample(cfgM, workload.Trojan, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgE := testConfig()
+	cfgE.Multiplex = false
+	trE, err := CollectSample(cfgE, workload.Trojan, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 events over 8 counters: multiplexed run must show fractions < 1,
+	// exact run must show 1.
+	for _, rd := range trM.Records[0].Readings {
+		if rd.TimeRunningFrac >= 1 {
+			t.Fatalf("multiplexed event %s frac %v, want < 1", rd.Name, rd.TimeRunningFrac)
+		}
+	}
+	for _, rd := range trE.Records[0].Readings {
+		if rd.TimeRunningFrac != 1 {
+			t.Fatalf("exact event %s frac %v, want 1", rd.Name, rd.TimeRunningFrac)
+		}
+	}
+}
+
+func TestNoiseInjectionChangesCounts(t *testing.T) {
+	clean := testConfig()
+	noisy := testConfig()
+	noisy.NoiseIPC = 1.0
+
+	a, err := CollectSample(clean, workload.Backdoor, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CollectSample(noisy, workload.Backdoor, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range a.Records {
+		av, bv := a.Records[i].Values(), b.Records[i].Values()
+		for j := range av {
+			if av[j] != bv[j] {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("cache-sharing noise had no effect on measured counts")
+	}
+}
+
+func TestCustomEventSet(t *testing.T) {
+	cfg := testConfig()
+	cfg.Events = []string{"instructions", "cpu-cycles"}
+	tr, err := CollectSample(cfg, workload.Rootkit, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 || tr.Events[0] != "instructions" {
+		t.Fatalf("events = %v", tr.Events)
+	}
+	// 2 events fit in 8 counters: no multiplexing.
+	for _, rd := range tr.Records[0].Readings {
+		if rd.TimeRunningFrac != 1 {
+			t.Fatal("2-event program should not multiplex")
+		}
+	}
+}
+
+func TestNewContainerErrors(t *testing.T) {
+	cfg := testConfig()
+	if _, err := NewContainer(cfg, nil, 1); err == nil {
+		t.Fatal("accepted nil program")
+	}
+	cfg.Events = []string{"not-an-event"}
+	prog, _ := workload.NewSample(workload.Benign, 1)
+	if _, err := NewContainer(cfg, prog, 1); err == nil {
+		t.Fatal("accepted unknown event")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	cfg := testConfig()
+	tr, err := CollectSample(cfg, workload.Worm, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# class: worm") {
+		t.Fatalf("missing class header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	dataLines := 0
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "#") {
+			dataLines++
+			if got := len(strings.Split(l, ",")); got != 16 {
+				t.Fatalf("data line has %d fields, want 16: %s", got, l)
+			}
+		}
+	}
+	if dataLines != 4 {
+		t.Fatalf("%d data lines, want 4", dataLines)
+	}
+}
+
+func TestPaperRowBudget(t *testing.T) {
+	// Default config: 16 windows/sample * 3070 samples ≈ 49k rows,
+	// matching the paper's "around 50,000 rows".
+	d := DefaultConfig()
+	rows := d.WindowsPerSample * workload.PaperTotalSamples
+	if rows < 45000 || rows > 55000 {
+		t.Fatalf("default row budget %d not around 50,000", rows)
+	}
+	if d.SamplePeriod != 0.01 {
+		t.Fatalf("default sampling period %v, want 10ms", d.SamplePeriod)
+	}
+	if len(d.Events) != 16 {
+		t.Fatalf("default events %d, want 16", len(d.Events))
+	}
+}
+
+func TestBackdoorLowActivityVsWorm(t *testing.T) {
+	// The backdoor's poll-dominated schedule must show visibly lower
+	// instruction throughput than the worm's scan loops.
+	cfg := testConfig()
+	cfg.Events = []string{"instructions"}
+	cfg.WindowsPerSample = 12
+	avg := func(class workload.Class) float64 {
+		var sum float64
+		var n int
+		for seed := uint64(0); seed < 4; seed++ {
+			tr, err := CollectSample(cfg, class, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rec := range tr.Records {
+				sum += rec.Values()[0]
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	back := avg(workload.Backdoor)
+	worm := avg(workload.Worm)
+	if back >= worm/2 {
+		t.Fatalf("backdoor activity %v not well below worm %v", back, worm)
+	}
+}
+
+func TestDefaultEventsMatchPaper(t *testing.T) {
+	d := DefaultConfig()
+	want := pmu.PaperFeatures()
+	for i, e := range d.Events {
+		if e != want[i] {
+			t.Fatalf("default event %d = %s, want %s", i, e, want[i])
+		}
+	}
+}

@@ -1,0 +1,94 @@
+// Package workload models the applications measured in the paper: five
+// malware families (backdoor, rootkit, trojan, virus, worm) and a suite of
+// benign programs. Each application sample is a small stochastic phase
+// machine whose phases carry microarchitectural behaviour descriptors
+// (micro.Block); executing the phases on a simulated machine yields the
+// HPC signatures the detector learns.
+//
+// The paper's database held 3,070 real samples downloaded from
+// virusshare.com and labelled via virustotal.com. We cannot ship malware,
+// so each family is modelled by the behaviour the security literature
+// attributes to it (and which the paper's Section "Types of Malware"
+// describes): backdoors poll and burst, rootkits scatter control flow
+// through hook dispatch, trojans look benign with payload bursts, viruses
+// stream file-infection writes, worms scan and replicate. Per-sample
+// parameter randomization produces intra-family variance comparable to
+// real sample diversity.
+package workload
+
+import "fmt"
+
+// Class identifies an application class: benign or one of the paper's five
+// malware families.
+type Class int
+
+// Application classes, in the paper's order (Table 1).
+const (
+	Benign Class = iota
+	Backdoor
+	Rootkit
+	Trojan
+	Virus
+	Worm
+)
+
+// NumClasses is the number of application classes (benign + 5 families).
+const NumClasses = 6
+
+// String returns the class name used in datasets and reports.
+func (c Class) String() string {
+	switch c {
+	case Benign:
+		return "benign"
+	case Backdoor:
+		return "backdoor"
+	case Rootkit:
+		return "rootkit"
+	case Trojan:
+		return "trojan"
+	case Virus:
+		return "virus"
+	case Worm:
+		return "worm"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// IsMalware reports whether the class is one of the malware families.
+func (c Class) IsMalware() bool { return c != Benign }
+
+// ParseClass converts a class name back to a Class.
+func ParseClass(s string) (Class, error) {
+	for c := Benign; c < NumClasses; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown class %q", s)
+}
+
+// AllClasses returns all classes in order.
+func AllClasses() []Class {
+	return []Class{Benign, Backdoor, Rootkit, Trojan, Virus, Worm}
+}
+
+// MalwareClasses returns the five malware families in the paper's order.
+func MalwareClasses() []Class {
+	return []Class{Backdoor, Rootkit, Trojan, Virus, Worm}
+}
+
+// PaperSampleCounts returns the per-class sample counts of the paper's
+// database (Table 1): 3,070 samples total.
+func PaperSampleCounts() map[Class]int {
+	return map[Class]int{
+		Backdoor: 452,
+		Rootkit:  324,
+		Trojan:   1169,
+		Virus:    650,
+		Worm:     149,
+		Benign:   326,
+	}
+}
+
+// PaperTotalSamples is the total database size reported in Table 1.
+const PaperTotalSamples = 3070

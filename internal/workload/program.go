@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/micro"
+	"repro/internal/rng"
+)
+
+// Phase is one behavioural state of a program: a microarchitectural block
+// descriptor, an activity level, and a stochastic dwell time.
+type Phase struct {
+	Name      string
+	Block     micro.Block
+	IPC       float64 // activity level: target instructions per cycle
+	MeanDwell float64 // seconds; actual dwell is exponential around this
+}
+
+// Program is a running application sample: a phase machine over Phases
+// with uniform random transitions weighted by TransitionW. A Program is
+// advanced in simulated time by the trace sampler and queried for the
+// current phase.
+type Program struct {
+	Name   string
+	Class  Class
+	Phases []Phase
+	// TransitionW[i][j] is the relative probability of moving from phase
+	// i to phase j when phase i's dwell expires. Rows must be non-empty.
+	TransitionW [][]float64
+
+	src       *rng.Source
+	cur       int
+	dwellLeft float64
+}
+
+// Validate checks structural consistency of the program definition.
+func (p *Program) Validate() error {
+	if len(p.Phases) == 0 {
+		return fmt.Errorf("workload: program %q has no phases", p.Name)
+	}
+	if len(p.TransitionW) != len(p.Phases) {
+		return fmt.Errorf("workload: program %q has %d transition rows for %d phases",
+			p.Name, len(p.TransitionW), len(p.Phases))
+	}
+	for i, row := range p.TransitionW {
+		if len(row) != len(p.Phases) {
+			return fmt.Errorf("workload: program %q transition row %d has %d cols",
+				p.Name, i, len(row))
+		}
+		sum := 0.0
+		for _, w := range row {
+			if w < 0 {
+				return fmt.Errorf("workload: program %q negative transition weight", p.Name)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return fmt.Errorf("workload: program %q transition row %d sums to zero", p.Name, i)
+		}
+	}
+	for i, ph := range p.Phases {
+		if err := ph.Block.Validate(); err != nil {
+			return fmt.Errorf("workload: program %q phase %d (%s): %w", p.Name, i, ph.Name, err)
+		}
+		if ph.IPC <= 0 || ph.MeanDwell <= 0 {
+			return fmt.Errorf("workload: program %q phase %d (%s): non-positive IPC or dwell",
+				p.Name, i, ph.Name)
+		}
+	}
+	return nil
+}
+
+// start initializes the phase machine. Called lazily on first use.
+func (p *Program) start() {
+	if p.src == nil {
+		panic("workload: program not bound to a random source; use Instantiate")
+	}
+	p.cur = p.src.Intn(len(p.Phases))
+	p.dwellLeft = p.src.Exp(1 / p.Phases[p.cur].MeanDwell)
+}
+
+// bind attaches a random source and starts the machine.
+func (p *Program) bind(src *rng.Source) {
+	p.src = src
+	p.start()
+}
+
+// Current returns the active phase.
+func (p *Program) Current() *Phase {
+	return &p.Phases[p.cur]
+}
+
+// Advance moves simulated time forward by dt seconds, performing phase
+// transitions as dwell times expire.
+func (p *Program) Advance(dt float64) {
+	for dt > 0 {
+		if dt < p.dwellLeft {
+			p.dwellLeft -= dt
+			return
+		}
+		dt -= p.dwellLeft
+		next := p.src.Categorical(p.TransitionW[p.cur])
+		p.cur = next
+		p.dwellLeft = p.src.Exp(1 / p.Phases[next].MeanDwell)
+	}
+}
+
+// jitter multiplies v by a lognormal factor with the given sigma, giving
+// per-sample parameter diversity.
+func jitter(src *rng.Source, v, sigma float64) float64 {
+	return v * src.LogNormal(0, sigma)
+}
+
+// jprob jitters a probability and clamps it to [lo, hi].
+func jprob(src *rng.Source, v, sigma, lo, hi float64) float64 {
+	x := jitter(src, v, sigma)
+	if x < lo {
+		x = lo
+	}
+	if x > hi {
+		x = hi
+	}
+	return x
+}
+
+// jbytes jitters a byte size with a floor of 64 bytes.
+func jbytes(src *rng.Source, v float64, sigma float64) uint64 {
+	x := jitter(src, v, sigma)
+	if x < 64 {
+		x = 64
+	}
+	return uint64(x)
+}
+
+// uniformTransitions builds a transition matrix that leaves each phase to
+// any other phase with equal weight (including self-loops with weight w).
+func uniformTransitions(n int, selfWeight float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		row := make([]float64, n)
+		for j := range row {
+			if i == j {
+				row[j] = selfWeight
+			} else {
+				row[j] = 1
+			}
+		}
+		m[i] = row
+	}
+	return m
+}
