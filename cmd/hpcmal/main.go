@@ -28,6 +28,7 @@ import (
 	"repro/internal/ml/oner"
 	"repro/internal/ml/rules"
 	"repro/internal/ml/tree"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -85,7 +86,15 @@ commands:
   merge  [-dir -out]           merge text files into one CSV (paper pipeline)
   emit   [-classifier -out -scale -seed]  train and emit synthesizable
                                Verilog for a rule/tree detector
-  repro  <id|all|ablations|extensions>   regenerate the paper's evaluation`)
+  repro  <id|all|ablations|extensions>   regenerate the paper's evaluation
+
+observability flags (every command):
+  -v / -vv / -quiet            debug / trace / errors-only logging on stderr
+  -log-json                    JSON log lines instead of text
+  -metrics-out FILE            write the run's counters/histograms/spans JSON
+  -manifest FILE               override the run manifest path (gen, collect
+                               and merge write one next to their output by
+                               default)`)
 }
 
 func cmdList() error {
@@ -115,9 +124,11 @@ func cmdGen(args []string) error {
 	out := fs.String("out", "dataset.csv", "output path")
 	arff := fs.Bool("arff", false, "write WEKA ARFF instead of CSV")
 	binary := fs.Bool("binary", false, "binary (benign/malware) labels in ARFF")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	of.setup()
 	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
 	if err != nil {
 		return err
@@ -140,7 +151,17 @@ func cmdGen(args []string) error {
 	for _, c := range workload.AllClasses() {
 		fmt.Printf("  %-9s %5d rows\n", c, tbl.ClassCounts()[c])
 	}
-	return nil
+	samples := 0
+	for _, n := range tbl.SampleCounts() {
+		samples += n
+	}
+	of.manifest.Config["format"] = map[bool]string{true: "arff", false: "csv"}[*arff]
+	of.manifest.Config["binary"] = fmt.Sprint(*binary)
+	if err := of.writeManifest(obs.ManifestPathFor(*out), *seed, *scale,
+		[]string{*out}, tbl.NumInstances(), samples); err != nil {
+		return err
+	}
+	return of.finish()
 }
 
 func cmdTrain(args []string) error {
@@ -152,9 +173,11 @@ func cmdTrain(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	data := fs.String("data", "", "train on an existing CSV instead of generating")
 	util := fs.Bool("util", false, "print a Vivado-style utilization report (Artix-7 35T)")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	of.setup()
 	var tbl *dataset.Table
 	var err error
 	if *data != "" {
@@ -204,7 +227,13 @@ func cmdTrain(args []string) error {
 			}
 		}
 	}
-	return nil
+	of.manifest.Config["classifier"] = *name
+	of.manifest.Config["binary"] = fmt.Sprint(*binary)
+	if err := of.writeManifest("", *seed, *scale, nil,
+		tbl.NumInstances(), 0); err != nil {
+		return err
+	}
+	return of.finish()
 }
 
 func cmdPCA(args []string) error {
@@ -212,9 +241,11 @@ func cmdPCA(args []string) error {
 	scale := fs.Float64("scale", 0.05, "dataset scale")
 	seed := fs.Uint64("seed", 1, "random seed")
 	k := fs.Int("k", 8, "custom features per class")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	of.setup()
 	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
 	if err != nil {
 		return err
@@ -238,16 +269,21 @@ func cmdPCA(args []string) error {
 		fmt.Printf("  %-9s %s\n", c, strings.Join(custom[c.String()], ", "))
 	}
 	fmt.Printf("common to all classes (%d): %s\n", len(common), strings.Join(common, ", "))
-	return nil
+	if err := of.writeManifest("", *seed, *scale, nil, tbl.NumInstances(), 0); err != nil {
+		return err
+	}
+	return of.finish()
 }
 
 func cmdHWCost(args []string) error {
 	fs := flag.NewFlagSet("hwcost", flag.ExitOnError)
 	scale := fs.Float64("scale", 0.05, "dataset scale")
 	seed := fs.Uint64("seed", 1, "random seed")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	of.setup()
 	r := experiments.NewRunner(experiments.Config{Seed: *seed, Scale: *scale})
 	for _, id := range []string{"fig14", "fig15", "fig16"} {
 		rep, err := r.Run(id)
@@ -258,7 +294,10 @@ func cmdHWCost(args []string) error {
 			return err
 		}
 	}
-	return nil
+	if err := of.writeManifest("", *seed, *scale, nil, 0, 0); err != nil {
+		return err
+	}
+	return of.finish()
 }
 
 func cmdCollect(args []string) error {
@@ -266,14 +305,17 @@ func cmdCollect(args []string) error {
 	dir := fs.String("dir", "hpc-traces", "output directory for per-sample text files")
 	perClass := fs.Int("perclass", 5, "samples to collect per class")
 	seed := fs.Uint64("seed", 1, "random seed")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	of.setup()
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
 	cfg := trace.DefaultConfig()
-	n := 0
+	sp := obs.StartSpan("collect")
+	n, rows := 0, 0
 	for _, class := range workload.AllClasses() {
 		for i := 0; i < *perClass; i++ {
 			s := *seed ^ (uint64(class)*100000+uint64(i)+1)*0x9e3779b97f4a7c15
@@ -294,20 +336,30 @@ func cmdCollect(args []string) error {
 				return err
 			}
 			n++
+			rows += len(tr.Records)
 		}
 	}
+	sp.End()
 	fmt.Printf("collected %d samples (%d per class) into %s\n", n, *perClass, *dir)
-	return nil
+	if err := of.writeManifest(filepath.Join(*dir, "collect.manifest.json"),
+		*seed, 0, []string{*dir}, rows, n); err != nil {
+		return err
+	}
+	return of.finish()
 }
 
 func cmdMerge(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	dir := fs.String("dir", "hpc-traces", "directory of per-sample text files")
 	out := fs.String("out", "dataset.csv", "merged CSV path")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	of.setup()
+	sp := obs.StartSpan("merge")
 	tbl, err := dataset.MergeTextDir(*dir)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -321,7 +373,11 @@ func cmdMerge(args []string) error {
 	}
 	fmt.Printf("merged %d rows x %d features into %s\n",
 		tbl.NumInstances(), tbl.NumAttributes(), *out)
-	return nil
+	if err := of.writeManifest(obs.ManifestPathFor(*out), 0, 0,
+		[]string{*out}, tbl.NumInstances(), 0); err != nil {
+		return err
+	}
+	return of.finish()
 }
 
 func cmdEmit(args []string) error {
@@ -332,9 +388,11 @@ func cmdEmit(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	module := fs.String("module", "hpc_detector", "Verilog module name")
 	tb := fs.Bool("tb", false, "also write a self-checking testbench (<out>_tb.v)")
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	of.setup()
 	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
 	if err != nil {
 		return err
@@ -414,21 +472,37 @@ func cmdEmit(args []string) error {
 		}
 		fmt.Printf("wrote self-checking testbench (%d vectors) to %s\n", nVec, tbPath)
 	}
-	return nil
+	of.manifest.Config["classifier"] = *name
+	of.manifest.Config["module"] = *module
+	if err := of.writeManifest("", *seed, *scale, []string{*out},
+		tbl.NumInstances(), 0); err != nil {
+		return err
+	}
+	return of.finish()
 }
 
 func cmdRepro(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ExitOnError)
 	scale := fs.Float64("scale", 0.1, "dataset scale")
 	seed := fs.Uint64("seed", 1, "random seed")
-	if err := fs.Parse(args); err != nil {
+	of := addObsFlags(fs)
+	// Experiment IDs and flags may interleave: `repro fig13 -metrics-out m`.
+	ids, err := parseInterleaved(fs, args)
+	if err != nil {
 		return err
 	}
-	ids := fs.Args()
+	of.setup()
 	if len(ids) == 0 {
 		ids = []string{"all"}
 	}
-	r := experiments.NewRunner(experiments.Config{Seed: *seed, Scale: *scale})
+	r := experiments.NewRunner(experiments.Config{
+		Seed: *seed, Scale: *scale,
+		Progress: func(stage string, done, total int) {
+			if !of.quiet {
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, total, stage)
+			}
+		},
+	})
 	var run []string
 	for _, id := range ids {
 		switch id {
@@ -459,5 +533,15 @@ func cmdRepro(args []string) error {
 			return err
 		}
 	}
-	return nil
+	// Write a manifest alongside the metrics snapshot (or wherever
+	// -manifest points); repro's tables themselves go to stdout.
+	manifestPath := ""
+	if of.metricsOut != "" {
+		manifestPath = obs.ManifestPathFor(of.metricsOut)
+	}
+	of.manifest.Config["experiments"] = strings.Join(run, ",")
+	if err := of.writeManifest(manifestPath, *seed, *scale, nil, 0, 0); err != nil {
+		return err
+	}
+	return of.finish()
 }

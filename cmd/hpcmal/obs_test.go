@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func readRunSnapshot(t *testing.T, path string) obs.RunSnapshot {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.RunSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot %s is not valid JSON: %v", path, err)
+	}
+	return snap
+}
+
+// TestReproMetricsOut is the acceptance scenario: flags after the
+// positional experiment ID must still parse, and the metrics file must
+// carry per-stage spans, the pipeline counters, and at least one
+// histogram.
+func TestReproMetricsOut(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	if err := cmdRepro([]string{"fig13", "-scale", "0.01", "-quiet",
+		"-metrics-out", metrics}); err != nil {
+		t.Fatal(err)
+	}
+	snap := readRunSnapshot(t, metrics)
+
+	// pmu.multiplex_rotations is absent here by design: the CLI's default
+	// trace config leaves Multiplex at its zero value, so the dataset is
+	// measured without rotation (the ablation turns it on explicitly).
+	for _, c := range []string{
+		"trace.windows_simulated", "trace.containers_provisioned",
+		"dataset.rows_generated", "ml.models_trained",
+		"pmu.measurements",
+	} {
+		if snap.Counters[c] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", c, snap.Counters[c])
+		}
+	}
+	if len(snap.Histograms) == 0 {
+		t.Error("snapshot has no histograms")
+	}
+	if h := snap.Histograms["trace.window_sim_seconds"]; h.Count == 0 {
+		t.Error("trace.window_sim_seconds histogram is empty")
+	}
+	found := false
+	for _, sp := range snap.Spans {
+		if sp.Name == "experiment.fig13" {
+			found = true
+			if len(sp.Children) == 0 {
+				t.Error("experiment.fig13 span has no children (expected dataset.generate)")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no experiment.fig13 span in %+v", snap.Spans)
+	}
+
+	// A manifest lands alongside the metrics file.
+	man, err := obs.ReadManifest(obs.ManifestPathFor(metrics))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Command != "repro" || man.Config["experiments"] != "fig13" {
+		t.Errorf("manifest = %+v", man)
+	}
+	if len(man.Stages) == 0 {
+		t.Error("manifest has no stages")
+	}
+}
+
+// TestSameSeedRunsSnapshotIdentically proves the determinism claim: two
+// in-process runs with the same seed produce identical counters (the
+// wall-clock histograms and span durations are explicitly exempt).
+func TestSameSeedRunsSnapshotIdentically(t *testing.T) {
+	dir := t.TempDir()
+	run := func(path string) obs.RunSnapshot {
+		if err := cmdRepro([]string{"table1", "-scale", "0.01", "-seed", "7",
+			"-quiet", "-metrics-out", path}); err != nil {
+			t.Fatal(err)
+		}
+		return readRunSnapshot(t, path)
+	}
+	a := run(filepath.Join(dir, "a.json"))
+	b := run(filepath.Join(dir, "b.json"))
+	if !reflect.DeepEqual(a.Counters, b.Counters) {
+		t.Errorf("same-seed counters differ:\n%v\n%v", a.Counters, b.Counters)
+	}
+	// Histogram shapes (counts per bucket) of deterministic histograms
+	// must match too; wall-time histograms only need equal total counts.
+	for name, ha := range a.Histograms {
+		hb, ok := b.Histograms[name]
+		if !ok {
+			t.Errorf("histogram %s missing from second run", name)
+			continue
+		}
+		if ha.Count != hb.Count {
+			t.Errorf("histogram %s count %d vs %d", name, ha.Count, hb.Count)
+		}
+	}
+}
+
+// TestGenWritesManifest checks the dataset generator's audit trail.
+func TestGenWritesManifest(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.csv")
+	if err := cmdGen([]string{"-scale", "0.01", "-seed", "5", "-out", out, "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	man, err := obs.ReadManifest(obs.ManifestPathFor(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Tool != "hpcmal" || man.Command != "gen" {
+		t.Errorf("manifest identity = %s/%s", man.Tool, man.Command)
+	}
+	if man.Seed != 5 || man.Scale != 0.01 {
+		t.Errorf("manifest seed/scale = %d/%v", man.Seed, man.Scale)
+	}
+	if man.Rows <= 0 || man.Samples <= 0 {
+		t.Errorf("manifest rows/samples = %d/%d", man.Rows, man.Samples)
+	}
+	if len(man.Outputs) != 1 || man.Outputs[0] != out {
+		t.Errorf("manifest outputs = %v", man.Outputs)
+	}
+	stageSeen := false
+	for _, s := range man.Stages {
+		if s.Name == "dataset.generate" {
+			stageSeen = true
+		}
+	}
+	if !stageSeen {
+		t.Errorf("manifest stages %+v missing dataset.generate", man.Stages)
+	}
+	if man.WallSeconds <= 0 || man.GoVersion == "" {
+		t.Errorf("manifest wall/go = %v/%q", man.WallSeconds, man.GoVersion)
+	}
+}
+
+// TestCollectWritesManifest checks the per-sample collector's manifest.
+func TestCollectWritesManifest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	if err := cmdCollect([]string{"-dir", dir, "-perclass", "1", "-seed", "3", "-quiet"}); err != nil {
+		t.Fatal(err)
+	}
+	man, err := obs.ReadManifest(filepath.Join(dir, "collect.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Samples != 6 || man.Rows != 6*16 {
+		t.Errorf("manifest samples/rows = %d/%d, want 6/96", man.Samples, man.Rows)
+	}
+}

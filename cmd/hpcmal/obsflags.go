@@ -1,0 +1,121 @@
+package main
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// obsFlags carries the observability options every subcommand shares:
+// log verbosity and format, the metrics snapshot destination, and an
+// optional manifest override path.
+type obsFlags struct {
+	command     string
+	verbose     bool
+	vverbose    bool
+	quiet       bool
+	logJSON     bool
+	metricsOut  string
+	manifestOut string
+
+	manifest *obs.Manifest
+}
+
+// addObsFlags registers the shared observability flags on a subcommand's
+// flag set.
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	f := &obsFlags{command: fs.Name()}
+	fs.BoolVar(&f.verbose, "v", false, "verbose logging (debug level)")
+	fs.BoolVar(&f.vverbose, "vv", false, "very verbose logging (trace level)")
+	fs.BoolVar(&f.quiet, "quiet", false, "log errors only")
+	fs.BoolVar(&f.logJSON, "log-json", false, "emit log lines as JSON")
+	fs.StringVar(&f.metricsOut, "metrics-out", "", "write the run's metrics snapshot JSON to `file`")
+	fs.StringVar(&f.manifestOut, "manifest", "", "write the run manifest JSON to `file` (overrides the default path)")
+	return f
+}
+
+// setup installs the process logger and clears run-scoped metric and span
+// state, so sequential in-process invocations (tests, repro sequences)
+// start every run from identical instruments and same-seed runs snapshot
+// identically.
+func (f *obsFlags) setup() {
+	level := obs.LevelInfo
+	switch {
+	case f.quiet:
+		level = obs.LevelError
+	case f.vverbose:
+		level = obs.LevelTrace
+	case f.verbose:
+		level = obs.LevelDebug
+	}
+	obs.SetLogger(obs.New(os.Stderr, level, f.logJSON))
+	obs.DefaultRegistry.Reset()
+	obs.DefaultTracer.Reset()
+	f.manifest = obs.NewManifest("hpcmal", f.command)
+}
+
+// finish writes the metrics snapshot when -metrics-out was given. Call it
+// once, after the command's work succeeded.
+func (f *obsFlags) finish() error {
+	if f.metricsOut == "" {
+		return nil
+	}
+	w, err := os.Create(f.metricsOut)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteRunSnapshot(w); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	obs.Log().Info("metrics snapshot written", "path", f.metricsOut)
+	return nil
+}
+
+// writeManifest stamps the run's identity and results into the manifest,
+// folds in the top-level spans as stages, and writes it to path (or the
+// -manifest override when set).
+func (f *obsFlags) writeManifest(path string, seed uint64, scale float64,
+	outputs []string, rows, samples int) error {
+	if f.manifestOut != "" {
+		path = f.manifestOut
+	}
+	if path == "" {
+		return nil
+	}
+	m := f.manifest
+	m.Seed = seed
+	m.Scale = scale
+	m.Outputs = outputs
+	m.Rows = rows
+	m.Samples = samples
+	m.StagesFromSpans(obs.DefaultTracer.Snapshot())
+	if err := m.WriteFile(path); err != nil {
+		return err
+	}
+	obs.Log().Info("manifest written", "path", path)
+	return nil
+}
+
+// parseInterleaved parses fs over args while allowing flags to appear
+// after positional arguments (the flag package stops at the first
+// positional, which would make `hpcmal repro fig13 -metrics-out m.json`
+// silently drop the flags). Returns the positional arguments in order.
+func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
+	var pos []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		rest := fs.Args()
+		if len(rest) == 0 {
+			return pos, nil
+		}
+		pos = append(pos, rest[0])
+		args = rest[1:]
+	}
+}

@@ -10,9 +10,16 @@ import (
 	"sync"
 
 	"repro/internal/mat"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/workload"
+)
+
+// Generation instruments: dataset volume produced by this process.
+var (
+	mSamplesGenerated = obs.GetCounter("dataset.samples_generated")
+	mRowsGenerated    = obs.GetCounter("dataset.rows_generated")
 )
 
 // Instance is one labelled feature vector: the HPC readings of a single
@@ -311,6 +318,8 @@ func PaperGenConfig(seed uint64) GenConfig {
 // Generate runs every sample in its own container (in parallel) and
 // assembles the labelled table: one row per 10 ms window.
 func Generate(cfg GenConfig) (*Table, error) {
+	sp := obs.StartSpan("dataset.generate")
+	defer sp.End()
 	if cfg.SamplesPerClass == nil {
 		cfg.SamplesPerClass = workload.PaperSampleCounts()
 	}
@@ -374,5 +383,10 @@ func Generate(cfg GenConfig) (*Table, error) {
 			})
 		}
 	}
+	mSamplesGenerated.Add(int64(len(jobs)))
+	mRowsGenerated.Add(int64(len(tbl.Instances)))
+	obs.Log().Info("dataset generated",
+		"samples", len(jobs), "rows", len(tbl.Instances),
+		"features", len(tbl.Attributes), "parallelism", par)
 	return tbl, tbl.Validate()
 }

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestCollectMergeRoundTrip proves the paper's two pipelines agree: running
+// samples through collect-style per-sample text files and merging them
+// reproduces, bit for bit, the table that direct generation builds from the
+// same seeds. This only holds because WriteText uses %g (shortest exact
+// float representation) — multiplex extrapolation makes readings
+// fractional, and any rounding in the text format would diverge here.
+func TestCollectMergeRoundTrip(t *testing.T) {
+	cfg := trace.Config{WindowsPerSample: 4, SimInstrPerSlice: 400, Multiplex: true}
+	gen := GenConfig{
+		Trace:           cfg,
+		SamplesPerClass: map[workload.Class]int{},
+		Seed:            42,
+	}
+	for _, c := range workload.AllClasses() {
+		gen.SamplesPerClass[c] = 2
+	}
+
+	direct, err := Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect the same samples through the text-file pipeline, replicating
+	// Generate's per-job seed derivation and class order. Zero-padded
+	// filenames keep MergeTextDir's lexicographic order equal to job order.
+	dir := t.TempDir()
+	id := 0
+	for _, c := range workload.AllClasses() {
+		for i := 0; i < gen.SamplesPerClass[c]; i++ {
+			seed := gen.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15
+			tr, err := trace.CollectSample(cfg, c, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%03d.txt", id)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.WriteText(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			id++
+		}
+	}
+
+	merged, err := MergeTextDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(merged.Attributes) != len(direct.Attributes) {
+		t.Fatalf("attributes: %d vs %d", len(merged.Attributes), len(direct.Attributes))
+	}
+	for i := range direct.Attributes {
+		if merged.Attributes[i] != direct.Attributes[i] {
+			t.Fatalf("attribute %d: %q vs %q", i, merged.Attributes[i], direct.Attributes[i])
+		}
+	}
+	if len(merged.Instances) != len(direct.Instances) {
+		t.Fatalf("rows: %d vs %d", len(merged.Instances), len(direct.Instances))
+	}
+	for i := range direct.Instances {
+		want, got := direct.Instances[i], merged.Instances[i]
+		if got.Class != want.Class {
+			t.Fatalf("row %d class %v, want %v", i, got.Class, want.Class)
+		}
+		if got.SampleID != want.SampleID {
+			t.Fatalf("row %d sample %d, want %d", i, got.SampleID, want.SampleID)
+		}
+		for j := range want.Features {
+			if got.Features[j] != want.Features[j] {
+				t.Fatalf("row %d feature %d: %v != %v (text format lost precision?)",
+					i, j, got.Features[j], want.Features[j])
+			}
+		}
+	}
+}

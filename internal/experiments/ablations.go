@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ml/eval"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -16,6 +17,8 @@ func AblationIDs() []string {
 
 // RunAblation dispatches one ablation by ID.
 func (r *Runner) RunAblation(id string) (*Report, error) {
+	sp := obs.StartSpan("experiment." + id)
+	defer sp.End()
 	switch id {
 	case "ablate-multiplex":
 		return r.AblateMultiplexing()

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/hw"
 	"repro/internal/ml/eval"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -22,6 +23,12 @@ type Config struct {
 	// Trace overrides measurement parameters (zero value = paper
 	// defaults).
 	Trace trace.Config
+	// Progress, when non-nil, receives coarse completion callbacks while
+	// an experiment runs: stage names a unit of work (usually a
+	// classifier), done/total count completed units. Long multi-model
+	// experiments call it once per model; cheap table experiments may not
+	// call it at all.
+	Progress func(stage string, done, total int)
 }
 
 // Runner caches the generated dataset across experiments so `repro all`
@@ -53,6 +60,7 @@ func (r *Runner) Dataset() (*dataset.Table, error) {
 		return nil, err
 	}
 	r.tbl = tbl
+	r.progress("dataset", 1, 1)
 	return tbl, nil
 }
 
@@ -65,8 +73,20 @@ func IDs() []string {
 	}
 }
 
-// Run dispatches one experiment by ID.
+// progress reports one completed unit of work to the configured callback
+// (if any) and to the debug log.
+func (r *Runner) progress(stage string, done, total int) {
+	if r.cfg.Progress != nil {
+		r.cfg.Progress(stage, done, total)
+	}
+	obs.Log().Debug("experiment progress", "stage", stage, "done", done, "total", total)
+}
+
+// Run dispatches one experiment by ID. Each experiment runs under an
+// "experiment.<id>" span so run snapshots attribute wall time per figure.
 func (r *Runner) Run(id string) (*Report, error) {
+	sp := obs.StartSpan("experiment." + id)
+	defer sp.End()
 	switch id {
 	case "table1":
 		return r.Table1()
@@ -259,7 +279,8 @@ func (r *Runner) Fig13() (*Report, error) {
 		PaperClaim: "most classifiers lose a little accuracy at 4 features; J48 and OneR barely change",
 		Header:     []string{"classifier", "acc@16", "acc@8", "acc@4", "delta 8->4"},
 	}
-	for _, name := range core.ClassifierNames() {
+	names := core.ClassifierNames()
+	for i, name := range names {
 		res16, err := core.RunDetector(tbl, core.DetectorConfig{
 			Classifier: name, Binary: true,
 			Seed: r.cfg.Seed, SkipHardware: true,
@@ -285,6 +306,7 @@ func (r *Runner) Fig13() (*Report, error) {
 		rep.Rows = append(rep.Rows, []string{
 			name, pct(a16), pct(a8), pct(a4), fmt.Sprintf("%+.1f%%", (a4-a8)*100),
 		})
+		r.progress(name, i+1, len(names))
 	}
 	return rep, nil
 }
@@ -305,7 +327,8 @@ func (r *Runner) HardwareFigures(id string) (*Report, error) {
 		res  *core.DetectorResult
 	}
 	var rows []row
-	for _, name := range core.ClassifierNames() {
+	names := core.ClassifierNames()
+	for i, name := range names {
 		res, err := core.RunDetector(tbl, core.DetectorConfig{
 			Classifier: name, Binary: true, Features: top8, Seed: r.cfg.Seed,
 		})
@@ -313,6 +336,7 @@ func (r *Runner) HardwareFigures(id string) (*Report, error) {
 			return nil, err
 		}
 		rows = append(rows, row{name, res})
+		r.progress(name, i+1, len(names))
 	}
 	rep := &Report{ID: id}
 	switch id {
@@ -378,7 +402,8 @@ func (r *Runner) Fig17() (*Report, error) {
 		PaperClaim: "neural networks (MLP) have the best multiclass accuracy",
 		Header:     []string{"classifier", "accuracy"},
 	}
-	for _, name := range core.MulticlassNames() {
+	names := core.MulticlassNames()
+	for i, name := range names {
 		res, err := core.RunDetector(tbl, core.DetectorConfig{
 			Classifier: name, Binary: false, Seed: r.cfg.Seed, SkipHardware: true,
 		})
@@ -390,6 +415,7 @@ func (r *Runner) Fig17() (*Report, error) {
 			label = "MLR"
 		}
 		rep.Rows = append(rep.Rows, []string{label, pct(res.Eval.Accuracy())})
+		r.progress(name, i+1, len(names))
 	}
 	return rep, nil
 }
@@ -407,7 +433,8 @@ func (r *Runner) Fig18() (*Report, error) {
 		PaperClaim: "per-class accuracy varies strongly by family; the benign-like trojan and the smallest family (worm, 149 samples) suffer most",
 		Header:     append([]string{"classifier"}, classNames()...),
 	}
-	for _, name := range core.MulticlassNames() {
+	names := core.MulticlassNames()
+	for i, name := range names {
 		res, err := core.RunDetector(tbl, core.DetectorConfig{
 			Classifier: name, Binary: false, Seed: r.cfg.Seed, SkipHardware: true,
 		})
@@ -423,6 +450,7 @@ func (r *Runner) Fig18() (*Report, error) {
 			row = append(row, pct(res.Eval.Confusion.Recall(c)))
 		}
 		rep.Rows = append(rep.Rows, row)
+		r.progress(name, i+1, len(names))
 	}
 	return rep, nil
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ml/eval"
 	"repro/internal/ml/knn"
 	"repro/internal/ml/tree"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/pca"
 	"repro/internal/trace"
@@ -28,6 +29,8 @@ func ExtensionIDs() []string {
 
 // RunExtension dispatches one extension experiment by ID.
 func (r *Runner) RunExtension(id string) (*Report, error) {
+	sp := obs.StartSpan("experiment." + id)
+	defer sp.End()
 	switch id {
 	case "ext-ensemble":
 		return r.ExtEnsemble()

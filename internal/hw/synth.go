@@ -11,6 +11,14 @@ import (
 	"repro/internal/ml/oner"
 	"repro/internal/ml/rules"
 	"repro/internal/ml/tree"
+	"repro/internal/obs"
+)
+
+// Synthesis instruments: how many designs the HLS cost model scheduled
+// and the total dataflow nodes placed across them.
+var (
+	mSyntheses      = obs.GetCounter("hw.syntheses")
+	mNodesScheduled = obs.GetCounter("hw.nodes_scheduled")
 )
 
 // ClockMHz is the synthesis target clock, matching the paper's HLS runs.
@@ -78,6 +86,10 @@ func reportFor(d *Design, budget Budget) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mSyntheses.Inc()
+	mNodesScheduled.Add(int64(len(d.Ops)))
+	obs.Log().Debug("design scheduled",
+		"design", d.Name, "nodes", len(d.Ops), "cycles", sched.Cycles)
 	var area Area
 	for kind, n := range sched.Used {
 		area.Add(AreaOf(kind).Scale(n))

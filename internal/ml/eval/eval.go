@@ -7,9 +7,21 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/rng"
+)
+
+// Training instruments: how many models and CV folds this process fitted
+// and how long training/evaluation take per call.
+var (
+	mModelsTrained = obs.GetCounter("ml.models_trained")
+	mFoldsTrained  = obs.GetCounter("ml.folds_trained")
+	mTrainSeconds  = obs.GetHistogram("ml.train_seconds", obs.TimeBuckets)
+	mTestSeconds   = obs.GetHistogram("ml.test_seconds", obs.TimeBuckets)
+	mFoldSeconds   = obs.GetHistogram("ml.fold_train_seconds", obs.TimeBuckets)
 )
 
 // Confusion is a confusion matrix: Counts[actual][predicted].
@@ -127,6 +139,7 @@ func Evaluate(c ml.Classifier, xTest [][]float64, yTest []int, numClasses int) (
 	if len(xTest) == 0 {
 		return nil, fmt.Errorf("eval: empty test set")
 	}
+	start := time.Now()
 	conf := NewConfusion(numClasses)
 	for i, x := range xTest {
 		p := c.Predict(x)
@@ -135,7 +148,9 @@ func Evaluate(c ml.Classifier, xTest [][]float64, yTest []int, numClasses int) (
 		}
 		conf.Observe(yTest[i], p)
 	}
-	return &Result{Classifier: c.Name(), Confusion: conf}, nil
+	elapsed := time.Since(start).Seconds()
+	mTestSeconds.Observe(elapsed)
+	return &Result{Classifier: c.Name(), Confusion: conf, TestSeconds: elapsed}, nil
 }
 
 // TrainAndTest fits the classifier on the training split and evaluates on
@@ -143,10 +158,21 @@ func Evaluate(c ml.Classifier, xTest [][]float64, yTest []int, numClasses int) (
 // paper.
 func TrainAndTest(c ml.Classifier, xTrain [][]float64, yTrain []int,
 	xTest [][]float64, yTest []int, numClasses int) (*Result, error) {
+	start := time.Now()
 	if err := c.Train(xTrain, yTrain, numClasses); err != nil {
 		return nil, fmt.Errorf("eval: training %s: %w", c.Name(), err)
 	}
-	return Evaluate(c, xTest, yTest, numClasses)
+	trainSeconds := time.Since(start).Seconds()
+	mModelsTrained.Inc()
+	mTrainSeconds.Observe(trainSeconds)
+	obs.Log().Debug("model trained", "classifier", c.Name(),
+		"rows", len(xTrain), "classes", numClasses, "seconds", trainSeconds)
+	res, err := Evaluate(c, xTest, yTest, numClasses)
+	if err != nil {
+		return nil, err
+	}
+	res.TrainSeconds = trainSeconds
+	return res, nil
 }
 
 // CrossValidate performs stratified k-fold cross validation using factory
@@ -190,12 +216,16 @@ func CrossValidate(factory func() ml.Classifier, x [][]float64, y []int,
 		}
 		c := factory()
 		name = c.Name()
+		foldStart := time.Now()
 		if err := c.Train(xtr, ytr, numClasses); err != nil {
 			return nil, fmt.Errorf("eval: CV fold %d: %w", f, err)
 		}
+		mFoldsTrained.Inc()
+		mFoldSeconds.Observe(time.Since(foldStart).Seconds())
 		for i := range xte {
 			conf.Observe(yte[i], c.Predict(xte[i]))
 		}
+		obs.Log().Debug("cv fold trained", "classifier", name, "fold", f, "folds", folds)
 	}
 	return &Result{Classifier: name, Confusion: conf}, nil
 }

@@ -12,7 +12,15 @@ import (
 	"math"
 
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/rng"
+)
+
+// Iteration counters across all fits in the process. SVM epochs count
+// per binary one-vs-rest problem, matching the work Pegasos performs.
+var (
+	mLogisticEpochs = obs.GetCounter("ml.logistic_epochs")
+	mSVMEpochs      = obs.GetCounter("ml.svm_epochs")
 )
 
 // scaler standardizes features with train-set statistics.
@@ -174,6 +182,7 @@ func (lg *Logistic) Train(x [][]float64, y []int, numClasses int) error {
 			}
 		}
 	}
+	mLogisticEpochs.Add(int64(lg.Epochs))
 	lg.trained = true
 	return nil
 }
@@ -274,6 +283,7 @@ func (s *SVM) Train(x [][]float64, y []int, numClasses int) error {
 	for c := 0; c < numClasses; c++ {
 		s.w[c] = s.trainBinary(z, y, c)
 	}
+	mSVMEpochs.Add(int64(s.Epochs) * int64(numClasses))
 	s.trained = true
 	return nil
 }

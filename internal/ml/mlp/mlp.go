@@ -9,8 +9,12 @@ import (
 	"math"
 
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
+
+// mEpochs counts SGD epochs across all MLP fits in the process.
+var mEpochs = obs.GetCounter("ml.mlp_epochs")
 
 // MLP is a one-hidden-layer perceptron classifier.
 type MLP struct {
@@ -162,6 +166,7 @@ func (m *MLP) Train(x [][]float64, y []int, numClasses int) error {
 			}
 		}
 	}
+	mEpochs.Add(int64(m.Epochs))
 	m.trained = true
 	return nil
 }

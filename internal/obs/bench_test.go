@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkNopLogger proves the disabled-logger hot path is free: the
+// instrumented per-window simulation loop must cost nothing when no
+// logger is installed. The acceptance bar is 0 allocs/op.
+func BenchmarkNopLogger(b *testing.B) {
+	l := Nop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Debug("window simulated", "window", 12, "slices", 10, "class", "rootkit")
+	}
+}
+
+// BenchmarkLevelFilteredLogger is the same bar for an installed logger
+// whose level filters the record out.
+func BenchmarkLevelFilteredLogger(b *testing.B) {
+	l := New(io.Discard, LevelInfo, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Debug("window simulated", "window", 12, "slices", 10, "class", "rootkit")
+	}
+}
+
+func BenchmarkTextLogger(b *testing.B) {
+	l := New(io.Discard, LevelDebug, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Debug("window simulated", "window", 12, "slices", 10, "class", "rootkit")
+	}
+}
+
+func BenchmarkJSONLogger(b *testing.B) {
+	l := New(io.Discard, LevelDebug, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Debug("window simulated", "window", 12, "slices", 10, "class", "rootkit")
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench", TimeBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) * 0.001)
+	}
+}

@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Level orders log severities. The gaps leave room for intermediate
+// levels, mirroring log/slog's numbering.
+type Level int8
+
+// Severity levels, lowest (most verbose) first.
+const (
+	LevelTrace Level = -8
+	LevelDebug Level = -4
+	LevelInfo  Level = 0
+	LevelWarn  Level = 4
+	LevelError Level = 8
+)
+
+// String returns the lower-case level name.
+func (l Level) String() string {
+	switch {
+	case l <= LevelTrace:
+		return "trace"
+	case l <= LevelDebug:
+		return "debug"
+	case l <= LevelInfo:
+		return "info"
+	case l <= LevelWarn:
+		return "warn"
+	default:
+		return "error"
+	}
+}
+
+// Logger is a leveled, key-value structured logger. Log calls carry a
+// message plus alternating key-value pairs:
+//
+//	log.Info("dataset generated", "rows", 4960, "samples", 310)
+//
+// A nil *Logger is a valid nop logger: every method is safe and free.
+type Logger struct {
+	h     *handler
+	attrs []any // bound pairs from With, prepended to every record
+}
+
+// handler owns the output writer; derived loggers (With) share it.
+type handler struct {
+	mu    sync.Mutex
+	w     io.Writer
+	json  bool
+	level Level
+	buf   []byte
+}
+
+// New returns a logger writing records at or above level to w, as JSON
+// objects when jsonFormat is set and as aligned text lines otherwise.
+func New(w io.Writer, level Level, jsonFormat bool) *Logger {
+	return &Logger{h: &handler{w: w, level: level, json: jsonFormat}}
+}
+
+// Nop returns the disabled logger.
+func Nop() *Logger { return nil }
+
+// Enabled reports whether records at the given level are emitted.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && l.h != nil && lv >= l.h.level
+}
+
+// With returns a logger that adds the given key-value pairs to every
+// record.
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || l.h == nil {
+		return l
+	}
+	attrs := make([]any, 0, len(l.attrs)+len(kv))
+	attrs = append(attrs, l.attrs...)
+	attrs = append(attrs, kv...)
+	return &Logger{h: l.h, attrs: attrs}
+}
+
+// Trace logs at LevelTrace.
+func (l *Logger) Trace(msg string, kv ...any) { l.log(LevelTrace, msg, kv) }
+
+// Debug logs at LevelDebug.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	h := l.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buf = h.buf[:0]
+	if h.json {
+		h.buf = append(h.buf, `{"level":"`...)
+		h.buf = append(h.buf, lv.String()...)
+		h.buf = append(h.buf, `","msg":`...)
+		h.buf = appendJSONString(h.buf, msg)
+		h.buf = appendPairsJSON(h.buf, l.attrs)
+		h.buf = appendPairsJSON(h.buf, kv)
+		h.buf = append(h.buf, '}', '\n')
+	} else {
+		h.buf = append(h.buf, lv.String()...)
+		for n := len(lv.String()); n < 5; n++ {
+			h.buf = append(h.buf, ' ')
+		}
+		h.buf = append(h.buf, ' ')
+		h.buf = append(h.buf, msg...)
+		h.buf = appendPairsText(h.buf, l.attrs)
+		h.buf = appendPairsText(h.buf, kv)
+		h.buf = append(h.buf, '\n')
+	}
+	h.w.Write(h.buf)
+}
+
+func pairKey(v any) string {
+	if s, ok := v.(string); ok && s != "" {
+		return s
+	}
+	return "!BADKEY"
+}
+
+func appendPairsText(buf []byte, kv []any) []byte {
+	for i := 0; i+1 < len(kv); i += 2 {
+		buf = append(buf, ' ')
+		buf = append(buf, pairKey(kv[i])...)
+		buf = append(buf, '=')
+		buf = appendValueText(buf, kv[i+1])
+	}
+	if len(kv)%2 == 1 {
+		buf = append(buf, " !EXTRA="...)
+		buf = appendValueText(buf, kv[len(kv)-1])
+	}
+	return buf
+}
+
+func appendPairsJSON(buf []byte, kv []any) []byte {
+	for i := 0; i+1 < len(kv); i += 2 {
+		buf = append(buf, ',')
+		buf = appendJSONString(buf, pairKey(kv[i]))
+		buf = append(buf, ':')
+		buf = appendValueJSON(buf, kv[i+1])
+	}
+	if len(kv)%2 == 1 {
+		buf = append(buf, `,"!EXTRA":`...)
+		buf = appendValueJSON(buf, kv[len(kv)-1])
+	}
+	return buf
+}
+
+// appendValueText formats one value. Common concrete types are encoded
+// with strconv so the argument slice never escapes to the heap, keeping
+// disabled-logger call sites allocation-free.
+func appendValueText(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		if needsQuoting(x) {
+			return strconv.AppendQuote(buf, x)
+		}
+		return append(buf, x...)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case float64:
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case time.Duration:
+		return append(buf, x.String()...)
+	default:
+		return fmt.Appendf(buf, "%v", v)
+	}
+}
+
+func appendValueJSON(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendJSONString(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
+	case float64:
+		// NaN/Inf are not valid JSON numbers; quote them.
+		if x != x || x > 1.7976931348623157e308 || x < -1.7976931348623157e308 {
+			return appendJSONString(buf, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		return strconv.AppendFloat(buf, x, 'g', -1, 64)
+	case bool:
+		return strconv.AppendBool(buf, x)
+	case time.Duration:
+		return appendJSONString(buf, x.String())
+	default:
+		return appendJSONString(buf, fmt.Sprintf("%v", v))
+	}
+}
+
+func needsQuoting(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c == '"' || c == '=' || c >= 0x7f {
+			return true
+		}
+	}
+	return len(s) == 0
+}
+
+// appendJSONString appends s as a JSON string literal, escaping quotes,
+// backslashes and control characters.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c == '\r':
+			buf = append(buf, '\\', 'r')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return append(buf, '"')
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelInfo, false)
+	l.Trace("t")
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	out := b.String()
+	for _, absent := range []string{"trace", "debug"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("level %s leaked through an info-level logger:\n%s", absent, out)
+		}
+	}
+	for _, present := range []string{"info  i", "warn  w", "error e"} {
+		if !strings.Contains(out, present) {
+			t.Errorf("missing %q in:\n%s", present, out)
+		}
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelDebug) {
+		t.Error("Enabled disagrees with the configured level")
+	}
+}
+
+func TestLoggerTextEncoding(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelDebug, false)
+	l.Info("generated", "rows", 4960, "frac", 0.5, "name", "two words", "ok", true,
+		"dur", 1500*time.Millisecond)
+	got := b.String()
+	want := `info  generated rows=4960 frac=0.5 name="two words" ok=true dur=1.5s` + "\n"
+	if got != want {
+		t.Errorf("text line\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestLoggerJSONEncoding(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelDebug, true).With("stage", "gen")
+	l.Warn("odd \"msg\"\n", "rows", 42, "bad")
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("log line is not valid JSON: %v\n%s", err, b.String())
+	}
+	if rec["level"] != "warn" || rec["msg"] != "odd \"msg\"\n" {
+		t.Errorf("bad level/msg: %v", rec)
+	}
+	if rec["stage"] != "gen" {
+		t.Errorf("bound attr missing: %v", rec)
+	}
+	if rec["rows"] != float64(42) {
+		t.Errorf("rows = %v", rec["rows"])
+	}
+	if _, ok := rec["!EXTRA"]; !ok {
+		t.Errorf("dangling value not flagged: %v", rec)
+	}
+}
+
+func TestNopLoggerIsSafe(t *testing.T) {
+	l := Nop()
+	l.Info("nothing", "k", 1)
+	if l.With("a", 1) != nil {
+		t.Error("With on nop logger should stay nop")
+	}
+	if l.Enabled(LevelError) {
+		t.Error("nop logger claims to be enabled")
+	}
+	// The package default starts disabled.
+	Log().Debug("also nothing")
+}
+
+func TestLoggerBadKey(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelDebug, false)
+	l.Info("m", 17, "v")
+	if !strings.Contains(b.String(), "!BADKEY=v") {
+		t.Errorf("non-string key not flagged: %s", b.String())
+	}
+}

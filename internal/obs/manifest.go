@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Manifest records what one tool run did — the seed, scale and
+// configuration it ran with, the artifacts it wrote, per-stage wall
+// times, and headline row counts — so every generated dataset or
+// reproduced figure is auditable and comparable across runs.
+type Manifest struct {
+	Tool      string            `json:"tool"`
+	Command   string            `json:"command"`
+	Args      []string          `json:"args,omitempty"`
+	Seed      uint64            `json:"seed"`
+	Scale     float64           `json:"scale,omitempty"`
+	Config    map[string]string `json:"config,omitempty"`
+	Outputs   []string          `json:"outputs,omitempty"`
+	Rows      int               `json:"rows,omitempty"`
+	Samples   int               `json:"samples,omitempty"`
+	Stages    []ManifestStage   `json:"stages,omitempty"`
+	StartedAt string            `json:"started_at"`
+	// WallSeconds is the total run wall time, set by Finish.
+	WallSeconds float64 `json:"wall_seconds"`
+	GoVersion   string  `json:"go_version"`
+
+	start time.Time
+}
+
+// ManifestStage is one timed pipeline stage of a run.
+type ManifestStage struct {
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// NewManifest starts a manifest for one command invocation.
+func NewManifest(tool, command string) *Manifest {
+	now := time.Now()
+	return &Manifest{
+		Tool:      tool,
+		Command:   command,
+		Config:    map[string]string{},
+		StartedAt: now.UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		start:     now,
+	}
+}
+
+// AddStage appends a named stage with the given duration.
+func (m *Manifest) AddStage(name string, d time.Duration) {
+	m.Stages = append(m.Stages, ManifestStage{Name: name, WallSeconds: d.Seconds()})
+}
+
+// StagesFromSpans copies a span-tree snapshot's top-level spans in as
+// stages (children are folded into their parents' wall time already).
+func (m *Manifest) StagesFromSpans(spans []SpanSnapshot) {
+	for _, s := range spans {
+		m.Stages = append(m.Stages, ManifestStage{
+			Name:        s.Name,
+			WallSeconds: s.WallMS / 1000,
+		})
+	}
+}
+
+// Finish stamps the total wall time. Safe to call more than once.
+func (m *Manifest) Finish() {
+	m.WallSeconds = time.Since(m.start).Seconds()
+}
+
+// WriteFile finishes the manifest and writes it to path as indented JSON.
+func (m *Manifest) WriteFile(path string) error {
+	m.Finish()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadManifest loads a manifest written by WriteFile.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ManifestPathFor derives the conventional manifest path for an output
+// artifact: the artifact's path with its extension replaced by
+// ".manifest.json" (or appended when there is no extension).
+func ManifestPathFor(output string) string {
+	ext := filepath.Ext(output)
+	return strings.TrimSuffix(output, ext) + ".manifest.json"
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestManifestWriteAndRead(t *testing.T) {
+	m := NewManifest("hpcmal", "gen")
+	m.Seed = 42
+	m.Scale = 0.1
+	m.Rows = 4960
+	m.Samples = 310
+	m.Config["out"] = "dataset.csv"
+	m.Outputs = append(m.Outputs, "dataset.csv")
+	m.AddStage("dataset.generate", 1500*time.Millisecond)
+	m.StagesFromSpans([]SpanSnapshot{{Name: "write", WallMS: 250}})
+
+	path := filepath.Join(t.TempDir(), "dataset.manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "hpcmal" || got.Command != "gen" || got.Seed != 42 || got.Scale != 0.1 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+	if got.Rows != 4960 || got.Samples != 310 {
+		t.Errorf("rows/samples = %d/%d", got.Rows, got.Samples)
+	}
+	if len(got.Stages) != 2 || got.Stages[0].WallSeconds != 1.5 || got.Stages[1].WallSeconds != 0.25 {
+		t.Errorf("stages = %+v", got.Stages)
+	}
+	if got.WallSeconds < 0 || got.StartedAt == "" || got.GoVersion == "" {
+		t.Errorf("metadata missing: %+v", got)
+	}
+}
+
+func TestManifestPathFor(t *testing.T) {
+	cases := map[string]string{
+		"dataset.csv":      "dataset.manifest.json",
+		"out/d.arff":       "out/d.manifest.json",
+		"trace-dir":        "trace-dir.manifest.json",
+		"metrics.json":     "metrics.manifest.json",
+		"a/b.c.d/file.csv": "a/b.c.d/file.manifest.json",
+	}
+	for in, want := range cases {
+		if got := ManifestPathFor(in); got != filepath.FromSlash(want) && got != want {
+			t.Errorf("ManifestPathFor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Tracer assembles spans into a per-run timing tree. Spans opened while
+// another span is active become its children; spans opened at top level
+// become roots. The tracer is mutex-protected, but the nesting model is
+// call-stack shaped: open nested spans from the sequential pipeline
+// driver, not from worker goroutines (workers should record into
+// counters/histograms instead).
+type Tracer struct {
+	mu    sync.Mutex
+	roots []*Span
+	stack []*Span
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Span is one timed region of a run. End it exactly once; End is
+// idempotent and nil-safe.
+type Span struct {
+	name   string
+	start  time.Time
+	dur    time.Duration
+	ended  bool
+	child  []*Span
+	tracer *Tracer
+}
+
+// Start opens a span as a child of the innermost active span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := &Span{name: name, start: time.Now(), tracer: t}
+	if n := len(t.stack); n > 0 {
+		top := t.stack[n-1]
+		top.child = append(top.child, sp)
+	} else {
+		t.roots = append(t.roots, sp)
+	}
+	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// End closes the span, recording its wall duration, and returns it.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	s.dur = time.Since(s.start)
+	s.ended = true
+	// Remove s from the active stack wherever it sits, tolerating
+	// out-of-order ends.
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+	return s.dur
+}
+
+// SpanSnapshot is the frozen form of a span subtree.
+type SpanSnapshot struct {
+	Name string `json:"name"`
+	// WallMS is the span's wall-clock duration in milliseconds. Spans not
+	// yet ended report their running duration.
+	WallMS   float64        `json:"wall_ms"`
+	Children []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot freezes the current span tree.
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return snapshotSpans(t.roots)
+}
+
+func snapshotSpans(spans []*Span) []SpanSnapshot {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanSnapshot, len(spans))
+	for i, s := range spans {
+		d := s.dur
+		if !s.ended {
+			d = time.Since(s.start)
+		}
+		out[i] = SpanSnapshot{
+			Name:     s.name,
+			WallMS:   roundMS(d),
+			Children: snapshotSpans(s.child),
+		}
+	}
+	return out
+}
+
+// Reset discards all recorded spans and the active stack.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.roots, t.stack = nil, nil
+}
+
+// roundMS converts a duration to milliseconds with microsecond precision,
+// keeping snapshot JSON compact.
+func roundMS(d time.Duration) float64 {
+	return math.Round(float64(d)/float64(time.Microsecond)) / 1000
+}

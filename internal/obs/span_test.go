@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("root")
+	a := tr.Start("a")
+	aa := tr.Start("a.a")
+	aa.End()
+	a.End()
+	b := tr.Start("b")
+	b.End()
+	root.End()
+	second := tr.Start("second")
+	second.End()
+
+	snap := tr.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("roots = %d, want 2", len(snap))
+	}
+	r := snap[0]
+	if r.Name != "root" || len(r.Children) != 2 {
+		t.Fatalf("root = %+v", r)
+	}
+	if r.Children[0].Name != "a" || r.Children[1].Name != "b" {
+		t.Errorf("children = %+v", r.Children)
+	}
+	if len(r.Children[0].Children) != 1 || r.Children[0].Children[0].Name != "a.a" {
+		t.Errorf("grandchildren = %+v", r.Children[0].Children)
+	}
+	if snap[1].Name != "second" {
+		t.Errorf("second root = %+v", snap[1])
+	}
+}
+
+func TestSpanDurationsAndIdempotentEnd(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("timed")
+	time.Sleep(2 * time.Millisecond)
+	d1 := s.End()
+	if d1 < time.Millisecond {
+		t.Errorf("duration %v too short", d1)
+	}
+	if d2 := s.End(); d2 != d1 {
+		t.Errorf("second End changed duration: %v != %v", d2, d1)
+	}
+	snap := tr.Snapshot()
+	if snap[0].WallMS <= 0 {
+		t.Errorf("snapshot wall_ms = %v", snap[0].WallMS)
+	}
+}
+
+func TestSpanOutOfOrderEnd(t *testing.T) {
+	tr := NewTracer()
+	a := tr.Start("a")
+	b := tr.Start("b")
+	a.End() // out of order: b still open
+	c := tr.Start("c")
+	c.End()
+	b.End()
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "a" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// c opened while b was the innermost active span.
+	if len(snap[0].Children) != 1 || snap[0].Children[0].Name != "b" {
+		t.Fatalf("a's children = %+v", snap[0].Children)
+	}
+	if len(snap[0].Children[0].Children) != 1 || snap[0].Children[0].Children[0].Name != "c" {
+		t.Errorf("b's children = %+v", snap[0].Children[0].Children)
+	}
+}
+
+func TestTracerResetAndNilSafety(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("x").End()
+	tr.Reset()
+	if len(tr.Snapshot()) != 0 {
+		t.Error("snapshot non-empty after reset")
+	}
+
+	var nilTracer *Tracer
+	sp := nilTracer.Start("nothing")
+	sp.End()
+	if nilTracer.Snapshot() != nil {
+		t.Error("nil tracer returned spans")
+	}
+	nilTracer.Reset()
+}
+
+func TestUnendedSpanReportsRunningDuration(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("open")
+	time.Sleep(time.Millisecond)
+	snap := tr.Snapshot()
+	if snap[0].WallMS <= 0 {
+		t.Errorf("open span wall_ms = %v, want > 0", snap[0].WallMS)
+	}
+}

@@ -11,7 +11,22 @@ import (
 	"fmt"
 
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/trace"
+)
+
+// AlarmLatencyMetric is the registry name of the detection-latency
+// histogram: the 1-based window index at which the alarm first fired,
+// recorded per detected trace. Consumers read it via
+// obs.DefaultRegistry.Snapshot().Histograms[AlarmLatencyMetric].
+const AlarmLatencyMetric = "online.alarm_latency_windows"
+
+// Detection instruments: traces monitored, alarms raised, and the
+// window-granularity latency distribution of those alarms.
+var (
+	mMonitors     = obs.GetCounter("online.monitors")
+	mAlarms       = obs.GetCounter("online.alarms")
+	mAlarmLatency = obs.GetHistogram(AlarmLatencyMetric, obs.WindowBuckets)
 )
 
 // Smoother accumulates binary per-window verdicts (1 = malware) and
@@ -142,6 +157,7 @@ func Monitor(clf ml.Classifier, sm Smoother, tr *trace.Trace, samplePeriod float
 		return nil, fmt.Errorf("online: non-positive sample period")
 	}
 	sm.Reset()
+	mMonitors.Inc()
 	res := &Result{Window: -1}
 	for i := range tr.Records {
 		pred := clf.Predict(tr.Records[i].Values())
@@ -153,6 +169,13 @@ func Monitor(clf ml.Classifier, sm Smoother, tr *trace.Trace, samplePeriod float
 			// later; for now first alarm decides.
 			break
 		}
+	}
+	if res.Detected {
+		mAlarms.Inc()
+		mAlarmLatency.Observe(float64(res.Window + 1))
+		obs.Log().Debug("alarm raised", "sample", tr.SampleName,
+			"class", tr.Class.String(), "window", res.Window,
+			"latency_s", res.LatencySeconds)
 	}
 	return res, nil
 }

@@ -15,6 +15,15 @@ import (
 	"sort"
 
 	"repro/internal/micro"
+	"repro/internal/obs"
+)
+
+// Multiplexing instruments: how often the virtual PMU measured a window
+// and how many counter-group rotations the round-robin scheduler made —
+// the mechanism behind the extrapolation error the classifiers train on.
+var (
+	mMeasurements = obs.GetCounter("pmu.measurements")
+	mRotations    = obs.GetCounter("pmu.multiplex_rotations")
 )
 
 // NumCounters is the number of physical programmable counters on the
@@ -273,6 +282,7 @@ func (p *PMU) Measure(slices []micro.Counts) ([]Reading, error) {
 	}
 	groups := p.Groups()
 	out := make([]Reading, len(p.events))
+	mMeasurements.Inc()
 
 	if !p.multiplexOn || groups == 1 {
 		// Exact measurement: every event sees every slice.
@@ -287,7 +297,8 @@ func (p *PMU) Measure(slices []micro.Counts) ([]Reading, error) {
 	}
 
 	// Multiplexed measurement: group g is live on slices s where
-	// s mod groups == g.
+	// s mod groups == g. Each slice boundary rotates the live group.
+	mRotations.Add(int64(len(slices)))
 	for i, e := range p.events {
 		group := i / p.counters
 		var acc micro.Counts

@@ -14,11 +14,22 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/micro"
+	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/rng"
 	"repro/internal/workload"
+)
+
+// Measurement-channel instruments: how much simulated execution the run
+// performed, and how long each sampling window takes to simulate.
+var (
+	mContainers    = obs.GetCounter("trace.containers_provisioned")
+	mWindows       = obs.GetCounter("trace.windows_simulated")
+	mSlices        = obs.GetCounter("trace.slices_executed")
+	mWindowSeconds = obs.GetHistogram("trace.window_sim_seconds", obs.TimeBuckets)
 )
 
 // Config controls the sampler.
@@ -150,6 +161,9 @@ func NewContainer(cfg Config, prog *workload.Program, seed uint64) (*Container, 
 		}
 		c.noise = noise
 	}
+	mContainers.Inc()
+	obs.Log().Trace("container provisioned",
+		"sample", prog.Name, "class", prog.Class.String(), "events", len(cfg.Events))
 	return c, nil
 }
 
@@ -163,6 +177,7 @@ func (c *Container) Run() (*Trace, error) {
 	}
 	sliceDur := c.cfg.SamplePeriod / float64(c.cfg.SlicesPerWindow)
 	for w := 0; w < c.cfg.WindowsPerSample; w++ {
+		wStart := time.Now()
 		slices := make([]micro.Counts, c.cfg.SlicesPerWindow)
 		for s := range slices {
 			counts, err := c.runSlice(sliceDur)
@@ -176,6 +191,9 @@ func (c *Container) Run() (*Trace, error) {
 			return nil, err
 		}
 		tr.Records = append(tr.Records, Record{Window: w, Readings: readings})
+		mWindows.Inc()
+		mSlices.Add(int64(c.cfg.SlicesPerWindow))
+		mWindowSeconds.Observe(time.Since(wStart).Seconds())
 	}
 	return tr, nil
 }
@@ -243,7 +261,10 @@ func (t *Trace) WriteText(w io.Writer) error {
 		vals := rec.Values()
 		parts := make([]string, len(vals))
 		for i, v := range vals {
-			parts[i] = fmt.Sprintf("%.0f", v)
+			// %g round-trips exactly through strconv.ParseFloat: multiplex
+			// extrapolation makes readings fractional, and %.0f used to
+			// round that precision away in the collect→merge pipeline.
+			parts[i] = fmt.Sprintf("%g", v)
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
 			return err
