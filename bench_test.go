@@ -16,8 +16,14 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/ml/eval"
+	"repro/internal/parallel"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // benchConfig keeps benchmark iterations affordable: ~3% of the paper's
@@ -40,7 +46,7 @@ var (
 func getRunner(b *testing.B) *experiments.Runner {
 	b.Helper()
 	runnerOnce.Do(func() {
-		sharedRunner = experiments.NewRunner(benchConfig())
+		sharedRunner = experiments.NewRunner(experiments.WithConfig(benchConfig()))
 	})
 	if _, err := sharedRunner.Dataset(); err != nil {
 		b.Fatal(err)
@@ -78,7 +84,7 @@ func BenchmarkTable1_DatasetGeneration(b *testing.B) {
 	// This one measures generation itself: fresh runner per iteration.
 	cfg := benchConfig()
 	for i := 0; i < b.N; i++ {
-		r := experiments.NewRunner(cfg)
+		r := experiments.NewRunner(experiments.WithConfig(cfg))
 		rep, err := r.Table1()
 		if err != nil {
 			b.Fatal(err)
@@ -319,6 +325,136 @@ func BenchmarkExtension_Quantization(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------
+// Serial vs parallel engine benchmarks. Each pair runs the same workload
+// at 1 worker and at benchWorkers, so
+//
+//	go test -bench=Parallel -benchtime=3x
+//
+// prints the measured speedup of the three hot paths the -parallel flag
+// bounds: container generation, 10-fold CV, and per-family MLP training.
+// The outputs are bit-identical across the pair (see determinism_test.go);
+// only wall time may differ.
+
+const benchWorkers = 4
+
+// benchGenConfig is the generation workload for the serial/parallel pair.
+func benchGenConfig(workers int) dataset.GenConfig {
+	counts := map[workload.Class]int{}
+	for _, c := range workload.AllClasses() {
+		counts[c] = 4
+	}
+	return dataset.GenConfig{
+		Trace:           benchConfig().Trace,
+		SamplesPerClass: counts,
+		Seed:            1,
+		Parallelism:     workers,
+	}
+}
+
+func benchGenerate(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.Generate(benchGenConfig(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelGen_Serial(b *testing.B)   { benchGenerate(b, 1) }
+func BenchmarkParallelGen_Parallel(b *testing.B) { benchGenerate(b, benchWorkers) }
+
+// benchRows caches one feature matrix + binary labels for the CV and MLP
+// training benchmarks.
+var benchRowsOnce = sync.OnceValues(func() (*dataset.Table, error) {
+	return dataset.Generate(benchGenConfig(0))
+})
+
+func benchTable(b *testing.B) *dataset.Table {
+	b.Helper()
+	tbl, err := benchRowsOnce()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tbl
+}
+
+func benchCV10(b *testing.B, workers int) {
+	b.Helper()
+	tbl := benchTable(b)
+	rows := make([][]float64, len(tbl.Instances))
+	for i := range tbl.Instances {
+		rows[i] = tbl.Instances[i].Features
+	}
+	labels := tbl.BinaryLabels()
+	factory := func() ml.Classifier {
+		c, err := core.NewClassifier("J48", 1)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eval.CrossValidate(factory, rows, labels, 2, 10, 1,
+			eval.CVWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Accuracy()*100, "cv_acc_%")
+	}
+}
+
+func BenchmarkParallelCV10_Serial(b *testing.B)   { benchCV10(b, 1) }
+func BenchmarkParallelCV10_Parallel(b *testing.B) { benchCV10(b, benchWorkers) }
+
+// benchMLPTrain trains one binary family-vs-benign MLP per malware
+// family, fanned out on the engine — the per-classifier training pattern
+// the figure runners use.
+func benchMLPTrain(b *testing.B, workers int) {
+	b.Helper()
+	tbl := benchTable(b)
+	families := workload.MalwareClasses()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		accs, err := parallel.Map(
+			parallel.Options{Workers: workers},
+			len(families), func(f int) (float64, error) {
+				sub := tbl.FilterClasses(workload.Benign, families[f])
+				rows := make([][]float64, len(sub.Instances))
+				for j := range sub.Instances {
+					rows[j] = sub.Instances[j].Features
+				}
+				labels := sub.BinaryLabels()
+				clf, err := core.NewClassifier("MLP", 1)
+				if err != nil {
+					return 0, err
+				}
+				if err := clf.Train(rows, labels, 2); err != nil {
+					return 0, err
+				}
+				correct := 0
+				for j, row := range rows {
+					if clf.Predict(row) == labels[j] {
+						correct++
+					}
+				}
+				return float64(correct) / float64(len(rows)), nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, a := range accs {
+			sum += a
+		}
+		b.ReportMetric(100*sum/float64(len(accs)), "mean_train_acc_%")
+	}
+}
+
+func BenchmarkParallelMLPTrain_Serial(b *testing.B)   { benchMLPTrain(b, 1) }
+func BenchmarkParallelMLPTrain_Parallel(b *testing.B) { benchMLPTrain(b, benchWorkers) }
 
 func BenchmarkExtension_KNNHardwareCost(b *testing.B) {
 	rep := benchExtension(b, "ext-knn")

@@ -24,10 +24,8 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/hw"
-	"repro/internal/ml/linear"
-	"repro/internal/ml/oner"
-	"repro/internal/ml/rules"
-	"repro/internal/ml/tree"
+	"repro/internal/ml"
+	"repro/internal/ml/eval"
 	"repro/internal/obs"
 	"repro/internal/pmu"
 	"repro/internal/trace"
@@ -78,7 +76,7 @@ func usage() {
 commands:
   list                         show classifiers, events and experiments
   gen    [-scale -seed -out -arff -binary]   generate the HPC dataset
-  train  [-classifier -binary -features -scale -seed]   train + evaluate
+  train  [-classifier -binary -features -scale -seed -cv]   train + evaluate
   pca    [-scale -seed -k]     PCA ranking and per-class custom features
   hwcost [-scale -seed]        FPGA area/latency for all classifiers
   collect [-dir -perclass -seed]   run samples in containers, write per-
@@ -88,26 +86,34 @@ commands:
                                Verilog for a rule/tree detector
   repro  <id|all|ablations|extensions>   regenerate the paper's evaluation
 
-observability flags (every command):
+shared flags (every command):
+  -parallel N                  bound parallel stages to N workers (default
+                               all CPUs; 1 = serial; output is identical
+                               at any value)
   -v / -vv / -quiet            debug / trace / errors-only logging on stderr
   -log-json                    JSON log lines instead of text
   -metrics-out FILE            write the run's counters/histograms/spans JSON
   -manifest FILE               override the run manifest path (gen, collect
                                and merge write one next to their output by
-                               default)`)
+                               default; manifests record the worker count
+                               and per-stage busy/wall speedup)`)
 }
 
 func cmdList() error {
 	fmt.Println("classifiers (binary study, Figure 13):")
-	fmt.Printf("  %s\n", strings.Join(core.ClassifierNames(), " "))
+	reg := core.Classifiers()
+	for _, n := range core.ClassifierNames() {
+		s, _ := reg.Lookup(n)
+		fmt.Printf("  %-11s %s\n", n, s.Description)
+	}
 	fmt.Println("multiclass classifiers (Figures 17-19):")
 	fmt.Printf("  %s (Logistic = MLR)\n", strings.Join(core.MulticlassNames(), " "))
+	fmt.Println("emittable as Verilog:")
+	fmt.Printf("  %s\n", strings.Join(core.EmittableNames(), " "))
 	fmt.Println("experiments:")
-	fmt.Printf("  %s\n", strings.Join(experiments.IDs(), " "))
-	fmt.Println("ablations:")
-	fmt.Printf("  %s\n", strings.Join(experiments.AblationIDs(), " "))
-	fmt.Println("extensions:")
-	fmt.Printf("  %s\n", strings.Join(experiments.ExtensionIDs(), " "))
+	for _, d := range experiments.Catalog() {
+		fmt.Printf("  %-15s %s\n", d.ID, d.Title)
+	}
 	fmt.Println("paper feature set (16 HPC events):")
 	for _, e := range pmu.PaperFeatures() {
 		fmt.Printf("  %s\n", e)
@@ -173,6 +179,7 @@ func cmdTrain(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	data := fs.String("data", "", "train on an existing CSV instead of generating")
 	util := fs.Bool("util", false, "print a Vivado-style utilization report (Artix-7 35T)")
+	cv := fs.Int("cv", 0, "stratified `k`-fold cross-validation instead of the supplied-test-set split")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -192,6 +199,19 @@ func cmdTrain(args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if *cv > 0 {
+		if err := cmdTrainCV(tbl, *name, *features, *binary, *cv, *seed); err != nil {
+			return err
+		}
+		of.manifest.Config["classifier"] = *name
+		of.manifest.Config["binary"] = fmt.Sprint(*binary)
+		of.manifest.Config["cv_folds"] = fmt.Sprint(*cv)
+		if err := of.writeManifest("", *seed, *scale, nil,
+			tbl.NumInstances(), 0); err != nil {
+			return err
+		}
+		return of.finish()
 	}
 	cfg := core.DetectorConfig{
 		Classifier: *name, Binary: *binary, Seed: *seed,
@@ -234,6 +254,51 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	return of.finish()
+}
+
+// cmdTrainCV runs `train -cv k`: stratified k-fold cross-validation of
+// one registry classifier, with folds trained on the parallel engine
+// (bounded by -parallel; the pooled confusion matrix is identical at any
+// worker count).
+func cmdTrainCV(tbl *dataset.Table, name, features string, binary bool,
+	folds int, seed uint64) error {
+	if features != "" {
+		var err error
+		tbl, err = tbl.SelectFeatures(strings.Split(features, ","))
+		if err != nil {
+			return err
+		}
+	}
+	// Validate the classifier name once, before any fold trains.
+	if _, err := core.NewClassifier(name, seed); err != nil {
+		return err
+	}
+	factory := func() ml.Classifier {
+		c, _ := core.NewClassifier(name, seed)
+		return c
+	}
+	rows := make([][]float64, len(tbl.Instances))
+	for i := range tbl.Instances {
+		rows[i] = tbl.Instances[i].Features
+	}
+	labels, numClasses := tbl.BinaryLabels(), 2
+	if !binary {
+		labels, numClasses = tbl.ClassLabels(), workload.NumClasses
+	}
+	res, err := eval.CrossValidate(factory, rows, labels, numClasses, folds, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("classifier: %s  features: %d  %d-fold CV accuracy: %.2f%%\n",
+		res.Classifier, tbl.NumAttributes(), folds, res.Accuracy()*100)
+	if !binary {
+		names := make([]string, workload.NumClasses)
+		for c := 0; c < workload.NumClasses; c++ {
+			names[c] = workload.Class(c).String()
+		}
+		return res.WriteReport(os.Stdout, names)
+	}
+	return nil
 }
 
 func cmdPCA(args []string) error {
@@ -284,7 +349,8 @@ func cmdHWCost(args []string) error {
 		return err
 	}
 	of.setup()
-	r := experiments.NewRunner(experiments.Config{Seed: *seed, Scale: *scale})
+	r := experiments.NewRunner(
+		experiments.WithSeed(*seed), experiments.WithScale(*scale))
 	for _, id := range []string{"fig14", "fig15", "fig16"} {
 		rep, err := r.Run(id)
 		if err != nil {
@@ -382,7 +448,8 @@ func cmdMerge(args []string) error {
 
 func cmdEmit(args []string) error {
 	fs := flag.NewFlagSet("emit", flag.ExitOnError)
-	name := fs.String("classifier", "J48", "OneR, J48, REPTree, JRip, Logistic or SVM")
+	name := fs.String("classifier", "J48",
+		"one of: "+strings.Join(core.EmittableNames(), ", "))
 	out := fs.String("out", "detector.v", "output Verilog path")
 	scale := fs.Float64("scale", 0.05, "dataset scale")
 	seed := fs.Uint64("seed", 1, "random seed")
@@ -408,23 +475,7 @@ func cmdEmit(args []string) error {
 	if err := clf.Train(rows, tbl.BinaryLabels(), 2); err != nil {
 		return err
 	}
-	var comb *hw.Comb
-	switch m := clf.(type) {
-	case *oner.OneR:
-		comb, err = hw.CompileOneR(m, tbl.NumAttributes())
-	case *tree.J48:
-		comb, err = hw.CompileTree(m, tbl.NumAttributes())
-	case *tree.REPTree:
-		comb, err = hw.CompileTree(m, tbl.NumAttributes())
-	case *rules.JRip:
-		comb, err = hw.CompileJRip(m, tbl.NumAttributes())
-	case *linear.Logistic:
-		comb, err = hw.CompileLinear(*module, m, tbl.NumAttributes())
-	case *linear.SVM:
-		comb, err = hw.CompileLinear(*module, m, tbl.NumAttributes())
-	default:
-		return fmt.Errorf("emit supports OneR, J48, REPTree, JRip, Logistic, SVM (got %s)", *name)
-	}
+	comb, err := core.CompileDetector(*name, *module, clf, tbl.NumAttributes())
 	if err != nil {
 		return err
 	}
@@ -495,14 +546,13 @@ func cmdRepro(args []string) error {
 	if len(ids) == 0 {
 		ids = []string{"all"}
 	}
-	r := experiments.NewRunner(experiments.Config{
-		Seed: *seed, Scale: *scale,
-		Progress: func(stage string, done, total int) {
+	r := experiments.NewRunner(
+		experiments.WithSeed(*seed), experiments.WithScale(*scale),
+		experiments.WithProgress(func(stage string, done, total int) {
 			if !of.quiet {
 				fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, total, stage)
 			}
-		},
-	})
+		}))
 	var run []string
 	for _, id := range ids {
 		switch id {
@@ -517,15 +567,7 @@ func cmdRepro(args []string) error {
 		}
 	}
 	for _, id := range run {
-		var rep *experiments.Report
-		var err error
-		if strings.HasPrefix(id, "ablate-") {
-			rep, err = r.RunAblation(id)
-		} else if strings.HasPrefix(id, "ext-") {
-			rep, err = r.RunExtension(id)
-		} else {
-			rep, err = r.Run(id)
-		}
+		rep, err := r.Run(id)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
 		}

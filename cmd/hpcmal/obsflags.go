@@ -5,11 +5,12 @@ import (
 	"os"
 
 	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
-// obsFlags carries the observability options every subcommand shares:
-// log verbosity and format, the metrics snapshot destination, and an
-// optional manifest override path.
+// obsFlags carries the options every subcommand shares: log verbosity and
+// format, the metrics snapshot destination, an optional manifest override
+// path, and the parallel worker bound.
 type obsFlags struct {
 	command     string
 	verbose     bool
@@ -18,6 +19,7 @@ type obsFlags struct {
 	logJSON     bool
 	metricsOut  string
 	manifestOut string
+	workers     int
 
 	manifest *obs.Manifest
 }
@@ -32,6 +34,7 @@ func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	fs.BoolVar(&f.logJSON, "log-json", false, "emit log lines as JSON")
 	fs.StringVar(&f.metricsOut, "metrics-out", "", "write the run's metrics snapshot JSON to `file`")
 	fs.StringVar(&f.manifestOut, "manifest", "", "write the run manifest JSON to `file` (overrides the default path)")
+	fs.IntVar(&f.workers, "parallel", 0, "max `workers` for parallel stages (1 = serial; 0 = all CPUs); output is identical at any value")
 	return f
 }
 
@@ -52,7 +55,9 @@ func (f *obsFlags) setup() {
 	obs.SetLogger(obs.New(os.Stderr, level, f.logJSON))
 	obs.DefaultRegistry.Reset()
 	obs.DefaultTracer.Reset()
+	parallel.SetDefaultWorkers(f.workers)
 	f.manifest = obs.NewManifest("hpcmal", f.command)
+	f.manifest.Workers = parallel.DefaultWorkers()
 }
 
 // finish writes the metrics snapshot when -metrics-out was given. Call it
@@ -77,7 +82,8 @@ func (f *obsFlags) finish() error {
 }
 
 // writeManifest stamps the run's identity and results into the manifest,
-// folds in the top-level spans as stages, and writes it to path (or the
+// folds in the top-level spans and the parallel pools (worker count, busy
+// vs wall seconds, speedup) as stages, and writes it to path (or the
 // -manifest override when set).
 func (f *obsFlags) writeManifest(path string, seed uint64, scale float64,
 	outputs []string, rows, samples int) error {
@@ -94,6 +100,7 @@ func (f *obsFlags) writeManifest(path string, seed uint64, scale float64,
 	m.Rows = rows
 	m.Samples = samples
 	m.StagesFromSpans(obs.DefaultTracer.Snapshot())
+	m.ParallelStagesFromMetrics(obs.DefaultRegistry.Snapshot())
 	if err := m.WriteFile(path); err != nil {
 		return err
 	}

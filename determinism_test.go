@@ -1,0 +1,145 @@
+// Determinism of the parallel engine: every parallelized pipeline stage
+// must produce byte-identical output at any worker count, because all
+// per-task randomness derives from the task's index rather than from
+// scheduling order. These tests pin that contract end to end — the same
+// guarantee the CLI's -parallel flag documents.
+package repro_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/ml"
+	"repro/internal/ml/eval"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// detTraceConfig keeps determinism runs affordable: short traces, but
+// still multiplexed over the full 16-event set like the paper's setup.
+func detTraceConfig() trace.Config {
+	return trace.Config{WindowsPerSample: 6, SimInstrPerSlice: 500, Multiplex: true}
+}
+
+// detGenConfig is a small generation job with a handful of containers per
+// class — enough that 8 workers genuinely interleave.
+func detGenConfig(workers int) dataset.GenConfig {
+	counts := map[workload.Class]int{}
+	for _, c := range workload.AllClasses() {
+		counts[c] = 3
+	}
+	return dataset.GenConfig{
+		Trace:           detTraceConfig(),
+		SamplesPerClass: counts,
+		Seed:            1,
+		Parallelism:     workers,
+	}
+}
+
+// genCSV renders the generated table to CSV bytes.
+func genCSV(t *testing.T, workers int) []byte {
+	t.Helper()
+	tbl, err := dataset.Generate(detGenConfig(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGenDeterministicAcrossWorkers is the `hpcmal gen` contract: the CSV
+// is byte-identical whether containers run serially or 8 wide.
+func TestGenDeterministicAcrossWorkers(t *testing.T) {
+	serial := genCSV(t, 1)
+	for _, workers := range []int{2, 8} {
+		if got := genCSV(t, workers); !bytes.Equal(got, serial) {
+			t.Errorf("gen CSV differs between -parallel 1 and -parallel %d", workers)
+		}
+	}
+}
+
+// detDataset generates one small shared table for the CV and fig13 tests.
+var detDataset = sync.OnceValues(func() (*dataset.Table, error) {
+	return dataset.Generate(detGenConfig(0))
+})
+
+// TestCrossValidateDeterministicAcrossWorkers pins 10-fold CV: the pooled
+// confusion matrix is identical at any fold-training fan-out.
+func TestCrossValidateDeterministicAcrossWorkers(t *testing.T) {
+	tbl, err := detDataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, len(tbl.Instances))
+	for i := range tbl.Instances {
+		rows[i] = tbl.Instances[i].Features
+	}
+	labels := tbl.BinaryLabels()
+	factory := func() ml.Classifier {
+		c, err := core.NewClassifier("J48", 1)
+		if err != nil {
+			panic(err)
+		}
+		return c
+	}
+	run := func(workers int) *eval.Result {
+		res, err := eval.CrossValidate(factory, rows, labels, 2, 10, 1,
+			eval.CVWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		for a := range serial.Confusion.Counts {
+			for p := range serial.Confusion.Counts[a] {
+				if got.Confusion.Counts[a][p] != serial.Confusion.Counts[a][p] {
+					t.Fatalf("CV confusion[%d][%d] differs at %d workers: %d != %d",
+						a, p, workers, got.Confusion.Counts[a][p], serial.Confusion.Counts[a][p])
+				}
+			}
+		}
+	}
+}
+
+// fig13Report renders `repro fig13` with the given worker bound.
+func fig13Report(t *testing.T, workers int) []byte {
+	t.Helper()
+	r := experiments.NewRunner(
+		experiments.WithConfig(experiments.Config{
+			Seed: 1, Scale: 0.015, Trace: detTraceConfig(),
+		}),
+		experiments.WithParallelism(workers))
+	rep, err := r.Run("fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFig13DeterministicAcrossWorkers is the `repro fig13` contract: the
+// rendered table (8 classifiers x 3 feature counts, trained concurrently)
+// is byte-identical between -parallel 1 and -parallel 8.
+func TestFig13DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 8 classifiers twice; skipped with -short")
+	}
+	serial := fig13Report(t, 1)
+	if got := fig13Report(t, 8); !bytes.Equal(got, serial) {
+		t.Errorf("fig13 report differs between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s",
+			serial, got)
+	}
+}

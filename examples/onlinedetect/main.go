@@ -87,21 +87,26 @@ func main() {
 	// has a real distribution to summarize.
 	cfg := trace.DefaultConfig()
 	cfg.WindowsPerSample = 32
-	voter := &online.MajorityVoter{Window: 8, Threshold: 0.6}
 	const perClass = 4
 
 	fmt.Printf("\n%-10s %s\n", "class", "detected")
 	for _, class := range workload.AllClasses() {
+		traces, err := trace.CollectBatch(cfg, class, perClass, func(i int) uint64 {
+			return 0xdeadbeef + uint64(class)*100 + uint64(i)
+		}, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := online.MonitorAll(detector, traces,
+			online.WithSmoother(func() online.Smoother {
+				return &online.MajorityVoter{Window: 8, Threshold: 0.6}
+			}),
+			online.WithSamplePeriod(cfg.SamplePeriod))
+		if err != nil {
+			log.Fatal(err)
+		}
 		detected := 0
-		for i := 0; i < perClass; i++ {
-			tr, err := trace.CollectSample(cfg, class, 0xdeadbeef+uint64(class)*100+uint64(i))
-			if err != nil {
-				log.Fatal(err)
-			}
-			res, err := online.Monitor(detector, voter, tr, cfg.SamplePeriod)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for _, res := range results {
 			if res.Detected {
 				detected++
 			}

@@ -20,78 +20,10 @@ import (
 	"repro/internal/ml"
 	"repro/internal/ml/bayes"
 	"repro/internal/ml/eval"
-	"repro/internal/ml/linear"
-	"repro/internal/ml/mlp"
-	"repro/internal/ml/oner"
-	"repro/internal/ml/rules"
-	"repro/internal/ml/tree"
 	"repro/internal/pca"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
-
-// ClassifierNames lists the supported classifier identifiers, in the
-// order the paper's binary-classification figures present them.
-func ClassifierNames() []string {
-	return []string{"OneR", "JRip", "J48", "REPTree", "NaiveBayes", "Logistic", "SVM", "MLP"}
-}
-
-// MulticlassNames lists the classifiers the paper evaluates on the
-// 6-class problem (Figure 17): MLR (Logistic), MLP and SVM.
-func MulticlassNames() []string {
-	return []string{"Logistic", "MLP", "SVM"}
-}
-
-// NewClassifier builds a fresh classifier by name with paper-appropriate
-// defaults. seed makes stochastic learners reproducible.
-//
-// The rule/tree learners carry hardware-oriented complexity caps
-// (bounded intervals, leaves and rules): the paper implements every
-// trained model on an FPGA, where each interval/node/condition is a
-// physical comparator, so unbounded WEKA-default models on ~50k noisy
-// rows would be unsynthesizable. The caps cost well under a point of
-// accuracy on this data.
-func NewClassifier(name string, seed uint64) (ml.Classifier, error) {
-	switch name {
-	case "OneR":
-		o := oner.New()
-		o.MaxIntervals = 16
-		return o, nil
-	case "JRip":
-		j := rules.New()
-		j.Seed = seed
-		j.MaxRulesPerClass = 8
-		return j, nil
-	case "J48":
-		j := tree.NewJ48()
-		j.MinLeaf = 50
-		j.MaxDepth = 12
-		return j, nil
-	case "REPTree":
-		r := tree.NewREPTree()
-		r.Seed = seed
-		r.MinLeaf = 50
-		r.MaxDepth = 12
-		return r, nil
-	case "NaiveBayes":
-		nb := bayes.New()
-		nb.LogTransform = true
-		return nb, nil
-	case "Logistic":
-		lg := linear.NewLogistic()
-		lg.Seed = seed
-		return lg, nil
-	case "SVM":
-		s := linear.NewSVM()
-		s.Seed = seed
-		return s, nil
-	case "MLP":
-		m := mlp.New()
-		m.Seed = seed
-		return m, nil
-	}
-	return nil, fmt.Errorf("core: unknown classifier %q (have %v)", name, ClassifierNames())
-}
 
 // DatasetConfig controls end-to-end dataset generation.
 type DatasetConfig struct {

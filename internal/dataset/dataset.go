@@ -5,12 +5,11 @@ package dataset
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/mat"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -300,8 +299,10 @@ type GenConfig struct {
 	SamplesPerClass map[workload.Class]int
 	// Seed controls all randomness.
 	Seed uint64
-	// Parallelism bounds the number of concurrent containers; 0 means
-	// GOMAXPROCS.
+	// Parallelism bounds the number of concurrent containers; 0 uses the
+	// process-wide default (the CLI's -parallel flag), 1 forces the
+	// serial path. The output is bit-identical at any value: every
+	// sample's randomness derives from its index, not from scheduling.
 	Parallelism int
 }
 
@@ -322,10 +323,6 @@ func Generate(cfg GenConfig) (*Table, error) {
 	defer sp.End()
 	if cfg.SamplesPerClass == nil {
 		cfg.SamplesPerClass = workload.PaperSampleCounts()
-	}
-	par := cfg.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
 	}
 
 	type job struct {
@@ -350,24 +347,17 @@ func Generate(cfg GenConfig) (*Table, error) {
 		return nil, fmt.Errorf("dataset: no samples requested")
 	}
 
-	traces := make([]*trace.Trace, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			traces[i], errs[i] = trace.CollectSample(cfg.Trace, j.class, j.seed)
-		}(i, j)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("dataset: sample %d (%v): %w", i, jobs[i].class, err)
-		}
+	traces, err := parallel.Map(
+		parallel.Options{Name: "dataset.generate", Workers: cfg.Parallelism},
+		len(jobs), func(i int) (*trace.Trace, error) {
+			tr, err := trace.CollectSample(cfg.Trace, jobs[i].class, jobs[i].seed)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: sample %d (%v): %w", i, jobs[i].class, err)
+			}
+			return tr, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	tbl := &Table{}
@@ -387,6 +377,6 @@ func Generate(cfg GenConfig) (*Table, error) {
 	mRowsGenerated.Add(int64(len(tbl.Instances)))
 	obs.Log().Info("dataset generated",
 		"samples", len(jobs), "rows", len(tbl.Instances),
-		"features", len(tbl.Attributes), "parallelism", par)
+		"features", len(tbl.Attributes))
 	return tbl, tbl.Validate()
 }

@@ -5,32 +5,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ml/eval"
-	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
-
-// AblationIDs lists the design-choice ablations (DESIGN.md).
-func AblationIDs() []string {
-	return []string{"ablate-multiplex", "ablate-period", "ablate-custom", "ablate-noise"}
-}
-
-// RunAblation dispatches one ablation by ID.
-func (r *Runner) RunAblation(id string) (*Report, error) {
-	sp := obs.StartSpan("experiment." + id)
-	defer sp.End()
-	switch id {
-	case "ablate-multiplex":
-		return r.AblateMultiplexing()
-	case "ablate-period":
-		return r.AblateSamplingPeriod()
-	case "ablate-custom":
-		return r.AblateGlobalVsCustom()
-	case "ablate-noise":
-		return r.AblateIsolationNoise()
-	}
-	return nil, fmt.Errorf("experiments: unknown ablation %q (have %v)", id, AblationIDs())
-}
 
 // ablationTrace returns a reduced-cost trace config for ablation sweeps.
 func (r *Runner) ablationTrace() trace.Config {

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/hw"
 	"repro/internal/ml/eval"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -27,8 +29,51 @@ type Config struct {
 	// an experiment runs: stage names a unit of work (usually a
 	// classifier), done/total count completed units. Long multi-model
 	// experiments call it once per model; cheap table experiments may not
-	// call it at all.
+	// call it at all. Parallel experiments may call it from worker
+	// goroutines; the callback must be safe for concurrent use.
 	Progress func(stage string, done, total int)
+	// Parallelism bounds the worker count for the fan-out stages
+	// (per-classifier sweeps, per-family PCA). 0 uses the process-wide
+	// default (the CLI's -parallel flag); 1 forces the serial path.
+	Parallelism int
+}
+
+// Option configures a Runner at construction.
+type Option func(*Config)
+
+// WithSeed sets the seed that drives all randomness.
+func WithSeed(seed uint64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithScale sets the database scale (1.0 = the paper's full 3,070
+// samples).
+func WithScale(scale float64) Option {
+	return func(c *Config) { c.Scale = scale }
+}
+
+// WithTrace overrides the measurement configuration.
+func WithTrace(tc trace.Config) Option {
+	return func(c *Config) { c.Trace = tc }
+}
+
+// WithProgress installs a completion callback (see Config.Progress). It
+// may be invoked from worker goroutines and must be safe for concurrent
+// use.
+func WithProgress(fn func(stage string, done, total int)) Option {
+	return func(c *Config) { c.Progress = fn }
+}
+
+// WithParallelism bounds the fan-out worker count (see
+// Config.Parallelism).
+func WithParallelism(n int) Option {
+	return func(c *Config) { c.Parallelism = n }
+}
+
+// WithConfig bulk-applies a Config, replacing everything set so far.
+// Later options still apply on top.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
 }
 
 // Runner caches the generated dataset across experiments so `repro all`
@@ -38,12 +83,26 @@ type Runner struct {
 	tbl *dataset.Table
 }
 
-// NewRunner returns a Runner for the given configuration.
-func NewRunner(cfg Config) *Runner {
+// NewRunner returns a Runner. With no options it reproduces the paper
+// defaults: seed 0, scale 0.1, paper trace parameters, no progress
+// callback, process-default parallelism.
+func NewRunner(opts ...Option) *Runner {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if cfg.Scale <= 0 || cfg.Scale > 1 {
 		cfg.Scale = 0.1
 	}
 	return &Runner{cfg: cfg}
+}
+
+// workers resolves the runner's fan-out worker count.
+func (r *Runner) workers() int {
+	if r.cfg.Parallelism > 0 {
+		return r.cfg.Parallelism
+	}
+	return parallel.DefaultWorkers()
 }
 
 // Dataset generates (once) and returns the labelled table.
@@ -64,15 +123,6 @@ func (r *Runner) Dataset() (*dataset.Table, error) {
 	return tbl, nil
 }
 
-// IDs lists all experiment identifiers in paper order.
-func IDs() []string {
-	return []string{
-		"table1", "table2", "fig6", "pcaplots",
-		"fig13", "fig14", "fig15", "fig16",
-		"fig17", "fig18", "fig19",
-	}
-}
-
 // progress reports one completed unit of work to the configured callback
 // (if any) and to the debug log.
 func (r *Runner) progress(stage string, done, total int) {
@@ -80,34 +130,6 @@ func (r *Runner) progress(stage string, done, total int) {
 		r.cfg.Progress(stage, done, total)
 	}
 	obs.Log().Debug("experiment progress", "stage", stage, "done", done, "total", total)
-}
-
-// Run dispatches one experiment by ID. Each experiment runs under an
-// "experiment.<id>" span so run snapshots attribute wall time per figure.
-func (r *Runner) Run(id string) (*Report, error) {
-	sp := obs.StartSpan("experiment." + id)
-	defer sp.End()
-	switch id {
-	case "table1":
-		return r.Table1()
-	case "table2":
-		return r.Table2()
-	case "fig6":
-		return r.Fig6()
-	case "pcaplots":
-		return r.PCAPlots()
-	case "fig13":
-		return r.Fig13()
-	case "fig14", "fig15", "fig16":
-		return r.HardwareFigures(id)
-	case "fig17":
-		return r.Fig17()
-	case "fig18":
-		return r.Fig18()
-	case "fig19":
-		return r.Fig19()
-	}
-	return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
 }
 
 // Table1 reproduces the database composition table.
@@ -214,50 +236,60 @@ func (r *Runner) PCAPlots() (*Report, error) {
 		PaperClaim: "malware and benign rows form visually separable clusters in the top-2 PC plane",
 		Header:     []string{"class", "points", "centroid dist", "mean spread", "separation ratio"},
 	}
-	for _, c := range workload.MalwareClasses() {
-		pts, labels, err := core.PCAPlotPoints(tbl, c)
-		if err != nil {
-			return nil, err
-		}
-		var cm, cb [2]float64
-		var nm, nb int
-		for i, p := range pts {
-			if labels[i] == 1 {
-				cm[0] += p[0]
-				cm[1] += p[1]
-				nm++
-			} else {
-				cb[0] += p[0]
-				cb[1] += p[1]
-				nb++
+	// One task per malware family: each fits its own PCA over that
+	// family's rows plus benign, so the four projections are independent.
+	families := workload.MalwareClasses()
+	rows, err := parallel.Map(
+		parallel.Options{Name: "experiments.families", Workers: r.workers()},
+		len(families), func(fi int) ([]string, error) {
+			c := families[fi]
+			pts, labels, err := core.PCAPlotPoints(tbl, c)
+			if err != nil {
+				return nil, err
 			}
-		}
-		cm[0] /= float64(nm)
-		cm[1] /= float64(nm)
-		cb[0] /= float64(nb)
-		cb[1] /= float64(nb)
-		dist := math.Hypot(cm[0]-cb[0], cm[1]-cb[1])
-		spread := 0.0
-		for i, p := range pts {
-			var ref [2]float64
-			if labels[i] == 1 {
-				ref = cm
-			} else {
-				ref = cb
+			var cm, cb [2]float64
+			var nm, nb int
+			for i, p := range pts {
+				if labels[i] == 1 {
+					cm[0] += p[0]
+					cm[1] += p[1]
+					nm++
+				} else {
+					cb[0] += p[0]
+					cb[1] += p[1]
+					nb++
+				}
 			}
-			spread += math.Hypot(p[0]-ref[0], p[1]-ref[1])
-		}
-		spread /= float64(len(pts))
-		ratio := math.Inf(1)
-		if spread > 0 {
-			ratio = dist / spread
-		}
-		rep.Rows = append(rep.Rows, []string{
-			c.String(), fmt.Sprintf("%d", len(pts)),
-			fmt.Sprintf("%.2f", dist), fmt.Sprintf("%.2f", spread),
-			fmt.Sprintf("%.2f", ratio),
+			cm[0] /= float64(nm)
+			cm[1] /= float64(nm)
+			cb[0] /= float64(nb)
+			cb[1] /= float64(nb)
+			dist := math.Hypot(cm[0]-cb[0], cm[1]-cb[1])
+			spread := 0.0
+			for i, p := range pts {
+				var ref [2]float64
+				if labels[i] == 1 {
+					ref = cm
+				} else {
+					ref = cb
+				}
+				spread += math.Hypot(p[0]-ref[0], p[1]-ref[1])
+			}
+			spread /= float64(len(pts))
+			ratio := math.Inf(1)
+			if spread > 0 {
+				ratio = dist / spread
+			}
+			return []string{
+				c.String(), fmt.Sprintf("%d", len(pts)),
+				fmt.Sprintf("%.2f", dist), fmt.Sprintf("%.2f", spread),
+				fmt.Sprintf("%.2f", ratio),
+			}, nil
 		})
+	if err != nil {
+		return nil, err
 	}
+	rep.Rows = rows
 	return rep, nil
 }
 
@@ -279,35 +311,46 @@ func (r *Runner) Fig13() (*Report, error) {
 		PaperClaim: "most classifiers lose a little accuracy at 4 features; J48 and OneR barely change",
 		Header:     []string{"classifier", "acc@16", "acc@8", "acc@4", "delta 8->4"},
 	}
+	// One task per classifier; each trains its three models (16/8/4
+	// features) independently from the shared seed, so row order and
+	// content match the serial sweep at any worker count.
 	names := core.ClassifierNames()
-	for i, name := range names {
-		res16, err := core.RunDetector(tbl, core.DetectorConfig{
-			Classifier: name, Binary: true,
-			Seed: r.cfg.Seed, SkipHardware: true,
+	var done atomic.Int64
+	rows, err := parallel.Map(
+		parallel.Options{Name: "experiments.classifiers", Workers: r.workers()},
+		len(names), func(i int) ([]string, error) {
+			name := names[i]
+			res16, err := core.RunDetector(tbl, core.DetectorConfig{
+				Classifier: name, Binary: true,
+				Seed: r.cfg.Seed, SkipHardware: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res8, err := core.RunDetector(tbl, core.DetectorConfig{
+				Classifier: name, Binary: true, Features: top8,
+				Seed: r.cfg.Seed, SkipHardware: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res4, err := core.RunDetector(tbl, core.DetectorConfig{
+				Classifier: name, Binary: true, Features: top4,
+				Seed: r.cfg.Seed, SkipHardware: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a16, a8, a4 := res16.Eval.Accuracy(), res8.Eval.Accuracy(), res4.Eval.Accuracy()
+			r.progress(name, int(done.Add(1)), len(names))
+			return []string{
+				name, pct(a16), pct(a8), pct(a4), fmt.Sprintf("%+.1f%%", (a4-a8)*100),
+			}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		res8, err := core.RunDetector(tbl, core.DetectorConfig{
-			Classifier: name, Binary: true, Features: top8,
-			Seed: r.cfg.Seed, SkipHardware: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res4, err := core.RunDetector(tbl, core.DetectorConfig{
-			Classifier: name, Binary: true, Features: top4,
-			Seed: r.cfg.Seed, SkipHardware: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		a16, a8, a4 := res16.Eval.Accuracy(), res8.Eval.Accuracy(), res4.Eval.Accuracy()
-		rep.Rows = append(rep.Rows, []string{
-			name, pct(a16), pct(a8), pct(a4), fmt.Sprintf("%+.1f%%", (a4-a8)*100),
-		})
-		r.progress(name, i+1, len(names))
+	if err != nil {
+		return nil, err
 	}
+	rep.Rows = rows
 	return rep, nil
 }
 
@@ -326,17 +369,22 @@ func (r *Runner) HardwareFigures(id string) (*Report, error) {
 		name string
 		res  *core.DetectorResult
 	}
-	var rows []row
 	names := core.ClassifierNames()
-	for i, name := range names {
-		res, err := core.RunDetector(tbl, core.DetectorConfig{
-			Classifier: name, Binary: true, Features: top8, Seed: r.cfg.Seed,
+	var done atomic.Int64
+	rows, err := parallel.Map(
+		parallel.Options{Name: "experiments.classifiers", Workers: r.workers()},
+		len(names), func(i int) (row, error) {
+			res, err := core.RunDetector(tbl, core.DetectorConfig{
+				Classifier: names[i], Binary: true, Features: top8, Seed: r.cfg.Seed,
+			})
+			if err != nil {
+				return row{}, err
+			}
+			r.progress(names[i], int(done.Add(1)), len(names))
+			return row{names[i], res}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row{name, res})
-		r.progress(name, i+1, len(names))
+	if err != nil {
+		return nil, err
 	}
 	rep := &Report{ID: id}
 	switch id {
@@ -403,20 +451,23 @@ func (r *Runner) Fig17() (*Report, error) {
 		Header:     []string{"classifier", "accuracy"},
 	}
 	names := core.MulticlassNames()
-	for i, name := range names {
-		res, err := core.RunDetector(tbl, core.DetectorConfig{
-			Classifier: name, Binary: false, Seed: r.cfg.Seed, SkipHardware: true,
+	var done atomic.Int64
+	rows, err := parallel.Map(
+		parallel.Options{Name: "experiments.classifiers", Workers: r.workers()},
+		len(names), func(i int) ([]string, error) {
+			res, err := core.RunDetector(tbl, core.DetectorConfig{
+				Classifier: names[i], Binary: false, Seed: r.cfg.Seed, SkipHardware: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r.progress(names[i], int(done.Add(1)), len(names))
+			return []string{core.MulticlassLabel(names[i]), pct(res.Eval.Accuracy())}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		label := name
-		if name == "Logistic" {
-			label = "MLR"
-		}
-		rep.Rows = append(rep.Rows, []string{label, pct(res.Eval.Accuracy())})
-		r.progress(name, i+1, len(names))
+	if err != nil {
+		return nil, err
 	}
+	rep.Rows = rows
 	return rep, nil
 }
 
@@ -434,24 +485,27 @@ func (r *Runner) Fig18() (*Report, error) {
 		Header:     append([]string{"classifier"}, classNames()...),
 	}
 	names := core.MulticlassNames()
-	for i, name := range names {
-		res, err := core.RunDetector(tbl, core.DetectorConfig{
-			Classifier: name, Binary: false, Seed: r.cfg.Seed, SkipHardware: true,
+	var done atomic.Int64
+	rows, err := parallel.Map(
+		parallel.Options{Name: "experiments.classifiers", Workers: r.workers()},
+		len(names), func(i int) ([]string, error) {
+			res, err := core.RunDetector(tbl, core.DetectorConfig{
+				Classifier: names[i], Binary: false, Seed: r.cfg.Seed, SkipHardware: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := []string{core.MulticlassLabel(names[i])}
+			for c := 0; c < workload.NumClasses; c++ {
+				row = append(row, pct(res.Eval.Confusion.Recall(c)))
+			}
+			r.progress(names[i], int(done.Add(1)), len(names))
+			return row, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		label := name
-		if name == "Logistic" {
-			label = "MLR"
-		}
-		row := []string{label}
-		for c := 0; c < workload.NumClasses; c++ {
-			row = append(row, pct(res.Eval.Confusion.Recall(c)))
-		}
-		rep.Rows = append(rep.Rows, row)
-		r.progress(name, i+1, len(names))
+	if err != nil {
+		return nil, err
 	}
+	rep.Rows = rows
 	return rep, nil
 }
 

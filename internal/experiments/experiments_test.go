@@ -11,11 +11,11 @@ import (
 
 // testRunner returns a runner with a very small dataset for fast tests.
 func testRunner() *Runner {
-	return NewRunner(Config{
+	return NewRunner(WithConfig(Config{
 		Seed:  1,
 		Scale: 0.015,
 		Trace: trace.Config{WindowsPerSample: 6, SimInstrPerSlice: 500, Multiplex: true},
-	})
+	}))
 }
 
 // sharedRunner caches one runner (and thus one dataset) across tests.

@@ -13,46 +13,11 @@ import (
 	"repro/internal/ml/eval"
 	"repro/internal/ml/knn"
 	"repro/internal/ml/tree"
-	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/pca"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
-
-// ExtensionIDs lists the beyond-the-paper experiments: the research
-// directions the thesis's related-work and future-work sections point at,
-// built on the same substrate.
-func ExtensionIDs() []string {
-	return []string{"ext-ensemble", "ext-anomaly", "ext-online", "ext-features", "ext-learncurve", "ext-quant", "ext-knn", "ext-svd", "ext-rates"}
-}
-
-// RunExtension dispatches one extension experiment by ID.
-func (r *Runner) RunExtension(id string) (*Report, error) {
-	sp := obs.StartSpan("experiment." + id)
-	defer sp.End()
-	switch id {
-	case "ext-ensemble":
-		return r.ExtEnsemble()
-	case "ext-anomaly":
-		return r.ExtAnomaly()
-	case "ext-online":
-		return r.ExtOnline()
-	case "ext-features":
-		return r.ExtFeatureAgreement()
-	case "ext-learncurve":
-		return r.ExtLearningCurve()
-	case "ext-quant":
-		return r.ExtQuantization()
-	case "ext-knn":
-		return r.ExtKNN()
-	case "ext-svd":
-		return r.ExtSVD()
-	case "ext-rates":
-		return r.ExtRateFeatures()
-	}
-	return nil, fmt.Errorf("experiments: unknown extension %q (have %v)", id, ExtensionIDs())
-}
 
 // ExtEnsemble compares ensemble learners against their base classifier on
 // binary detection (the Khasawneh'15 / Sayadi'18 direction).
@@ -256,22 +221,27 @@ func (r *Runner) ExtOnline() (*Report, error) {
 		PaperClaim: "(related work: Demme'13, Ozsoy'15) sustained malicious behaviour should alarm within tens of ms; benign should not",
 		Header:     []string{"class", "detect rate", "mean latency ms"},
 	}
-	voter := &online.MajorityVoter{Window: 8, Threshold: 0.6}
 	for _, class := range workload.AllClasses() {
-		detected, total := 0, 0
-		latSum := 0.0
-		for i := 0; i < perClass; i++ {
-			// Fresh seeds outside the training range.
-			seed := r.cfg.Seed ^ (uint64(class)*1000+uint64(i)+1)*0x9e3779b97f4a7c15 ^ 0xabcdef
-			tr, err := trace.CollectSample(tc, class, seed)
-			if err != nil {
-				return nil, err
-			}
-			res, err := online.Monitor(clf, voter, tr, tc.SamplePeriod)
-			if err != nil {
-				return nil, err
-			}
-			total++
+		// Fresh traces with seeds outside the training range, collected in
+		// parallel (seeds derive from the trace index, so the batch is
+		// bit-identical at any worker count).
+		traces, err := trace.CollectBatch(tc, class, perClass, func(i int) uint64 {
+			return r.cfg.Seed ^ (uint64(class)*1000+uint64(i)+1)*0x9e3779b97f4a7c15 ^ 0xabcdef
+		}, r.workers())
+		if err != nil {
+			return nil, err
+		}
+		results, err := online.MonitorAll(clf, traces,
+			online.WithSmoother(func() online.Smoother {
+				return &online.MajorityVoter{Window: 8, Threshold: 0.6}
+			}),
+			online.WithSamplePeriod(tc.SamplePeriod),
+			online.WithParallelism(r.workers()))
+		if err != nil {
+			return nil, err
+		}
+		detected, latSum := 0, 0.0
+		for _, res := range results {
 			if res.Detected {
 				detected++
 				latSum += res.LatencySeconds
@@ -282,7 +252,7 @@ func (r *Runner) ExtOnline() (*Report, error) {
 			lat = fmt.Sprintf("%.0f", latSum/float64(detected)*1000)
 		}
 		rep.Rows = append(rep.Rows, []string{
-			class.String(), pct(float64(detected) / float64(total)), lat,
+			class.String(), pct(float64(detected) / float64(perClass)), lat,
 		})
 	}
 	rep.Notes = append(rep.Notes,

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Kind partitions the experiment catalog the way `repro` groups it.
+type Kind int
+
+const (
+	// KindPaper reproduces an artifact of the paper itself.
+	KindPaper Kind = iota
+	// KindAblation probes a design choice the paper fixed (DESIGN.md).
+	KindAblation
+	// KindExtension goes beyond the paper along its related/future work.
+	KindExtension
+)
+
+// String names the kind for list output.
+func (k Kind) String() string {
+	switch k {
+	case KindPaper:
+		return "paper"
+	case KindAblation:
+		return "ablation"
+	case KindExtension:
+		return "extension"
+	}
+	return "unknown"
+}
+
+// Def is one experiment catalog entry. `repro list`, Run's dispatch and
+// the rendered report header all read this table, so an experiment's id,
+// title and paper reference cannot drift apart: Run stamps the report's
+// ID and Title from its Def after the method returns.
+type Def struct {
+	// ID is the `repro` command-line identifier.
+	ID string
+	// Title is the report headline.
+	Title string
+	// Figure names the paper artifact being reproduced; empty for
+	// ablations and extensions, which have no paper counterpart.
+	Figure string
+	// Kind groups the entry for `repro all|ablations|extensions`.
+	Kind Kind
+	// Run executes the experiment on a Runner.
+	Run func(*Runner) (*Report, error)
+}
+
+// defs is the full catalog in presentation order: paper artifacts first
+// (paper order), then ablations, then extensions.
+var defs = []Def{
+	{ID: "table1", Figure: "Table 1", Kind: KindPaper,
+		Title: "Number of samples of different application classes",
+		Run:   (*Runner).Table1},
+	{ID: "table2", Figure: "Table 2", Kind: KindPaper,
+		Title: "Reduced features from PCA (top-8 custom per malware class)",
+		Run:   (*Runner).Table2},
+	{ID: "fig6", Figure: "Figure 6", Kind: KindPaper,
+		Title: "Distribution of malware (used) into classes",
+		Run:   (*Runner).Fig6},
+	{ID: "pcaplots", Figure: "Figures 9-12", Kind: KindPaper,
+		Title: "PCA plots for rootkit/trojan/virus/worm (Figures 9-12)",
+		Run:   (*Runner).PCAPlots},
+	{ID: "fig13", Figure: "Figure 13", Kind: KindPaper,
+		Title: "Binary accuracy, 8 vs 4 PCA-reduced features",
+		Run:   (*Runner).Fig13},
+	{ID: "fig14", Figure: "Figure 14", Kind: KindPaper,
+		Title: "Hardware area comparison (LUT-equivalents, 8 features)",
+		Run:   func(r *Runner) (*Report, error) { return r.HardwareFigures("fig14") }},
+	{ID: "fig15", Figure: "Figure 15", Kind: KindPaper,
+		Title: "Hardware latency comparison (cycles at 100 MHz, 8 features)",
+		Run:   func(r *Runner) (*Report, error) { return r.HardwareFigures("fig15") }},
+	{ID: "fig16", Figure: "Figure 16", Kind: KindPaper,
+		Title: "Accuracy/Area comparison (accuracy % per kLUT, 8 features)",
+		Run:   func(r *Runner) (*Report, error) { return r.HardwareFigures("fig16") }},
+	{ID: "fig17", Figure: "Figure 17", Kind: KindPaper,
+		Title: "Average accuracy for multiclass classification",
+		Run:   (*Runner).Fig17},
+	{ID: "fig18", Figure: "Figure 18", Kind: KindPaper,
+		Title: "Per-class accuracy for the multiclass classifiers",
+		Run:   (*Runner).Fig18},
+	{ID: "fig19", Figure: "Figure 19", Kind: KindPaper,
+		Title: "PCA-assisted MLR vs normal MLR (per-class accuracy)",
+		Run:   (*Runner).Fig19},
+
+	{ID: "ablate-multiplex", Kind: KindAblation,
+		Title: "Ablation: PMU multiplexing vs ideal PMU (J48, binary)",
+		Run:   (*Runner).AblateMultiplexing},
+	{ID: "ablate-period", Kind: KindAblation,
+		Title: "Ablation: HPC sampling period (J48, binary)",
+		Run:   (*Runner).AblateSamplingPeriod},
+	{ID: "ablate-custom", Kind: KindAblation,
+		Title: "Ablation: one global top-8 set vs per-class custom top-8 sets (same OvR MLR ensemble)",
+		Run:   (*Runner).AblateGlobalVsCustom},
+	{ID: "ablate-noise", Kind: KindAblation,
+		Title: "Ablation: container isolation vs background cache noise (J48, binary)",
+		Run:   (*Runner).AblateIsolationNoise},
+
+	{ID: "ext-ensemble", Kind: KindExtension,
+		Title: "Extension: ensemble learning for HPC malware detection (binary)",
+		Run:   (*Runner).ExtEnsemble},
+	{ID: "ext-anomaly", Kind: KindExtension,
+		Title: "Extension: unsupervised anomaly detection (benign-only training)",
+		Run:   (*Runner).ExtAnomaly},
+	{ID: "ext-online", Kind: KindExtension,
+		Title: "Extension: run-time detection with decision smoothing (MLP + majority vote)",
+		Run:   (*Runner).ExtOnline},
+	{ID: "ext-features", Kind: KindExtension,
+		Title: "Extension: PCA custom sets vs decision-tree feature importance",
+		Run:   (*Runner).ExtFeatureAgreement},
+	{ID: "ext-learncurve", Kind: KindExtension,
+		Title: "Extension: binary accuracy vs database scale (16 features)",
+		Run:   (*Runner).ExtLearningCurve},
+	{ID: "ext-quant", Kind: KindExtension,
+		Title: "Extension: detector accuracy vs HPC counter truncation (J48 netlist)",
+		Run:   (*Runner).ExtQuantization},
+	{ID: "ext-knn", Kind: KindExtension,
+		Title: "Extension: instance-based learning (Demme'13 KNN) vs a tree in hardware",
+		Run:   (*Runner).ExtKNN},
+	{ID: "ext-svd", Kind: KindExtension,
+		Title: "Extension: SVD feature selection (HPCMalHunter) vs PCA rankings",
+		Run:   (*Runner).ExtSVD},
+	{ID: "ext-rates", Kind: KindExtension,
+		Title: "Extension: raw counts vs bus-cycle-normalized rates (binary)",
+		Run:   (*Runner).ExtRateFeatures},
+}
+
+var defByID = func() map[string]Def {
+	m := make(map[string]Def, len(defs))
+	for _, d := range defs {
+		if _, dup := m[d.ID]; dup {
+			panic(fmt.Sprintf("experiments: duplicate catalog id %q", d.ID))
+		}
+		m[d.ID] = d
+	}
+	return m
+}()
+
+// Catalog returns the full experiment table in presentation order.
+func Catalog() []Def {
+	return append([]Def{}, defs...)
+}
+
+// Lookup returns the catalog entry for id.
+func Lookup(id string) (Def, bool) {
+	d, ok := defByID[id]
+	return d, ok
+}
+
+// idsOf lists the catalog ids of one kind, in catalog order.
+func idsOf(k Kind) []string {
+	var out []string
+	for _, d := range defs {
+		if d.Kind == k {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}
+
+// IDs lists the paper-artifact experiment identifiers in paper order.
+func IDs() []string { return idsOf(KindPaper) }
+
+// AblationIDs lists the design-choice ablations (DESIGN.md).
+func AblationIDs() []string { return idsOf(KindAblation) }
+
+// ExtensionIDs lists the beyond-the-paper experiments: the research
+// directions the thesis's related-work and future-work sections point at,
+// built on the same substrate.
+func ExtensionIDs() []string { return idsOf(KindExtension) }
+
+// AllIDs lists every catalog id: paper order, then ablations, then
+// extensions.
+func AllIDs() []string {
+	out := make([]string, len(defs))
+	for i, d := range defs {
+		out[i] = d.ID
+	}
+	return out
+}
+
+// Run dispatches one experiment by catalog id — paper figure, ablation or
+// extension alike. Each runs under an "experiment.<id>" span so run
+// snapshots attribute wall time per figure, and the returned report's ID
+// and Title are stamped from the catalog entry so they cannot drift from
+// `repro list`.
+func (r *Runner) Run(id string) (*Report, error) {
+	d, ok := defByID[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, AllIDs())
+	}
+	sp := obs.StartSpan("experiment." + id)
+	defer sp.End()
+	rep, err := d.Run(r)
+	if err != nil {
+		return nil, err
+	}
+	rep.ID = d.ID
+	rep.Title = d.Title
+	return rep, nil
+}
+
+// RunAblation runs one ablation by id. It is Run restricted to the
+// ablation kind, kept for callers that iterate AblationIDs.
+func (r *Runner) RunAblation(id string) (*Report, error) {
+	if d, ok := defByID[id]; !ok || d.Kind != KindAblation {
+		return nil, fmt.Errorf("experiments: unknown ablation %q (have %v)", id, AblationIDs())
+	}
+	return r.Run(id)
+}
+
+// RunExtension runs one extension experiment by id. It is Run restricted
+// to the extension kind, kept for callers that iterate ExtensionIDs.
+func (r *Runner) RunExtension(id string) (*Report, error) {
+	if d, ok := defByID[id]; !ok || d.Kind != KindExtension {
+		return nil, fmt.Errorf("experiments: unknown extension %q (have %v)", id, ExtensionIDs())
+	}
+	return r.Run(id)
+}

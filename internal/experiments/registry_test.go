@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCatalogWellFormed pins the invariants `repro list` and Run rely on:
+// unique non-empty ids, titles and runners everywhere, kind-appropriate
+// id prefixes, and paper entries carrying their figure reference.
+func TestCatalogWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, d := range Catalog() {
+		if d.ID == "" || d.Title == "" || d.Run == nil {
+			t.Fatalf("incomplete catalog entry %+v", d)
+		}
+		if seen[d.ID] {
+			t.Fatalf("duplicate catalog id %q", d.ID)
+		}
+		seen[d.ID] = true
+		switch d.Kind {
+		case KindPaper:
+			if d.Figure == "" {
+				t.Fatalf("paper entry %q has no figure reference", d.ID)
+			}
+			if strings.HasPrefix(d.ID, "ablate-") || strings.HasPrefix(d.ID, "ext-") {
+				t.Fatalf("paper entry %q has an ablation/extension prefix", d.ID)
+			}
+		case KindAblation:
+			if !strings.HasPrefix(d.ID, "ablate-") {
+				t.Fatalf("ablation entry %q lacks the ablate- prefix", d.ID)
+			}
+		case KindExtension:
+			if !strings.HasPrefix(d.ID, "ext-") {
+				t.Fatalf("extension entry %q lacks the ext- prefix", d.ID)
+			}
+		default:
+			t.Fatalf("entry %q has unknown kind %v", d.ID, d.Kind)
+		}
+	}
+}
+
+// TestCatalogIDPartitions checks that the id accessors tile the catalog.
+func TestCatalogIDPartitions(t *testing.T) {
+	all := AllIDs()
+	want := append(append(IDs(), AblationIDs()...), ExtensionIDs()...)
+	if len(all) != len(want) {
+		t.Fatalf("AllIDs has %d entries, kinds sum to %d", len(all), len(want))
+	}
+	for i := range all {
+		if all[i] != want[i] {
+			t.Fatalf("AllIDs[%d] = %q, want %q", i, all[i], want[i])
+		}
+	}
+	if len(IDs()) != 11 {
+		t.Fatalf("paper id count %d, want 11", len(IDs()))
+	}
+	if _, ok := Lookup("fig13"); !ok {
+		t.Fatal("Lookup(fig13) failed")
+	}
+	if _, ok := Lookup("fig999"); ok {
+		t.Fatal("Lookup(fig999) succeeded")
+	}
+}
+
+// TestRunKindRestriction pins RunAblation/RunExtension rejecting ids of
+// the wrong kind even though Run accepts every catalog id.
+func TestRunKindRestriction(t *testing.T) {
+	r := NewRunner(WithConfig(Config{Seed: 1, Scale: 0.015}))
+	if _, err := r.RunAblation("fig13"); err == nil {
+		t.Fatal("RunAblation accepted a paper id")
+	}
+	if _, err := r.RunExtension("ablate-noise"); err == nil {
+		t.Fatal("RunExtension accepted an ablation id")
+	}
+	if _, err := r.Run("no-such-id"); err == nil {
+		t.Fatal("Run accepted an unknown id")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -175,18 +176,41 @@ func TrainAndTest(c ml.Classifier, xTrain [][]float64, yTrain []int,
 	return res, nil
 }
 
+// CVOption configures CrossValidate.
+type CVOption func(*cvOptions)
+
+type cvOptions struct {
+	workers int
+}
+
+// CVWorkers bounds the number of folds trained concurrently. 0 (the
+// default) uses the process-wide worker count; 1 forces the serial path.
+func CVWorkers(n int) CVOption {
+	return func(o *cvOptions) { o.workers = n }
+}
+
 // CrossValidate performs stratified k-fold cross validation using factory
 // to produce a fresh classifier per fold, and returns the pooled confusion
 // matrix over all folds.
+//
+// Folds train concurrently (see CVWorkers): each fold's classifier is
+// seeded by the factory, fold assignment is fixed before fan-out, and the
+// per-fold confusions merge in fold order, so the pooled result is
+// identical at any worker count. The factory must return a fresh
+// classifier per call and must itself be safe for concurrent use.
 func CrossValidate(factory func() ml.Classifier, x [][]float64, y []int,
-	numClasses, folds int, seed uint64) (*Result, error) {
+	numClasses, folds int, seed uint64, opts ...CVOption) (*Result, error) {
+	var o cvOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	if folds < 2 {
 		return nil, fmt.Errorf("eval: folds %d < 2", folds)
 	}
 	if len(x) != len(y) || len(x) < folds {
 		return nil, fmt.Errorf("eval: bad shape for %d-fold CV over %d rows", folds, len(x))
 	}
-	// Stratified fold assignment.
+	// Stratified fold assignment, fixed before any fold trains.
 	byClass := make(map[int][]int)
 	for i, label := range y {
 		byClass[label] = append(byClass[label], i)
@@ -200,32 +224,52 @@ func CrossValidate(factory func() ml.Classifier, x [][]float64, y []int,
 			fold[r] = i % folds
 		}
 	}
+	type foldResult struct {
+		name string
+		conf *Confusion
+	}
+	results, err := parallel.Map(
+		parallel.Options{Name: "eval.cv", Workers: o.workers},
+		folds, func(f int) (foldResult, error) {
+			var xtr, xte [][]float64
+			var ytr, yte []int
+			for i := range x {
+				if fold[i] == f {
+					xte = append(xte, x[i])
+					yte = append(yte, y[i])
+				} else {
+					xtr = append(xtr, x[i])
+					ytr = append(ytr, y[i])
+				}
+			}
+			c := factory()
+			foldStart := time.Now()
+			if err := c.Train(xtr, ytr, numClasses); err != nil {
+				return foldResult{}, fmt.Errorf("eval: CV fold %d: %w", f, err)
+			}
+			mFoldsTrained.Inc()
+			mFoldSeconds.Observe(time.Since(foldStart).Seconds())
+			conf := NewConfusion(numClasses)
+			for i := range xte {
+				conf.Observe(yte[i], c.Predict(xte[i]))
+			}
+			obs.Log().Debug("cv fold trained", "classifier", c.Name(), "fold", f, "folds", folds)
+			return foldResult{name: c.Name(), conf: conf}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Merge in fold order. Integer counts commute, but a fixed order keeps
+	// the path deterministic by construction, not by arithmetic accident.
 	conf := NewConfusion(numClasses)
 	name := ""
-	for f := 0; f < folds; f++ {
-		var xtr, xte [][]float64
-		var ytr, yte []int
-		for i := range x {
-			if fold[i] == f {
-				xte = append(xte, x[i])
-				yte = append(yte, y[i])
-			} else {
-				xtr = append(xtr, x[i])
-				ytr = append(ytr, y[i])
+	for _, fr := range results {
+		name = fr.name
+		for a := 0; a < numClasses; a++ {
+			for p := 0; p < numClasses; p++ {
+				conf.Counts[a][p] += fr.conf.Counts[a][p]
 			}
 		}
-		c := factory()
-		name = c.Name()
-		foldStart := time.Now()
-		if err := c.Train(xtr, ytr, numClasses); err != nil {
-			return nil, fmt.Errorf("eval: CV fold %d: %w", f, err)
-		}
-		mFoldsTrained.Inc()
-		mFoldSeconds.Observe(time.Since(foldStart).Seconds())
-		for i := range xte {
-			conf.Observe(yte[i], c.Predict(xte[i]))
-		}
-		obs.Log().Debug("cv fold trained", "classifier", name, "fold", f, "folds", folds)
 	}
 	return &Result{Classifier: name, Confusion: conf}, nil
 }

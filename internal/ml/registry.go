@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory builds a fresh, untrained classifier with its default
+// hyperparameters. seed makes stochastic learners reproducible; factories
+// must derive every random choice from it.
+type Factory func(seed uint64) Classifier
+
+// Spec describes one registered classifier: its identity, which studies
+// it participates in, and how to construct it. Adding a model to the
+// system is one Register call with a filled Spec — the CLI's `train`,
+// `emit` and `list` commands and the figure runners all resolve
+// classifiers through the registry.
+type Spec struct {
+	// Name is the canonical WEKA-style identifier ("J48", "MLP").
+	Name string
+	// Label is the display name used by the multiclass figures when it
+	// differs from Name (the paper labels Logistic "MLR"). Empty = Name.
+	Label string
+	// Description is a one-line summary for `hpcmal list`.
+	Description string
+	// Binary marks membership in the paper's binary study (Figure 13).
+	Binary bool
+	// Multiclass marks membership in the 6-class study (Figures 17-18).
+	Multiclass bool
+	// New constructs the classifier. Required.
+	New Factory
+}
+
+// DisplayLabel returns Label, falling back to Name.
+func (s Spec) DisplayLabel() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return s.Name
+}
+
+// Registry maps classifier names to their Specs, preserving registration
+// order (the order the paper's figures present the models). All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	order []string
+	specs map[string]Spec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: map[string]Spec{}}
+}
+
+// Register adds a spec. It fails on duplicate names, empty names, and nil
+// factories, so wiring mistakes surface at startup rather than mid-run.
+func (r *Registry) Register(s Spec) error {
+	if s.Name == "" {
+		return fmt.Errorf("ml: registry spec with empty name")
+	}
+	if s.New == nil {
+		return fmt.Errorf("ml: registry spec %q has no factory", s.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.specs[s.Name]; dup {
+		return fmt.Errorf("ml: classifier %q registered twice", s.Name)
+	}
+	r.specs[s.Name] = s
+	r.order = append(r.order, s.Name)
+	return nil
+}
+
+// MustRegister is Register that panics on error; intended for package
+// init-time wiring where a failure is a programming bug.
+func (r *Registry) MustRegister(s Spec) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the spec for name.
+func (r *Registry) Lookup(name string) (Spec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.specs[name]
+	return s, ok
+}
+
+// New builds a fresh classifier by name.
+func (r *Registry) New(name string, seed uint64) (Classifier, error) {
+	s, ok := r.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("ml: unknown classifier %q (have %v)", name, r.Names())
+	}
+	return s.New(seed), nil
+}
+
+// Names lists every registered name in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string{}, r.order...)
+}
+
+// NamesWhere lists the registered names whose spec satisfies pred, in
+// registration order.
+func (r *Registry) NamesWhere(pred func(Spec) bool) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for _, n := range r.order {
+		if pred(r.specs[n]) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SortedNames lists every registered name alphabetically (for stable
+// diagnostics independent of registration order).
+func (r *Registry) SortedNames() []string {
+	names := r.Names()
+	sort.Strings(names)
+	return names
+}

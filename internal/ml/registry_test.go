@@ -1,0 +1,73 @@
+package ml
+
+import (
+	"strings"
+	"testing"
+)
+
+type stubClassifier struct{ seed uint64 }
+
+func (s *stubClassifier) Name() string                               { return "Stub" }
+func (s *stubClassifier) Train(x [][]float64, y []int, k int) error  { return nil }
+func (s *stubClassifier) Predict(features []float64) int             { return 0 }
+
+func stubFactory(seed uint64) Classifier { return &stubClassifier{seed: seed} }
+
+func TestRegistryRegisterAndNew(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Spec{Name: "A", Binary: true, New: stubFactory})
+	r.MustRegister(Spec{Name: "B", Multiclass: true, Label: "B-label", New: stubFactory})
+
+	c, err := r.New("A", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.(*stubClassifier).seed != 7 {
+		t.Fatal("factory did not receive the seed")
+	}
+	if _, err := r.New("missing", 1); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("unknown name error %v", err)
+	}
+}
+
+func TestRegistryOrderAndFilters(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"Z", "A", "M"} {
+		r.MustRegister(Spec{Name: n, Binary: n != "M", New: stubFactory})
+	}
+	names := r.Names()
+	if len(names) != 3 || names[0] != "Z" || names[1] != "A" || names[2] != "M" {
+		t.Fatalf("registration order lost: %v", names)
+	}
+	bin := r.NamesWhere(func(s Spec) bool { return s.Binary })
+	if len(bin) != 2 || bin[0] != "Z" || bin[1] != "A" {
+		t.Fatalf("binary filter %v", bin)
+	}
+	sorted := r.SortedNames()
+	if sorted[0] != "A" || sorted[2] != "Z" {
+		t.Fatalf("sorted names %v", sorted)
+	}
+}
+
+func TestRegistryRejectsBadSpecs(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(Spec{Name: "", New: stubFactory}); err == nil {
+		t.Fatal("accepted empty name")
+	}
+	if err := r.Register(Spec{Name: "X"}); err == nil {
+		t.Fatal("accepted nil factory")
+	}
+	r.MustRegister(Spec{Name: "X", New: stubFactory})
+	if err := r.Register(Spec{Name: "X", New: stubFactory}); err == nil {
+		t.Fatal("accepted duplicate name")
+	}
+}
+
+func TestSpecDisplayLabel(t *testing.T) {
+	if (Spec{Name: "Logistic", Label: "MLR"}).DisplayLabel() != "MLR" {
+		t.Fatal("label not used")
+	}
+	if (Spec{Name: "MLP"}).DisplayLabel() != "MLP" {
+		t.Fatal("name fallback not used")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 )
@@ -23,8 +24,11 @@ type Manifest struct {
 	Outputs   []string          `json:"outputs,omitempty"`
 	Rows      int               `json:"rows,omitempty"`
 	Samples   int               `json:"samples,omitempty"`
-	Stages    []ManifestStage   `json:"stages,omitempty"`
-	StartedAt string            `json:"started_at"`
+	// Workers is the process-wide parallel worker bound the run used
+	// (the -parallel flag; 0 when the run predates the flag).
+	Workers   int             `json:"workers,omitempty"`
+	Stages    []ManifestStage `json:"stages,omitempty"`
+	StartedAt string          `json:"started_at"`
 	// WallSeconds is the total run wall time, set by Finish.
 	WallSeconds float64 `json:"wall_seconds"`
 	GoVersion   string  `json:"go_version"`
@@ -32,10 +36,15 @@ type Manifest struct {
 	start time.Time
 }
 
-// ManifestStage is one timed pipeline stage of a run.
+// ManifestStage is one timed pipeline stage of a run. Stages that ran on
+// the parallel engine also report their aggregate busy time (the sum of
+// per-task wall times across workers) and the resulting speedup over the
+// serial path, busy/wall.
 type ManifestStage struct {
 	Name        string  `json:"name"`
 	WallSeconds float64 `json:"wall_seconds"`
+	BusySeconds float64 `json:"busy_seconds,omitempty"`
+	SpeedupX    float64 `json:"speedup_x,omitempty"`
 }
 
 // NewManifest starts a manifest for one command invocation.
@@ -63,6 +72,36 @@ func (m *Manifest) StagesFromSpans(spans []SpanSnapshot) {
 		m.Stages = append(m.Stages, ManifestStage{
 			Name:        s.Name,
 			WallSeconds: s.WallMS / 1000,
+		})
+	}
+}
+
+// ParallelStagesFromMetrics folds the parallel engine's per-pool
+// instruments into manifest stages. Every instrumented pool publishes a
+// "parallel.<name>.task_seconds" histogram (Sum = busy seconds across all
+// workers) and a "parallel.<name>.run_seconds" histogram (Sum = wall
+// seconds of the pool runs), so speedup = busy/wall. Pools appear in name
+// order for stable manifests.
+func (m *Manifest) ParallelStagesFromMetrics(snap Snapshot) {
+	const taskSuffix = ".task_seconds"
+	var names []string
+	for k := range snap.Histograms {
+		if strings.HasPrefix(k, "parallel.") && strings.HasSuffix(k, taskSuffix) {
+			names = append(names, strings.TrimSuffix(k, taskSuffix))
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		busy := snap.Histograms[name+taskSuffix]
+		run, ok := snap.Histograms[name+".run_seconds"]
+		if !ok || run.Sum <= 0 || busy.Count == 0 {
+			continue
+		}
+		m.Stages = append(m.Stages, ManifestStage{
+			Name:        name,
+			WallSeconds: run.Sum,
+			BusySeconds: busy.Sum,
+			SpeedupX:    busy.Sum / run.Sum,
 		})
 	}
 }

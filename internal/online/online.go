@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/trace"
 )
 
@@ -145,16 +146,91 @@ type Result struct {
 	LatencySeconds float64
 }
 
+// options collects the Monitor/MonitorAll configuration. Smoothers are
+// stateful, so the option carries a factory: every monitored trace gets
+// its own instance, which is what makes MonitorAll safe to fan out.
+type options struct {
+	smoother     func() Smoother
+	samplePeriod float64
+	parallelism  int
+}
+
+// Option configures Monitor and MonitorAll.
+type Option func(*options)
+
+// WithSmoother installs the decision smoother, given as a factory so each
+// monitored trace gets a fresh instance. Default: a MajorityVoter with
+// its standard window.
+func WithSmoother(factory func() Smoother) Option {
+	return func(o *options) { o.smoother = factory }
+}
+
+// WithSamplePeriod sets the HPC sampling period in seconds used to
+// convert the alarm window index into latency (default 0.01, the paper's
+// 10 ms).
+func WithSamplePeriod(seconds float64) Option {
+	return func(o *options) { o.samplePeriod = seconds }
+}
+
+// WithParallelism bounds MonitorAll's worker count. 0 uses the
+// process-wide default; 1 forces the serial path. Monitor ignores it.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
+func buildOptions(opts []Option) (options, error) {
+	o := options{
+		smoother:     func() Smoother { return &MajorityVoter{} },
+		samplePeriod: 0.01,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.smoother == nil {
+		return o, fmt.Errorf("online: nil smoother factory")
+	}
+	if o.samplePeriod <= 0 {
+		return o, fmt.Errorf("online: non-positive sample period")
+	}
+	return o, nil
+}
+
 // Monitor replays a trace through a trained binary classifier and a
-// smoother, returning when (if ever) the alarm fires. The classifier must
-// have been trained on the same event set as the trace, with binary
-// labels (1 = malware).
-func Monitor(clf ml.Classifier, sm Smoother, tr *trace.Trace, samplePeriod float64) (*Result, error) {
-	if clf == nil || sm == nil || tr == nil {
+// decision smoother, returning when (if ever) the alarm fires. The
+// classifier must have been trained on the same event set as the trace,
+// with binary labels (1 = malware). With no options it smooths through a
+// default MajorityVoter at the paper's 10 ms sampling period.
+func Monitor(clf ml.Classifier, tr *trace.Trace, opts ...Option) (*Result, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return monitor(clf, tr, o)
+}
+
+// MonitorAll monitors every trace concurrently and returns the results in
+// trace order. Each trace gets its own smoother instance, so the results
+// are identical to calling Monitor on each trace serially, at any worker
+// count. The classifier is shared across workers: Predict must be
+// read-only (every classifier in this repository is).
+func MonitorAll(clf ml.Classifier, traces []*trace.Trace, opts ...Option) ([]*Result, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(parallel.Options{Name: "online.monitor", Workers: o.parallelism},
+		len(traces), func(i int) (*Result, error) {
+			return monitor(clf, traces[i], o)
+		})
+}
+
+func monitor(clf ml.Classifier, tr *trace.Trace, o options) (*Result, error) {
+	if clf == nil || tr == nil {
 		return nil, fmt.Errorf("online: nil argument")
 	}
-	if samplePeriod <= 0 {
-		return nil, fmt.Errorf("online: non-positive sample period")
+	sm := o.smoother()
+	if sm == nil {
+		return nil, fmt.Errorf("online: smoother factory returned nil")
 	}
 	sm.Reset()
 	mMonitors.Inc()
@@ -164,7 +240,7 @@ func Monitor(clf ml.Classifier, sm Smoother, tr *trace.Trace, samplePeriod float
 		if sm.Observe(pred) && !res.Detected {
 			res.Detected = true
 			res.Window = i
-			res.LatencySeconds = float64(i+1) * samplePeriod
+			res.LatencySeconds = float64(i+1) * o.samplePeriod
 			// Keep consuming: callers may want post-detection stats
 			// later; for now first alarm decides.
 			break

@@ -102,14 +102,16 @@ func collectTrace(t *testing.T, class workload.Class, windows int) *trace.Trace 
 
 func TestMonitorDetectsSustainedMalware(t *testing.T) {
 	tr := collectTrace(t, workload.Worm, 12)
-	res, err := Monitor(constClassifier(1), &MajorityVoter{Window: 4, Threshold: 0.5}, tr, 0.01)
+	res, err := Monitor(constClassifier(1), tr,
+		WithSmoother(func() Smoother { return &MajorityVoter{Window: 4, Threshold: 0.5} }))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Detected {
 		t.Fatal("sustained malware verdicts did not alarm")
 	}
-	// 2 of 4 votes at threshold 0.5 → window index 1, latency 20 ms.
+	// 2 of 4 votes at threshold 0.5 → window index 1, latency 20 ms at
+	// the default 10 ms sampling period.
 	if res.Window != 1 {
 		t.Fatalf("alarm at window %d, want 1", res.Window)
 	}
@@ -120,7 +122,7 @@ func TestMonitorDetectsSustainedMalware(t *testing.T) {
 
 func TestMonitorStaysQuietOnBenign(t *testing.T) {
 	tr := collectTrace(t, workload.Benign, 12)
-	res, err := Monitor(constClassifier(0), &MajorityVoter{}, tr, 0.01)
+	res, err := Monitor(constClassifier(0), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,18 +136,81 @@ func TestMonitorStaysQuietOnBenign(t *testing.T) {
 
 func TestMonitorErrors(t *testing.T) {
 	tr := collectTrace(t, workload.Benign, 2)
-	if _, err := Monitor(nil, &EWMA{}, tr, 0.01); err == nil {
+	if _, err := Monitor(nil, tr); err == nil {
 		t.Fatal("accepted nil classifier")
 	}
-	if _, err := Monitor(constClassifier(0), nil, tr, 0.01); err == nil {
+	if _, err := Monitor(constClassifier(0), tr, WithSmoother(nil)); err == nil {
+		t.Fatal("accepted nil smoother factory")
+	}
+	if _, err := Monitor(constClassifier(0), tr,
+		WithSmoother(func() Smoother { return nil })); err == nil {
 		t.Fatal("accepted nil smoother")
 	}
-	if _, err := Monitor(constClassifier(0), &EWMA{}, nil, 0.01); err == nil {
+	if _, err := Monitor(constClassifier(0), nil); err == nil {
 		t.Fatal("accepted nil trace")
 	}
-	if _, err := Monitor(constClassifier(0), &EWMA{}, tr, 0); err == nil {
+	if _, err := Monitor(constClassifier(0), tr, WithSamplePeriod(0)); err == nil {
 		t.Fatal("accepted zero period")
 	}
+}
+
+func TestMonitorAllMatchesSerialMonitor(t *testing.T) {
+	classes := []workload.Class{
+		workload.Benign, workload.Worm, workload.Trojan,
+		workload.Virus, workload.Rootkit, workload.Backdoor,
+	}
+	traces := make([]*trace.Trace, len(classes))
+	for i, c := range classes {
+		traces[i] = collectTrace(t, c, 12)
+	}
+	smoother := func() Smoother { return &MajorityVoter{Window: 4, Threshold: 0.5} }
+	// flaky predicts from the window values, so verdicts differ per trace.
+	flaky := thresholdClassifier{}
+	want := make([]*Result, len(traces))
+	for i, tr := range traces {
+		var err error
+		want[i], err = Monitor(flaky, tr, WithSmoother(smoother))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, err := MonitorAll(flaky, traces,
+			WithSmoother(smoother), WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if *got[i] != *want[i] {
+				t.Fatalf("workers=%d: trace %d result %+v, want %+v",
+					workers, i, *got[i], *want[i])
+			}
+		}
+	}
+}
+
+// thresholdClassifier flags windows whose first feature exceeds the mean
+// of the row — a cheap deterministic stand-in for a trained model that
+// produces different verdicts on different traces.
+type thresholdClassifier struct{}
+
+func (thresholdClassifier) Name() string                        { return "threshold" }
+func (thresholdClassifier) Train([][]float64, []int, int) error { return nil }
+func (thresholdClassifier) Predict(row []float64) int {
+	if len(row) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range row {
+		sum += v
+	}
+	if row[0] > sum/float64(len(row)) {
+		return 1
+	}
+	return 0
 }
 
 func TestSmootherRobustToFlakyVotes(t *testing.T) {

@@ -1,0 +1,221 @@
+// Package parallel is the repository's fan-out engine: a bounded worker
+// pool with context cancellation, panic recovery, error aggregation, and
+// deterministic result ordering. Every embarrassingly parallel stage of
+// the reproduction — per-container trace generation, cross-validation
+// folds, the per-classifier and per-family experiment sweeps, and batch
+// online prediction — runs through this package.
+//
+// Determinism contract: Map and ForEach invoke fn exactly once per index
+// (unless cancelled early), and Map's result slice is indexed by input
+// position, never by completion order. Callers keep their outputs
+// bit-identical at any worker count by deriving all randomness from the
+// task index (per-shard rng streams), not from shared mutable state.
+//
+// Instrumented runs (Options.Name != "") record per-task and per-run wall
+// time into the obs registry under
+//
+//	parallel.<name>.task_seconds   (histogram; Sum = busy seconds)
+//	parallel.<name>.run_seconds    (histogram; Sum = wall seconds)
+//	parallel.<name>.workers        (gauge; last configured worker count)
+//
+// so run manifests can report the effective per-stage speedup
+// (busy/wall).
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// defaultWorkers is the process-wide fallback worker count used when
+// Options.Workers is zero. The CLI's -parallel flag sets it once at
+// startup; it defaults to the number of usable CPUs.
+var defaultWorkers atomic.Int64
+
+// SetDefaultWorkers installs the process-wide default worker count
+// (the CLI's -parallel flag). Values < 1 reset to runtime.NumCPU().
+func SetDefaultWorkers(n int) {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the process-wide default worker count.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// Options configures one pool run.
+type Options struct {
+	// Name labels the stage for metrics and spans; empty disables
+	// instrumentation.
+	Name string
+	// Workers bounds concurrency. 0 uses DefaultWorkers(); 1 runs the
+	// tasks inline on the calling goroutine (the serial reference path).
+	Workers int
+	// Context, when non-nil, cancels the run: tasks not yet started are
+	// skipped and the context error is folded into the returned error.
+	Context context.Context
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return DefaultWorkers()
+}
+
+// PanicError wraps a panic recovered from a pool task so one panicking
+// worker fails the run like an error instead of killing the process.
+type PanicError struct {
+	// Index is the task index that panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error implements error.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
+// Map runs fn for every index in [0, n) with bounded concurrency and
+// returns the results in index order: out[i] is fn(i)'s value regardless
+// of which worker ran it or when it finished. On failure the returned
+// error aggregates every task error (and recovered panic) in index
+// order; the partial results are still returned for inspection.
+//
+// The first failure (or context cancellation) stops new tasks from being
+// claimed; tasks already running complete.
+func Map[T any](opt Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	errs := make([]error, n)
+	run(opt, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			errs[i] = fmt.Errorf("parallel: task %d: %w", i, err)
+			return errs[i]
+		}
+		out[i] = v
+		return nil
+	}, errs)
+	return out, errors.Join(errs...)
+}
+
+// ForEach is Map without results: it runs fn for every index in [0, n)
+// and returns the aggregated error.
+func ForEach(opt Options, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	run(opt, n, func(i int) error {
+		if err := fn(i); err != nil {
+			errs[i] = fmt.Errorf("parallel: task %d: %w", i, err)
+			return errs[i]
+		}
+		return nil
+	}, errs)
+	return errors.Join(errs...)
+}
+
+// run is the shared pool core: workers claim indices from an atomic
+// cursor, recover panics into errs, and stop claiming after the first
+// failure or context cancellation.
+func run(opt Options, n int, task func(i int) error, errs []error) {
+	workers := opt.workers()
+	if workers > n {
+		workers = n
+	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	var hTask, hRun *obs.Histogram
+	start := time.Now()
+	if opt.Name != "" {
+		hTask = obs.GetHistogram("parallel."+opt.Name+".task_seconds", obs.TimeBuckets)
+		hRun = obs.GetHistogram("parallel."+opt.Name+".run_seconds", obs.TimeBuckets)
+		obs.GetGauge("parallel." + opt.Name + ".workers").Set(float64(workers))
+	}
+
+	var next, done atomic.Int64
+	var failed atomic.Bool
+	runOne := func(i int) {
+		defer done.Add(1)
+		defer func() {
+			if r := recover(); r != nil {
+				buf := make([]byte, 4096)
+				buf = buf[:runtime.Stack(buf, false)]
+				errs[i] = &PanicError{Index: i, Value: r, Stack: buf}
+				failed.Store(true)
+			}
+		}()
+		t0 := time.Now()
+		if err := task(i); err != nil {
+			failed.Store(true)
+		}
+		hTask.Observe(time.Since(t0).Seconds())
+	}
+	worker := func() {
+		for {
+			if failed.Load() {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			runOne(i)
+		}
+	}
+
+	if workers <= 1 {
+		worker()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+
+	hRun.Observe(time.Since(start).Seconds())
+	if err := ctx.Err(); err != nil && int(done.Load()) < n {
+		// Tasks were skipped by cancellation. Indices are claimed in
+		// ascending order, so the trailing nil slots are the skipped ones;
+		// fold the context error into the last so the aggregate reports it.
+		for i := n - 1; i >= 0; i-- {
+			if errs[i] == nil {
+				errs[i] = fmt.Errorf("parallel: run cancelled: %w", err)
+				break
+			}
+		}
+	}
+}

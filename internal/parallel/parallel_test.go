@@ -1,0 +1,192 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(Options{Workers: workers}, 50, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	ref, err := Map(Options{Workers: 1}, 32, func(i int) (string, error) {
+		return fmt.Sprintf("task-%03d", i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := Map(Options{Workers: workers}, 32, func(i int) (string, error) {
+			return fmt.Sprintf("task-%03d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: result %d differs: %q vs %q", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestErrorPropagationAndAggregation(t *testing.T) {
+	bad := errors.New("boom")
+	_, err := Map(Options{Workers: 4}, 10, func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("%w at %d", bad, i)
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, bad) {
+		t.Fatalf("aggregate error lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "task 3") {
+		t.Fatalf("aggregate error missing task index: %v", err)
+	}
+}
+
+func TestErrorStopsNewTasks(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(Options{Workers: 1}, 100, func(i int) error {
+		ran.Add(1)
+		if i == 4 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Serial path: task 5..99 must not start after task 4 failed.
+	if n := ran.Load(); n != 5 {
+		t.Fatalf("ran %d tasks after failure at index 4, want 5", n)
+	}
+}
+
+func TestPanicRecovery(t *testing.T) {
+	_, err := Map(Options{Workers: 4}, 8, func(i int) (int, error) {
+		if i == 2 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a PanicError: %v", err)
+	}
+	if pe.Index != 2 || fmt.Sprint(pe.Value) != "kaboom" {
+		t.Fatalf("wrong panic payload: index=%d value=%v", pe.Index, pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error missing stack trace")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEach(Options{Workers: 2, Context: ctx}, 1000, func(i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop the run (%d tasks ran)", n)
+	}
+}
+
+func TestPreCancelledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(Options{Workers: 4, Context: ctx}, 10, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran under a cancelled context", ran.Load())
+	}
+}
+
+func TestZeroTasks(t *testing.T) {
+	out, err := Map(Options{}, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("zero-task run: out=%v err=%v", out, err)
+	}
+	if err := ForEach(Options{}, 0, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	old := DefaultWorkers()
+	defer SetDefaultWorkers(old)
+	SetDefaultWorkers(3)
+	if got := DefaultWorkers(); got != 3 {
+		t.Fatalf("DefaultWorkers = %d, want 3", got)
+	}
+	SetDefaultWorkers(0) // resets to NumCPU
+	if got := DefaultWorkers(); got < 1 {
+		t.Fatalf("DefaultWorkers = %d, want >= 1", got)
+	}
+}
+
+func TestInstrumentation(t *testing.T) {
+	obs.DefaultRegistry.Reset()
+	_, err := Map(Options{Name: "testpool", Workers: 2}, 6, func(i int) (int, error) {
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.DefaultRegistry.Snapshot()
+	h, ok := snap.Histograms["parallel.testpool.task_seconds"]
+	if !ok || h.Count != 6 {
+		t.Fatalf("task histogram missing or wrong count: %+v", h)
+	}
+	r, ok := snap.Histograms["parallel.testpool.run_seconds"]
+	if !ok || r.Count != 1 {
+		t.Fatalf("run histogram missing or wrong count: %+v", r)
+	}
+	if w := snap.Gauges["parallel.testpool.workers"]; w != 2 {
+		t.Fatalf("workers gauge = %v, want 2", w)
+	}
+}

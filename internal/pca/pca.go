@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // PCA is a fitted principal-component model.
@@ -274,27 +275,45 @@ func ClassCustomFeatures(groups map[string]Group, attrs []string, k int,
 	if len(groups) == 0 {
 		return nil, nil, fmt.Errorf("pca: no class groups")
 	}
+	// Each class's PCA + ranking is independent; fan out one task per
+	// class over a sorted key list so the work assignment (and any error
+	// reported) is deterministic.
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tops, err := parallel.Map(
+		parallel.Options{Name: "pca.custom_features"},
+		len(names), func(i int) ([]string, error) {
+			name := names[i]
+			g := groups[name]
+			p, err := Fit(g.X, attrs)
+			if err != nil {
+				return nil, fmt.Errorf("pca: class %s: %w", name, err)
+			}
+			ranked, err := p.RankAttributesDiscriminative(g.X, g.Labels, coverage)
+			if err != nil {
+				return nil, fmt.Errorf("pca: class %s: %w", name, err)
+			}
+			kk := k
+			if kk > len(ranked) {
+				kk = len(ranked)
+			}
+			top := make([]string, kk)
+			for j := 0; j < kk; j++ {
+				top[j] = ranked[j].Name
+			}
+			return top, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
 	custom = make(map[string][]string, len(groups))
 	inAll := make(map[string]int)
-	for name, g := range groups {
-		p, err := Fit(g.X, attrs)
-		if err != nil {
-			return nil, nil, fmt.Errorf("pca: class %s: %w", name, err)
-		}
-		ranked, err := p.RankAttributesDiscriminative(g.X, g.Labels, coverage)
-		if err != nil {
-			return nil, nil, fmt.Errorf("pca: class %s: %w", name, err)
-		}
-		kk := k
-		if kk > len(ranked) {
-			kk = len(ranked)
-		}
-		top := make([]string, kk)
-		for i := 0; i < kk; i++ {
-			top[i] = ranked[i].Name
-		}
-		custom[name] = top
-		for _, a := range top {
+	for i, name := range names {
+		custom[name] = tops[i]
+		for _, a := range tops[i] {
 			inAll[a]++
 		}
 	}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/micro"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/pmu"
 	"repro/internal/rng"
 	"repro/internal/workload"
@@ -247,6 +248,22 @@ func CollectSample(cfg Config, class workload.Class, seed uint64) (*Trace, error
 		return nil, err
 	}
 	return ctr.Run()
+}
+
+// CollectBatch collects n traces of the given class concurrently, one
+// container per trace, and returns them in index order. seedFn maps the
+// trace index to its seed; because each container derives all randomness
+// from that per-index seed, the batch is bit-identical to collecting the
+// traces serially, at any worker count. workers <= 0 uses the
+// process-wide default; 1 forces the serial path.
+func CollectBatch(cfg Config, class workload.Class, n int, seedFn func(i int) uint64, workers int) ([]*Trace, error) {
+	if seedFn == nil {
+		return nil, fmt.Errorf("trace: nil seed function")
+	}
+	return parallel.Map(parallel.Options{Name: "trace.collect", Workers: workers},
+		n, func(i int) (*Trace, error) {
+			return CollectSample(cfg, class, seedFn(i))
+		})
 }
 
 // WriteText writes the trace in the paper's intermediate per-sample text
