@@ -1,0 +1,30 @@
+# Developer entry points. The repo needs only the Go toolchain.
+
+BENCHTIME ?= 10x
+
+.PHONY: build test race bench bench-baseline serve
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# bench runs every benchmark (one per paper table/figure plus the
+# engine microbenches) and normalizes the output to bench.json for
+# diffing against the committed BENCH_baseline.json.
+bench:
+	go test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | go run ./cmd/benchjson -o bench.json
+
+# bench-baseline refreshes the committed perf trajectory seed. Run on a
+# quiet machine and commit the result together with the change that
+# moved the numbers.
+bench-baseline:
+	go test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | go run ./cmd/benchjson -o BENCH_baseline.json
+
+# serve runs the online detector daemon with live telemetry on :9090.
+serve:
+	go run ./cmd/hpcmal serve -listen 127.0.0.1:9090

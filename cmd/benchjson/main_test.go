@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R)
+BenchmarkFig13/J48-8   	     100	  12345 ns/op	        93.50 acc%	      64 B/op	       2 allocs/op
+BenchmarkNopLogger-8   	100000000	         1.23 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	1.234s
+pkg: repro/internal/obs
+BenchmarkCounterAdd-8  	 5000000	        21.0 ns/op
+garbage line
+`
+	doc := parse(bufio.NewScanner(strings.NewReader(in)))
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.CPU != "Intel(R) Xeon(R)" {
+		t.Errorf("header = %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(doc.Benchmarks))
+	}
+	fig := doc.Benchmarks[0]
+	if fig.Pkg != "repro" || fig.Name != "BenchmarkFig13/J48" || fig.Procs != 8 {
+		t.Errorf("fig13 identity = %+v", fig)
+	}
+	if fig.NsPerOp != 12345 || fig.BytesPerOp != 64 || fig.AllocsPerOp != 2 {
+		t.Errorf("fig13 stats = %+v", fig)
+	}
+	if fig.Custom["acc%"] != 93.5 {
+		t.Errorf("fig13 custom = %+v", fig.Custom)
+	}
+	nop := doc.Benchmarks[1]
+	if nop.NsPerOp != 1.23 || nop.AllocsPerOp != 0 {
+		t.Errorf("nop = %+v", nop)
+	}
+	if doc.Benchmarks[2].Pkg != "repro/internal/obs" {
+		t.Errorf("second pkg = %+v", doc.Benchmarks[2])
+	}
+}

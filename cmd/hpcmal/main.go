@@ -11,6 +11,7 @@
 //	hpcmal pca    [-scale 0.05] [-k 8]
 //	hpcmal hwcost [-scale 0.05]
 //	hpcmal repro  [all|ablations|table1|table2|fig6|pcaplots|fig13|...|fig19]
+//	hpcmal serve  -listen :9090 [-scale 0.05 -classifier J48]
 package main
 
 import (
@@ -57,6 +58,10 @@ func main() {
 		err = cmdEmit(os.Args[2:])
 	case "repro":
 		err = cmdRepro(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "-version", "--version", "version":
+		printVersion()
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -85,6 +90,9 @@ commands:
   emit   [-classifier -out -scale -seed]  train and emit synthesizable
                                Verilog for a rule/tree detector
   repro  <id|all|ablations|extensions>   regenerate the paper's evaluation
+  serve  [-listen -scale -classifier -rounds]   run the online detector as
+                               a long-lived daemon with live telemetry
+  version                      print build identity (module, VCS revision)
 
 shared flags (every command):
   -parallel N                  bound parallel stages to N workers (default
@@ -96,7 +104,13 @@ shared flags (every command):
   -manifest FILE               override the run manifest path (gen, collect
                                and merge write one next to their output by
                                default; manifests record the worker count
-                               and per-stage busy/wall speedup)`)
+                               and per-stage busy/wall speedup)
+  -listen ADDR                 serve live telemetry for the run's duration:
+                               /metrics (Prometheus), /events (NDJSON/SSE),
+                               /healthz, /buildinfo, /manifest, /debug/pprof
+  -trace-out FILE              export the span tree as Chrome trace-event
+                               JSON (open at ui.perfetto.dev)
+  -cpuprofile / -memprofile FILE   write pprof profiles`)
 }
 
 func cmdList() error {
@@ -134,7 +148,9 @@ func cmdGen(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	of.setup()
+	if err := of.setup(); err != nil {
+		return err
+	}
 	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
 	if err != nil {
 		return err
@@ -184,7 +200,9 @@ func cmdTrain(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	of.setup()
+	if err := of.setup(); err != nil {
+		return err
+	}
 	var tbl *dataset.Table
 	var err error
 	if *data != "" {
@@ -310,7 +328,9 @@ func cmdPCA(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	of.setup()
+	if err := of.setup(); err != nil {
+		return err
+	}
 	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
 	if err != nil {
 		return err
@@ -348,7 +368,9 @@ func cmdHWCost(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	of.setup()
+	if err := of.setup(); err != nil {
+		return err
+	}
 	r := experiments.NewRunner(
 		experiments.WithSeed(*seed), experiments.WithScale(*scale))
 	for _, id := range []string{"fig14", "fig15", "fig16"} {
@@ -375,7 +397,9 @@ func cmdCollect(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	of.setup()
+	if err := of.setup(); err != nil {
+		return err
+	}
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return err
 	}
@@ -422,7 +446,9 @@ func cmdMerge(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	of.setup()
+	if err := of.setup(); err != nil {
+		return err
+	}
 	sp := obs.StartSpan("merge")
 	tbl, err := dataset.MergeTextDir(*dir)
 	sp.End()
@@ -459,7 +485,9 @@ func cmdEmit(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	of.setup()
+	if err := of.setup(); err != nil {
+		return err
+	}
 	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
 	if err != nil {
 		return err
@@ -542,14 +570,16 @@ func cmdRepro(args []string) error {
 	if err != nil {
 		return err
 	}
-	of.setup()
+	if err := of.setup(); err != nil {
+		return err
+	}
 	if len(ids) == 0 {
 		ids = []string{"all"}
 	}
 	r := experiments.NewRunner(
 		experiments.WithSeed(*seed), experiments.WithScale(*scale),
 		experiments.WithProgress(func(stage string, done, total int) {
-			if !of.quiet {
+			if !of.Quiet {
 				fmt.Fprintf(os.Stderr, "  [%d/%d] %s\n", done, total, stage)
 			}
 		}))
@@ -578,8 +608,8 @@ func cmdRepro(args []string) error {
 	// Write a manifest alongside the metrics snapshot (or wherever
 	// -manifest points); repro's tables themselves go to stdout.
 	manifestPath := ""
-	if of.metricsOut != "" {
-		manifestPath = obs.ManifestPathFor(of.metricsOut)
+	if of.MetricsOut != "" {
+		manifestPath = obs.ManifestPathFor(of.MetricsOut)
 	}
 	of.manifest.Config["experiments"] = strings.Join(run, ",")
 	if err := of.writeManifest(manifestPath, *seed, *scale, nil, 0, 0); err != nil {

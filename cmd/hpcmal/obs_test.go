@@ -146,6 +146,46 @@ func TestGenWritesManifest(t *testing.T) {
 	if man.WallSeconds <= 0 || man.GoVersion == "" {
 		t.Errorf("manifest wall/go = %v/%q", man.WallSeconds, man.GoVersion)
 	}
+	// Every manifest records the producing binary's build identity.
+	if man.Build == nil || man.Build.GoVersion == "" {
+		t.Errorf("manifest build info = %+v", man.Build)
+	}
+}
+
+// TestGenTraceOut drives the shared -trace-out flag through a real
+// subcommand: the export must be Chrome trace-event JSON with the
+// pipeline's spans as complete events.
+func TestGenTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.csv")
+	traceOut := filepath.Join(dir, "trace.json")
+	if err := cmdGen([]string{"-scale", "0.01", "-seed", "5", "-out", out,
+		"-quiet", "-trace-out", traceOut}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exported struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Dur   float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &exported); err != nil {
+		t.Fatalf("-trace-out is not valid JSON: %v", err)
+	}
+	found := false
+	for _, ev := range exported.TraceEvents {
+		if ev.Name == "dataset.generate" && ev.Phase == "X" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no dataset.generate X event in %s", data)
+	}
 }
 
 // TestCollectWritesManifest checks the per-sample collector's manifest.

@@ -2,24 +2,19 @@ package main
 
 import (
 	"flag"
-	"os"
 
 	"repro/internal/obs"
+	"repro/internal/obsflag"
 	"repro/internal/parallel"
 )
 
-// obsFlags carries the options every subcommand shares: log verbosity and
-// format, the metrics snapshot destination, an optional manifest override
-// path, and the parallel worker bound.
+// obsFlags carries the options every subcommand shares — the obsflag
+// layer's logging/metrics/profiling/telemetry flags plus the CLI's
+// manifest handling.
 type obsFlags struct {
+	*obsflag.Flags
 	command     string
-	verbose     bool
-	vverbose    bool
-	quiet       bool
-	logJSON     bool
-	metricsOut  string
 	manifestOut string
-	workers     int
 
 	manifest *obs.Manifest
 }
@@ -27,58 +22,30 @@ type obsFlags struct {
 // addObsFlags registers the shared observability flags on a subcommand's
 // flag set.
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
-	f := &obsFlags{command: fs.Name()}
-	fs.BoolVar(&f.verbose, "v", false, "verbose logging (debug level)")
-	fs.BoolVar(&f.vverbose, "vv", false, "very verbose logging (trace level)")
-	fs.BoolVar(&f.quiet, "quiet", false, "log errors only")
-	fs.BoolVar(&f.logJSON, "log-json", false, "emit log lines as JSON")
-	fs.StringVar(&f.metricsOut, "metrics-out", "", "write the run's metrics snapshot JSON to `file`")
+	f := &obsFlags{Flags: obsflag.Add(fs), command: fs.Name()}
 	fs.StringVar(&f.manifestOut, "manifest", "", "write the run manifest JSON to `file` (overrides the default path)")
-	fs.IntVar(&f.workers, "parallel", 0, "max `workers` for parallel stages (1 = serial; 0 = all CPUs); output is identical at any value")
 	return f
 }
 
-// setup installs the process logger and clears run-scoped metric and span
-// state, so sequential in-process invocations (tests, repro sequences)
-// start every run from identical instruments and same-seed runs snapshot
-// identically.
-func (f *obsFlags) setup() {
-	level := obs.LevelInfo
-	switch {
-	case f.quiet:
-		level = obs.LevelError
-	case f.vverbose:
-		level = obs.LevelTrace
-	case f.verbose:
-		level = obs.LevelDebug
+// setup installs the process logger, clears run-scoped metric and span
+// state (so sequential in-process invocations start every run from
+// identical instruments), starts profiling and the -listen telemetry
+// server, and opens the run manifest — published live on /manifest.
+func (f *obsFlags) setup() error {
+	if err := f.Flags.Setup(); err != nil {
+		return err
 	}
-	obs.SetLogger(obs.New(os.Stderr, level, f.logJSON))
-	obs.DefaultRegistry.Reset()
-	obs.DefaultTracer.Reset()
-	parallel.SetDefaultWorkers(f.workers)
 	f.manifest = obs.NewManifest("hpcmal", f.command)
 	f.manifest.Workers = parallel.DefaultWorkers()
+	f.SetManifest(f.manifest)
+	return nil
 }
 
-// finish writes the metrics snapshot when -metrics-out was given. Call it
-// once, after the command's work succeeded.
+// finish flushes the run artifacts (-metrics-out, -trace-out,
+// -memprofile), stops CPU profiling, and drains the -listen server. Call
+// it once, after the command's work succeeded.
 func (f *obsFlags) finish() error {
-	if f.metricsOut == "" {
-		return nil
-	}
-	w, err := os.Create(f.metricsOut)
-	if err != nil {
-		return err
-	}
-	if err := obs.WriteRunSnapshot(w); err != nil {
-		w.Close()
-		return err
-	}
-	if err := w.Close(); err != nil {
-		return err
-	}
-	obs.Log().Info("metrics snapshot written", "path", f.metricsOut)
-	return nil
+	return f.Flags.Finish()
 }
 
 // writeManifest stamps the run's identity and results into the manifest,

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/online"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// serveReady, when non-nil, receives the telemetry server once `serve`
+// is accepting requests. Tests hook it to learn the bound port.
+var serveReady func(*telemetry.Server)
+
+// printVersion implements `hpcmal -version`: the same build identity the
+// run manifests and /buildinfo report.
+func printVersion() {
+	bi := obs.Build()
+	fmt.Printf("hpcmal %s\n", bi.String())
+	if bi.Module != "" {
+		fmt.Printf("module %s\n", bi.Module)
+	}
+}
+
+// cmdServe runs the online detector as a long-lived daemon: it trains a
+// detector once, then replays freshly collected traces through
+// online.MonitorAll round after round, publishing alarms and window
+// verdicts to the live /events stream and all instruments to /metrics.
+// SIGINT/SIGTERM trigger a graceful shutdown: the signal context
+// propagates into the parallel monitoring pool (in-flight traces finish,
+// unclaimed ones are skipped) and the telemetry server drains.
+func cmdServe(args []string) error {
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return runServe(ctx, args)
+}
+
+func runServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	classifier := fs.String("classifier", "J48", "detector classifier (see `hpcmal list`)")
+	scale := fs.Float64("scale", 0.05, "training dataset scale")
+	seed := fs.Uint64("seed", 1, "random seed")
+	perClass := fs.Int("perclass", 2, "fresh traces to monitor per class per round")
+	windows := fs.Int("windows", 32, "sampling windows per monitored trace")
+	rounds := fs.Int("rounds", 0, "replay rounds before exiting (0 = run until SIGINT/SIGTERM)")
+	interval := fs.Duration("interval", 0, "pause between replay rounds")
+	of := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// A telemetry daemon without its server would be pointless; default
+	// the shared -listen flag instead of requiring it.
+	if of.Listen == "" {
+		of.Listen = "127.0.0.1:0"
+	}
+	if err := of.setup(); err != nil {
+		return err
+	}
+	srv := of.Server()
+	fmt.Printf("telemetry on %s (/metrics /events /healthz /buildinfo /manifest /debug/pprof)\n", srv.URL())
+
+	// Train the detector once, up front.
+	sp := obs.StartSpan("serve.train")
+	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	clf, err := core.NewClassifier(*classifier, *seed)
+	if err != nil {
+		return err
+	}
+	rows := make([][]float64, len(tbl.Instances))
+	for i := range tbl.Instances {
+		rows[i] = tbl.Instances[i].Features
+	}
+	if err := clf.Train(rows, tbl.BinaryLabels(), 2); err != nil {
+		return err
+	}
+	sp.End()
+	obs.Log().Info("detector trained", "classifier", *classifier,
+		"rows", tbl.NumInstances())
+	if serveReady != nil {
+		serveReady(srv)
+	}
+
+	cfg := trace.DefaultConfig()
+	cfg.WindowsPerSample = *windows
+	classes := workload.AllClasses()
+	round, alarms := 0, 0
+loop:
+	for ; *rounds == 0 || round < *rounds; round++ {
+		rsp := obs.StartSpan("serve.round")
+		for _, class := range classes {
+			if ctx.Err() != nil {
+				rsp.End()
+				break loop
+			}
+			// Fresh executions every round: seeds the detector never saw.
+			traces, err := trace.CollectBatch(cfg, class, *perClass, func(i int) uint64 {
+				return *seed ^ (uint64(round)*1000003+uint64(class)*1009+uint64(i)+1)*0x9e3779b97f4a7c15
+			}, 0)
+			if err != nil {
+				rsp.End()
+				return err
+			}
+			results, err := online.MonitorAll(clf, traces,
+				online.WithSamplePeriod(cfg.SamplePeriod),
+				online.WithContext(ctx))
+			if err != nil {
+				if ctx.Err() != nil {
+					// Cancelled mid-round by a signal: not a failure.
+					rsp.End()
+					break loop
+				}
+				rsp.End()
+				return err
+			}
+			for _, res := range results {
+				if res != nil && res.Detected {
+					alarms++
+				}
+			}
+		}
+		rsp.End()
+		obs.Log().Info("replay round complete", "round", round+1,
+			"alarms_total", alarms)
+		if *rounds == 0 || round+1 < *rounds {
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-time.After(*interval):
+			}
+		}
+	}
+	if ctx.Err() != nil {
+		obs.Log().Info("signal received, shutting down")
+	}
+	fmt.Printf("monitored %d rounds, %d alarms raised\n", round, alarms)
+
+	of.manifest.Config["classifier"] = *classifier
+	of.manifest.Config["rounds"] = fmt.Sprint(round)
+	if err := of.writeManifest("", *seed, *scale, nil, 0, 0); err != nil {
+		return err
+	}
+	// finish() drains the telemetry server gracefully (open /events
+	// streams are closed, in-flight scrapes complete).
+	return of.finish()
+}

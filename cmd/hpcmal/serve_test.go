@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// startServe runs runServe in the background with the test hook attached
+// and returns its telemetry server plus the error channel.
+func startServe(t *testing.T, ctx context.Context, args []string) (*telemetry.Server, chan error) {
+	t.Helper()
+	ready := make(chan *telemetry.Server, 1)
+	serveReady = func(s *telemetry.Server) { ready <- s }
+	t.Cleanup(func() { serveReady = nil })
+	errc := make(chan error, 1)
+	go func() { errc <- runServe(ctx, args) }()
+	select {
+	case srv := <-ready:
+		return srv, errc
+	case err := <-errc:
+		t.Fatalf("serve exited before ready: %v", err)
+	case <-time.After(120 * time.Second):
+		t.Fatal("serve never became ready")
+	}
+	return nil, nil
+}
+
+// TestServeGracefulShutdown is the daemon acceptance test: while `serve`
+// replays traces, /healthz and /metrics answer, /events streams at least
+// one detection event — and cancelling the run context (the SIGINT path)
+// shuts everything down cleanly.
+func TestServeGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, errc := startServe(t, ctx, []string{
+		"-scale", "0.01", "-perclass", "1", "-windows", "16", "-quiet"})
+
+	if resp, err := http.Get(srv.URL() + "/healthz"); err != nil {
+		t.Fatalf("healthz: %v", err)
+	} else {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || !strings.HasPrefix(string(body), "ok") {
+			t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+		}
+	}
+
+	// A detection event arrives on the live stream while traces replay.
+	stream, err := http.Get(srv.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	lineCh := make(chan string, 1)
+	go func() {
+		r := bufio.NewReader(stream.Body)
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			var e obs.Event
+			if json.Unmarshal([]byte(line), &e) == nil &&
+				(e.Type == "alarm" || e.Type == "window") {
+				select {
+				case lineCh <- line:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	select {
+	case line := <-lineCh:
+		t.Logf("streamed event: %s", strings.TrimSpace(line))
+	case <-time.After(120 * time.Second):
+		t.Fatal("no detection event streamed on /events")
+	}
+
+	// /metrics exposes the online instruments live, in Prometheus text.
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	for _, want := range []string{"online_monitors_total ", "trace_windows_simulated_total ",
+		"online_alarm_latency_windows_bucket{le=\"+Inf\"}"} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("live /metrics missing %q", want)
+		}
+	}
+
+	// The manifest is published while the run is still in flight.
+	resp, err = http.Get(srv.URL() + "/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man obs.Manifest
+	if err := json.NewDecoder(resp.Body).Decode(&man); err != nil {
+		t.Fatalf("manifest decode: %v", err)
+	}
+	resp.Body.Close()
+	if man.Command != "serve" || man.Build == nil {
+		t.Errorf("live manifest = %+v", man)
+	}
+
+	// Cancel = SIGINT: serve must exit nil and the server must drain.
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exit err: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("serve did not shut down after cancel")
+	}
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Error("telemetry server still answering after shutdown")
+	}
+}
+
+// TestServeBoundedRounds checks the -rounds exit path used by CI: the
+// daemon performs its replays and exits on its own, no signal needed.
+func TestServeBoundedRounds(t *testing.T) {
+	srv, errc := startServe(t, context.Background(), []string{
+		"-scale", "0.01", "-perclass", "1", "-windows", "8",
+		"-rounds", "1", "-quiet"})
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve: %v", err)
+		}
+	case <-time.After(180 * time.Second):
+		t.Fatal("bounded serve never exited")
+	}
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Error("server still up after bounded run")
+	}
+}
+
+func TestVersionPrints(t *testing.T) {
+	// Smoke: the version banner derives from build info without panicking.
+	bi := obs.Build()
+	if bi.GoVersion == "" {
+		t.Error("build info has no Go version")
+	}
+	if s := bi.String(); s == "" {
+		t.Error("empty version banner")
+	}
+}

@@ -5,18 +5,27 @@
 // detectors (OneR, JRip) in embedded/real-time systems.
 //
 // Run with: go run ./examples/fpgacost
+// It accepts the shared observability flags (-v, -listen, -metrics-out,
+// -trace-out, -cpuprofile, ...), consistent with the hpcmal CLI.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/obsflag"
 )
 
 func main() {
+	of := obsflag.Add(flag.CommandLine)
+	flag.Parse()
+	if err := of.Setup(); err != nil {
+		log.Fatal(err)
+	}
 	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: 11, Scale: 0.05})
 	if err != nil {
 		log.Fatal(err)
@@ -56,4 +65,7 @@ func main() {
 	}
 	fmt.Printf("\nbest accuracy/area: %s — the paper's conclusion: simple rule\n"+
 		"classifiers beat neural networks for embedded deployment\n", entries[0].name)
+	if err := of.Finish(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -5,24 +5,45 @@
 // milliseconds. This is the run-time deployment the paper's
 // embedded-systems motivation aims at.
 //
+// While monitoring, the example serves its own live telemetry (the same
+// /metrics, /events and /debug/pprof endpoints as `hpcmal serve`) and
+// finishes by scraping its own /metrics — the Prometheus view of the
+// detection run it just performed.
+//
 // Run with: go run ./examples/onlinedetect
+// It accepts the shared observability flags (-v, -listen, -trace-out,
+// -cpuprofile, ...); without -listen it picks a free local port.
 package main
 
 import (
+	"bufio"
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/ml"
 	"repro/internal/ml/ensemble"
 	"repro/internal/ml/mlp"
 	"repro/internal/obs"
+	"repro/internal/obsflag"
 	"repro/internal/online"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
+	of := obsflag.Add(flag.CommandLine)
+	flag.Parse()
+	if of.Listen == "" {
+		of.Listen = "127.0.0.1:0"
+	}
+	if err := of.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live telemetry on %s\n\n", of.Server().URL())
 	// Train a bagged-tree detector (an ensemble, per the follow-up work
 	// the thesis builds on).
 	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: 5, Scale: 0.05})
@@ -120,6 +141,7 @@ func main() {
 	h := obs.DefaultRegistry.Snapshot().Histograms[online.AlarmLatencyMetric]
 	if h.Count == 0 {
 		fmt.Println("\nno alarms raised")
+		of.Finish()
 		return
 	}
 	ms := func(windows float64) float64 { return windows * cfg.SamplePeriod * 1000 }
@@ -128,4 +150,24 @@ func main() {
 	fmt.Printf("  p50 %5.1f ms   p90 %5.1f ms   max %5.1f ms\n",
 		ms(h.Quantile(0.5)), ms(h.Quantile(0.9)), ms(h.Max))
 	fmt.Println("\n(one noisy window never alarms: the vote needs 5 of 8)")
+
+	// Scrape our own /metrics: the same numbers, as a Prometheus scraper
+	// (or `curl host:port/metrics`) would see them live.
+	resp, err := http.Get(of.Server().URL() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Println("\nself-scrape of /metrics (online_* series):")
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line := sc.Text(); strings.HasPrefix(line, "online_") &&
+			!strings.Contains(line, "_bucket") {
+			fmt.Println("  " + line)
+		}
+	}
+
+	if err := of.Finish(); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -6,18 +6,27 @@
 // reveal counter multiplexing.
 //
 // Run with: go run ./examples/sampler
+// It accepts the shared observability flags (-v, -listen, -metrics-out,
+// -trace-out, -cpuprofile, ...), consistent with the hpcmal CLI.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
 
+	"repro/internal/obsflag"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 func main() {
+	of := obsflag.Add(flag.CommandLine)
+	flag.Parse()
+	if err := of.Setup(); err != nil {
+		log.Fatal(err)
+	}
 	prog, err := workload.NewSample(workload.Rootkit, 2024)
 	if err != nil {
 		log.Fatal(err)
@@ -50,6 +59,9 @@ func main() {
 
 	fmt.Println("\nper-sample text file (the paper's intermediate format):")
 	if err := tr.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := of.Finish(); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -124,11 +124,14 @@ func (r *Runner) Dataset() (*dataset.Table, error) {
 }
 
 // progress reports one completed unit of work to the configured callback
-// (if any) and to the debug log.
+// (if any), to the debug log, and to the live event bus so an attached
+// /events stream can follow a long repro run stage by stage.
 func (r *Runner) progress(stage string, done, total int) {
 	if r.cfg.Progress != nil {
 		r.cfg.Progress(stage, done, total)
 	}
+	obs.PublishEvent(obs.Event{Type: "stage", Msg: stage,
+		Window: done, Value: float64(done) / float64(total)})
 	obs.Log().Debug("experiment progress", "stage", stage, "done", done, "total", total)
 }
 

@@ -56,6 +56,39 @@ func BenchmarkCounterAdd(b *testing.B) {
 	})
 }
 
+// BenchmarkBusPublishUnsubscribed is the event-bus twin of the nop-logger
+// bar: publishing detection events with no stream attached must cost
+// nothing (0 allocs/op), so online monitoring can publish every window.
+func BenchmarkBusPublishUnsubscribed(b *testing.B) {
+	bus := NewBus()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Type: "window", Sample: "rootkit_001", Class: "rootkit", Window: i, Value: 1})
+	}
+}
+
+// BenchmarkBusPublishSubscribed is the attached-stream cost: one
+// subscriber with a draining reader.
+func BenchmarkBusPublishSubscribed(b *testing.B) {
+	bus := NewBus()
+	sub := bus.Subscribe(1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.Events() {
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Type: "window", Window: i, Value: 1})
+	}
+	b.StopTimer()
+	sub.Close()
+	<-done
+}
+
 func BenchmarkHistogramObserve(b *testing.B) {
 	h := NewRegistry().Histogram("bench", TimeBuckets)
 	b.ReportAllocs()

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the binary that produced an artifact: the module
+// path and version, the VCS revision it was built from (with the dirty
+// flag when the working tree had local edits), and the Go toolchain.
+// Fields are empty when the binary was built without VCS stamping (`go
+// test`, `go run` of a dirty checkout on older toolchains, ...).
+type BuildInfo struct {
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	Revision  string `json:"vcs_revision,omitempty"`
+	Time      string `json:"vcs_time,omitempty"`
+	Dirty     bool   `json:"vcs_dirty,omitempty"`
+}
+
+var (
+	buildOnce sync.Once
+	buildInfo BuildInfo
+)
+
+// Build returns the running binary's build identity, read once from
+// runtime/debug.ReadBuildInfo.
+func Build() BuildInfo {
+	buildOnce.Do(func() {
+		buildInfo = BuildInfo{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Module = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.time":
+				buildInfo.Time = s.Value
+			case "vcs.modified":
+				buildInfo.Dirty = s.Value == "true"
+			}
+		}
+	})
+	return buildInfo
+}
+
+// String renders the build identity as a one-line version banner.
+func (b BuildInfo) String() string {
+	v := b.Version
+	if v == "" {
+		v = "(devel)"
+	}
+	s := v
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " " + rev
+		if b.Dirty {
+			s += "+dirty"
+		}
+	}
+	if b.GoVersion != "" {
+		s += " " + b.GoVersion
+	}
+	return s
+}

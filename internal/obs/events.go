@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one detection-pipeline occurrence — an online-detector alarm,
+// a window classification, an experiment stage completing — published to
+// a Bus and streamed live over the telemetry server's /events endpoint.
+//
+// The struct is flat (no maps, no pointers) so that constructing one on
+// the publisher's stack costs nothing: Publish on a bus with no
+// subscribers is a single atomic load and zero allocations, which keeps
+// the per-window monitoring loop free when nobody is watching.
+type Event struct {
+	// TimeUnixMS is stamped by Publish (milliseconds since the epoch).
+	TimeUnixMS int64 `json:"t_ms"`
+	// Type names the event kind ("alarm", "window", "stage", ...).
+	Type string `json:"type"`
+	// Sample is the monitored application sample, when applicable.
+	Sample string `json:"sample,omitempty"`
+	// Class is the sample's workload class, when applicable.
+	Class string `json:"class,omitempty"`
+	// Window is the 0-based sampling-window index, when applicable.
+	Window int `json:"window,omitempty"`
+	// Value carries the event's headline number (per-window verdict,
+	// alarm latency in seconds, stage completion fraction, ...).
+	Value float64 `json:"value,omitempty"`
+	// Msg is free-form detail.
+	Msg string `json:"msg,omitempty"`
+}
+
+// Bus is a bounded, drop-oldest event fan-out. Publishers never block:
+// when a subscriber's buffer is full its oldest undelivered event is
+// discarded (and counted) to make room for the new one, so a slow or
+// stalled stream consumer can never stall the detection pipeline.
+//
+// All methods are safe for concurrent use and safe on a nil receiver.
+type Bus struct {
+	mu   sync.Mutex
+	subs []*Subscription
+	// nsubs mirrors len(subs) so Publish can bail without the lock.
+	nsubs     atomic.Int32
+	published atomic.Int64
+	dropped   atomic.Int64
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// DefaultBus is the process-wide event bus. The online detector publishes
+// alarm and window-classification events here; the telemetry server's
+// /events endpoint subscribes to it.
+var DefaultBus = NewBus()
+
+// PublishEvent publishes e on the default bus.
+func PublishEvent(e Event) { DefaultBus.Publish(e) }
+
+// Active reports whether the bus currently has any subscriber. Hot paths
+// may use it to skip building expensive event payloads, though Publish
+// itself is already near-free without subscribers.
+func (b *Bus) Active() bool { return b != nil && b.nsubs.Load() > 0 }
+
+// Subscribers returns the current subscriber count.
+func (b *Bus) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.nsubs.Load())
+}
+
+// Published returns the number of events delivered to at least one
+// subscriber; Dropped the number discarded by drop-oldest backpressure.
+func (b *Bus) Published() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.published.Load()
+}
+
+// Dropped returns the total events discarded across all subscribers.
+func (b *Bus) Dropped() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped.Load()
+}
+
+// Publish stamps e's time and offers it to every subscriber, dropping
+// each subscriber's oldest buffered event on overflow. With no
+// subscribers it returns immediately without allocating.
+func (b *Bus) Publish(e Event) {
+	if b == nil || b.nsubs.Load() == 0 {
+		return
+	}
+	if e.TimeUnixMS == 0 {
+		e.TimeUnixMS = time.Now().UnixMilli()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.subs) == 0 {
+		return
+	}
+	b.published.Add(1)
+	for _, s := range b.subs {
+		for {
+			select {
+			case s.ch <- e:
+			default:
+				// Buffer full: discard the oldest and retry. The bus lock
+				// excludes other senders, so this terminates.
+				select {
+				case <-s.ch:
+					s.dropped.Add(1)
+					b.dropped.Add(1)
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Subscribe registers a new subscriber with the given buffer capacity
+// (minimum 1; values < 1 get a default of 64). Close the subscription to
+// unregister; its channel is closed once unregistered.
+func (b *Bus) Subscribe(buffer int) *Subscription {
+	if b == nil {
+		return nil
+	}
+	if buffer < 1 {
+		buffer = 64
+	}
+	s := &Subscription{bus: b, ch: make(chan Event, buffer)}
+	b.mu.Lock()
+	b.subs = append(b.subs, s)
+	b.nsubs.Store(int32(len(b.subs)))
+	b.mu.Unlock()
+	return s
+}
+
+// Subscription is one bus listener. Receive from Events; Close when done.
+type Subscription struct {
+	bus     *Bus
+	ch      chan Event
+	dropped atomic.Int64
+	closed  bool
+}
+
+// Events returns the subscription's receive channel. It is closed by
+// Close (after which Dropped is final).
+func (s *Subscription) Events() <-chan Event {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Dropped returns how many events this subscriber lost to backpressure.
+func (s *Subscription) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close unregisters the subscription and closes its channel. Safe to call
+// more than once.
+func (s *Subscription) Close() {
+	if s == nil {
+		return
+	}
+	b := s.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for i, sub := range b.subs {
+		if sub == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+	b.nsubs.Store(int32(len(b.subs)))
+	// Publish sends only under b.mu, so closing here cannot race a send.
+	close(s.ch)
+}

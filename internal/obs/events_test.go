@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	if b.Active() {
+		t.Fatal("fresh bus reports active")
+	}
+	// Publishing with no subscribers is a silent no-op.
+	b.Publish(Event{Type: "alarm"})
+	if b.Published() != 0 {
+		t.Fatalf("published = %d with no subscribers", b.Published())
+	}
+
+	sub := b.Subscribe(8)
+	if !b.Active() || b.Subscribers() != 1 {
+		t.Fatalf("active=%v subscribers=%d after subscribe", b.Active(), b.Subscribers())
+	}
+	b.Publish(Event{Type: "alarm", Sample: "rootkit_001", Window: 3, Value: 0.04})
+	select {
+	case e := <-sub.Events():
+		if e.Type != "alarm" || e.Sample != "rootkit_001" || e.Window != 3 {
+			t.Fatalf("event = %+v", e)
+		}
+		if e.TimeUnixMS == 0 {
+			t.Fatal("Publish did not stamp the event time")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no event delivered")
+	}
+
+	sub.Close()
+	sub.Close() // idempotent
+	if b.Active() {
+		t.Fatal("bus still active after last unsubscribe")
+	}
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("channel not closed after Close")
+	}
+}
+
+// TestBusDropOldest pins the backpressure contract: a full subscriber
+// buffer discards the oldest undelivered events, never blocks the
+// publisher, and counts what it lost.
+func TestBusDropOldest(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(4)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Type: "window", Window: i})
+	}
+	var got []int
+	for len(got) < 4 {
+		select {
+		case e := <-sub.Events():
+			got = append(got, e.Window)
+		case <-time.After(time.Second):
+			t.Fatalf("only %d events buffered, want 4", len(got))
+		}
+	}
+	for i, w := range got {
+		if w != 6+i {
+			t.Fatalf("buffered windows = %v, want the newest [6 7 8 9]", got)
+		}
+	}
+	if sub.Dropped() != 6 || b.Dropped() != 6 {
+		t.Fatalf("dropped = sub %d / bus %d, want 6", sub.Dropped(), b.Dropped())
+	}
+	if b.Published() != 10 {
+		t.Fatalf("published = %d, want 10", b.Published())
+	}
+}
+
+// TestBusConcurrentPublish exercises the bus under the race detector:
+// concurrent publishers, a closing subscriber, and a reader.
+func TestBusConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	sub := b.Subscribe(16)
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Publish(Event{Type: "window", Window: i, Value: float64(p)})
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range sub.Events() {
+		}
+	}()
+	wg.Wait()
+	sub.Close()
+	<-done
+	if b.Published() != 400 {
+		t.Fatalf("published = %d, want 400", b.Published())
+	}
+}
+
+// TestPublishUnsubscribedAllocs is the disabled-path cost bar: publishing
+// to a bus nobody listens to must not allocate, so the per-window
+// monitoring loop stays free when no stream is attached.
+func TestPublishUnsubscribedAllocs(t *testing.T) {
+	b := NewBus()
+	n := testing.AllocsPerRun(1000, func() {
+		b.Publish(Event{Type: "window", Sample: "rootkit_001", Class: "rootkit", Window: 7, Value: 1})
+	})
+	if n != 0 {
+		t.Fatalf("Publish on unsubscribed bus allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestNilBusSafe(t *testing.T) {
+	var b *Bus
+	b.Publish(Event{Type: "alarm"})
+	if b.Active() || b.Subscribers() != 0 || b.Published() != 0 || b.Dropped() != 0 {
+		t.Fatal("nil bus not inert")
+	}
+	if b.Subscribe(1) != nil {
+		t.Fatal("nil bus returned a subscription")
+	}
+	var s *Subscription
+	s.Close()
+	if s.Events() != nil || s.Dropped() != 0 {
+		t.Fatal("nil subscription not inert")
+	}
+}

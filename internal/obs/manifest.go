@@ -32,6 +32,9 @@ type Manifest struct {
 	// WallSeconds is the total run wall time, set by Finish.
 	WallSeconds float64 `json:"wall_seconds"`
 	GoVersion   string  `json:"go_version"`
+	// Build records the producing binary's identity (module version, VCS
+	// revision and dirty flag) so artifacts are traceable to a commit.
+	Build *BuildInfo `json:"build,omitempty"`
 
 	start time.Time
 }
@@ -50,12 +53,14 @@ type ManifestStage struct {
 // NewManifest starts a manifest for one command invocation.
 func NewManifest(tool, command string) *Manifest {
 	now := time.Now()
+	build := Build()
 	return &Manifest{
 		Tool:      tool,
 		Command:   command,
 		Config:    map[string]string{},
 		StartedAt: now.UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
+		Build:     &build,
 		start:     now,
 	}
 }

@@ -46,6 +46,21 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add atomically adds delta to the gauge (compare-and-swap loop), so
+// concurrent workers can publish a live level — e.g. busy worker counts.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // Value returns the gauge's current value.
 func (g *Gauge) Value() float64 {
 	if g == nil {

@@ -1,8 +1,12 @@
 // Package obs is the reproduction's observability substrate: a leveled
 // key-value structured logger (text and JSON encoders), a metrics
 // registry (counters, gauges, fixed-bucket histograms) with deterministic
-// JSON snapshots, lightweight spans that assemble a per-run timing tree,
-// and run manifests that make every generated artifact auditable.
+// JSON snapshots and Prometheus text exposition (WritePrometheus),
+// lightweight spans that assemble a per-run timing tree exportable as
+// Chrome trace-event JSON (WriteChromeTrace), a bounded drop-oldest
+// detection-event bus (Bus) for live streaming, build identity
+// (BuildInfo), and run manifests that make every generated artifact
+// auditable.
 //
 // The package is dependency-free (stdlib only) and nop-by-default: the
 // default logger is disabled until a front end installs one, and a

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters gain the conventional
+// `_total` suffix, histograms expose cumulative `_bucket{le="..."}`
+// series plus `_sum` and `_count`, and dots in registry names become
+// underscores. Families are emitted in sorted name order (counters, then
+// gauges, then histograms), so the output of a frozen snapshot is
+// byte-stable — which is what the exposition golden test pins.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[n]))
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		// The registry stores per-bucket counts; Prometheus buckets are
+		// cumulative, ending in the catch-all +Inf bucket.
+		var cum int64
+		for i, bound := range h.Buckets {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps a registry metric name onto the Prometheus grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]* by replacing every other rune with '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

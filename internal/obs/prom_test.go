@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact text exposition: name
+// sanitization, the counter `_total` convention, gauge formatting, and
+// cumulative histogram buckets ending in +Inf.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("trace.windows_simulated").Add(42)
+	r.Counter("online.alarms").Add(3)
+	r.Gauge("parallel.online.monitor.workers").Set(8)
+	h := r.Histogram("online.alarm_latency_windows", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(3)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE online_alarms_total counter
+online_alarms_total 3
+# TYPE trace_windows_simulated_total counter
+trace_windows_simulated_total 42
+# TYPE parallel_online_monitor_workers gauge
+parallel_online_monitor_workers 8
+# TYPE online_alarm_latency_windows histogram
+online_alarm_latency_windows_bucket{le="1"} 1
+online_alarm_latency_windows_bucket{le="2"} 2
+online_alarm_latency_windows_bucket{le="4"} 3
+online_alarm_latency_windows_bucket{le="+Inf"} 4
+online_alarm_latency_windows_sum 105
+online_alarm_latency_windows_count 4
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"trace.windows_simulated": "trace_windows_simulated",
+		"9lives":                  "_lives",
+		"a:b-c d9":                "a:b_c_d9",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

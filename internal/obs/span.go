@@ -8,14 +8,20 @@ import (
 
 // Tracer assembles spans into a per-run timing tree. Spans opened while
 // another span is active become its children; spans opened at top level
-// become roots. The tracer is mutex-protected, but the nesting model is
-// call-stack shaped: open nested spans from the sequential pipeline
-// driver, not from worker goroutines (workers should record into
-// counters/histograms instead).
+// become roots. Every span carries a tracer-unique ID and its parent's ID
+// so snapshots can be exported flat (Chrome trace events) as well as
+// nested.
+//
+// The implicit Start nesting is call-stack shaped: open nested spans from
+// the sequential pipeline driver. Worker goroutines that want their own
+// spans must use Span.Child, which attaches to an explicit parent and
+// never touches the shared stack, making it safe to call from any
+// goroutine.
 type Tracer struct {
-	mu    sync.Mutex
-	roots []*Span
-	stack []*Span
+	mu     sync.Mutex
+	roots  []*Span
+	stack  []*Span
+	lastID uint64
 }
 
 // NewTracer returns an empty tracer.
@@ -25,11 +31,21 @@ func NewTracer() *Tracer { return &Tracer{} }
 // idempotent and nil-safe.
 type Span struct {
 	name   string
+	id     uint64
+	parent uint64
 	start  time.Time
 	dur    time.Duration
 	ended  bool
 	child  []*Span
 	tracer *Tracer
+}
+
+// ID returns the span's tracer-unique ID (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // Start opens a span as a child of the innermost active span.
@@ -39,14 +55,34 @@ func (t *Tracer) Start(name string) *Span {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	sp := &Span{name: name, start: time.Now(), tracer: t}
+	t.lastID++
+	sp := &Span{name: name, id: t.lastID, start: time.Now(), tracer: t}
 	if n := len(t.stack); n > 0 {
 		top := t.stack[n-1]
+		sp.parent = top.id
 		top.child = append(top.child, sp)
 	} else {
 		t.roots = append(t.roots, sp)
 	}
 	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// Child opens a span as an explicit child of s without consulting or
+// joining the tracer's active stack. Unlike Start, Child is safe to call
+// from worker goroutines running concurrently with the pipeline driver:
+// the parent is named, not inferred, so parallel children can never
+// corrupt the nesting.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tracer
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lastID++
+	sp := &Span{name: name, id: t.lastID, parent: s.id, start: time.Now(), tracer: t}
+	s.child = append(s.child, sp)
 	return sp
 }
 
@@ -64,7 +100,8 @@ func (s *Span) End() time.Duration {
 	s.dur = time.Since(s.start)
 	s.ended = true
 	// Remove s from the active stack wherever it sits, tolerating
-	// out-of-order ends.
+	// out-of-order ends. Detached children (Span.Child) are never on the
+	// stack, so the loop simply misses.
 	for i := len(t.stack) - 1; i >= 0; i-- {
 		if t.stack[i] == s {
 			t.stack = append(t.stack[:i], t.stack[i+1:]...)
@@ -77,6 +114,11 @@ func (s *Span) End() time.Duration {
 // SpanSnapshot is the frozen form of a span subtree.
 type SpanSnapshot struct {
 	Name string `json:"name"`
+	// ID is the span's tracer-unique ID; ParentID is 0 for roots.
+	ID       uint64 `json:"id"`
+	ParentID uint64 `json:"parent_id,omitempty"`
+	// StartUnixUS is the span's start time, microseconds since the epoch.
+	StartUnixUS int64 `json:"start_us"`
 	// WallMS is the span's wall-clock duration in milliseconds. Spans not
 	// yet ended report their running duration.
 	WallMS   float64        `json:"wall_ms"`
@@ -104,9 +146,12 @@ func snapshotSpans(spans []*Span) []SpanSnapshot {
 			d = time.Since(s.start)
 		}
 		out[i] = SpanSnapshot{
-			Name:     s.name,
-			WallMS:   roundMS(d),
-			Children: snapshotSpans(s.child),
+			Name:        s.name,
+			ID:          s.id,
+			ParentID:    s.parent,
+			StartUnixUS: s.start.UnixMicro(),
+			WallMS:      roundMS(d),
+			Children:    snapshotSpans(s.child),
 		}
 	}
 	return out
@@ -119,7 +164,7 @@ func (t *Tracer) Reset() {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.roots, t.stack = nil, nil
+	t.roots, t.stack, t.lastID = nil, nil, 0
 }
 
 // roundMS converts a duration to milliseconds with microsecond precision,

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// chromeTraceEvent is one entry of the Chrome trace-event format's JSON
+// object form ("X" complete events), as consumed by Perfetto and
+// chrome://tracing.
+type chromeTraceEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`  // microseconds, trace-relative
+	Dur   float64        `json:"dur"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeTraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string             `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports a span-tree snapshot as Chrome trace-event
+// JSON (complete "X" events), loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Timestamps are rebased to the earliest span so the
+// trace starts at t=0; nesting renders by ts/dur containment, and each
+// event's args carry the span and parent IDs for cross-referencing with
+// the metrics snapshot.
+func WriteChromeTrace(w io.Writer, spans []SpanSnapshot) error {
+	var events []chromeTraceEvent
+	epoch := int64(math.MaxInt64)
+	var scan func([]SpanSnapshot)
+	scan = func(ss []SpanSnapshot) {
+		for _, s := range ss {
+			if s.StartUnixUS < epoch {
+				epoch = s.StartUnixUS
+			}
+			scan(s.Children)
+		}
+	}
+	scan(spans)
+
+	var emit func([]SpanSnapshot)
+	emit = func(ss []SpanSnapshot) {
+		for _, s := range ss {
+			ev := chromeTraceEvent{
+				Name:  s.Name,
+				Phase: "X",
+				TS:    float64(s.StartUnixUS - epoch),
+				Dur:   s.WallMS * 1000,
+				PID:   1,
+				TID:   1,
+				Args:  map[string]any{"id": s.ID},
+			}
+			if s.ParentID != 0 {
+				ev.Args["parent_id"] = s.ParentID
+			}
+			events = append(events, ev)
+			emit(s.Children)
+		}
+	}
+	emit(spans)
+	if events == nil {
+		events = []chromeTraceEvent{}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

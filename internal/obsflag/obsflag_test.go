@@ -1,0 +1,97 @@
+package obsflag
+
+import (
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSetupFinishArtifacts drives the full shared-flag lifecycle: a run
+// with -listen, -metrics-out, -trace-out, -cpuprofile and -memprofile
+// must serve live telemetry while running and leave all four artifacts
+// behind after Finish.
+func TestSetupFinishArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Add(fs)
+	metrics := filepath.Join(dir, "m.json")
+	trace := filepath.Join(dir, "t.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := fs.Parse([]string{"-quiet", "-listen", "127.0.0.1:0",
+		"-metrics-out", metrics, "-trace-out", trace,
+		"-cpuprofile", cpu, "-memprofile", mem, "-parallel", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Setup(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a run: one span, one counter.
+	sp := obs.StartSpan("test.stage")
+	obs.GetCounter("test.widgets").Add(3)
+	sp.End()
+
+	// The -listen server is live during the run.
+	srv := f.Server()
+	if srv == nil || srv.Addr() == "" {
+		t.Fatal("no telemetry server from -listen")
+	}
+	m := obs.NewManifest("test", "run")
+	f.SetManifest(m)
+	resp, err := http.Get(srv.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+
+	if err := f.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	// Server drained.
+	if _, err := http.Get(srv.URL() + "/healthz"); err == nil {
+		t.Error("telemetry server still up after Finish")
+	}
+	for _, p := range []string{metrics, trace, cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("artifact %s missing: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("artifact %s is empty", p)
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"name": "test.stage"`) {
+		t.Errorf("trace export missing span: %s", data)
+	}
+}
+
+func TestLevelSelection(t *testing.T) {
+	cases := []struct {
+		f    Flags
+		want obs.Level
+	}{
+		{Flags{}, obs.LevelInfo},
+		{Flags{Verbose: true}, obs.LevelDebug},
+		{Flags{VVerbose: true}, obs.LevelTrace},
+		{Flags{Quiet: true, Verbose: true}, obs.LevelError},
+	}
+	for _, c := range cases {
+		if got := c.f.Level(); got != c.want {
+			t.Errorf("Level(%+v) = %v, want %v", c.f, got, c.want)
+		}
+	}
+}

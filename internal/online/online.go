@@ -8,6 +8,7 @@
 package online
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ml"
@@ -21,6 +22,17 @@ import (
 // recorded per detected trace. Consumers read it via
 // obs.DefaultRegistry.Snapshot().Histograms[AlarmLatencyMetric].
 const AlarmLatencyMetric = "online.alarm_latency_windows"
+
+// Event types published to obs.DefaultBus while monitoring, streamed
+// live by the telemetry server's /events endpoint.
+const (
+	// EventAlarm fires once per detected trace; Value is the alarm
+	// latency in seconds, Window the first alarmed window.
+	EventAlarm = "alarm"
+	// EventWindow fires per classified sampling window (only while the
+	// bus has subscribers); Value is the raw per-window verdict.
+	EventWindow = "window"
+)
 
 // Detection instruments: traces monitored, alarms raised, and the
 // window-granularity latency distribution of those alarms.
@@ -153,6 +165,7 @@ type options struct {
 	smoother     func() Smoother
 	samplePeriod float64
 	parallelism  int
+	ctx          context.Context
 }
 
 // Option configures Monitor and MonitorAll.
@@ -176,6 +189,14 @@ func WithSamplePeriod(seconds float64) Option {
 // process-wide default; 1 forces the serial path. Monitor ignores it.
 func WithParallelism(n int) Option {
 	return func(o *options) { o.parallelism = n }
+}
+
+// WithContext cancels MonitorAll early when ctx is done: traces not yet
+// claimed by a worker are skipped and the context error is returned.
+// This is how `hpcmal serve` propagates SIGINT/SIGTERM into in-flight
+// monitoring rounds.
+func WithContext(ctx context.Context) Option {
+	return func(o *options) { o.ctx = ctx }
 }
 
 func buildOptions(opts []Option) (options, error) {
@@ -218,7 +239,8 @@ func MonitorAll(clf ml.Classifier, traces []*trace.Trace, opts ...Option) ([]*Re
 	if err != nil {
 		return nil, err
 	}
-	return parallel.Map(parallel.Options{Name: "online.monitor", Workers: o.parallelism},
+	return parallel.Map(
+		parallel.Options{Name: "online.monitor", Workers: o.parallelism, Context: o.ctx},
 		len(traces), func(i int) (*Result, error) {
 			return monitor(clf, traces[i], o)
 		})
@@ -234,9 +256,15 @@ func monitor(clf ml.Classifier, tr *trace.Trace, o options) (*Result, error) {
 	}
 	sm.Reset()
 	mMonitors.Inc()
+	bus := obs.DefaultBus
 	res := &Result{Window: -1}
 	for i := range tr.Records {
 		pred := clf.Predict(tr.Records[i].Values())
+		// Per-window classification events only cost anything when a
+		// live /events stream is attached; Publish without subscribers
+		// is a single atomic load.
+		bus.Publish(obs.Event{Type: EventWindow, Sample: tr.SampleName,
+			Class: tr.Class.String(), Window: i, Value: float64(pred)})
 		if sm.Observe(pred) && !res.Detected {
 			res.Detected = true
 			res.Window = i
@@ -249,6 +277,9 @@ func monitor(clf ml.Classifier, tr *trace.Trace, o options) (*Result, error) {
 	if res.Detected {
 		mAlarms.Inc()
 		mAlarmLatency.Observe(float64(res.Window + 1))
+		bus.Publish(obs.Event{Type: EventAlarm, Sample: tr.SampleName,
+			Class: tr.Class.String(), Window: res.Window,
+			Value: res.LatencySeconds})
 		obs.Log().Debug("alarm raised", "sample", tr.SampleName,
 			"class", tr.Class.String(), "window", res.Window,
 			"latency_s", res.LatencySeconds)

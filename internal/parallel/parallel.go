@@ -17,9 +17,12 @@
 //	parallel.<name>.task_seconds   (histogram; Sum = busy seconds)
 //	parallel.<name>.run_seconds    (histogram; Sum = wall seconds)
 //	parallel.<name>.workers        (gauge; last configured worker count)
+//	parallel.<name>.busy_workers   (gauge; tasks running right now)
+//	parallel.<name>.tasks_done     (counter; tasks completed so far)
 //
 // so run manifests can report the effective per-stage speedup
-// (busy/wall).
+// (busy/wall), and a live /metrics scrape can watch a pool's occupancy
+// and progress while it runs.
 package parallel
 
 import (
@@ -149,11 +152,15 @@ func run(opt Options, n int, task func(i int) error, errs []error) {
 	}
 
 	var hTask, hRun *obs.Histogram
+	var gBusy *obs.Gauge
+	var cDone *obs.Counter
 	start := time.Now()
 	if opt.Name != "" {
 		hTask = obs.GetHistogram("parallel."+opt.Name+".task_seconds", obs.TimeBuckets)
 		hRun = obs.GetHistogram("parallel."+opt.Name+".run_seconds", obs.TimeBuckets)
 		obs.GetGauge("parallel." + opt.Name + ".workers").Set(float64(workers))
+		gBusy = obs.GetGauge("parallel." + opt.Name + ".busy_workers")
+		cDone = obs.GetCounter("parallel." + opt.Name + ".tasks_done")
 	}
 
 	var next, done atomic.Int64
@@ -168,11 +175,14 @@ func run(opt Options, n int, task func(i int) error, errs []error) {
 				failed.Store(true)
 			}
 		}()
+		gBusy.Add(1)
+		defer gBusy.Add(-1)
 		t0 := time.Now()
 		if err := task(i); err != nil {
 			failed.Store(true)
 		}
 		hTask.Observe(time.Since(t0).Seconds())
+		cDone.Inc()
 	}
 	worker := func() {
 		for {

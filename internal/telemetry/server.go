@@ -1,0 +1,268 @@
+// Package telemetry is the live window into a running detection
+// pipeline: an embeddable HTTP server that exposes the obs instruments
+// while a run is in flight instead of only after it exits.
+//
+// Endpoints:
+//
+//	/            endpoint index (plain text)
+//	/healthz     liveness: "ok" plus uptime
+//	/buildinfo   module version, VCS revision, Go version (JSON)
+//	/metrics     Prometheus text exposition 0.0.4 of the metrics registry
+//	/manifest    the in-flight run manifest (JSON)
+//	/events      live detection-event stream (NDJSON, or SSE on Accept)
+//	/debug/pprof CPU/heap/goroutine profiling (net/http/pprof)
+//
+// The server is started by the shared -listen flag for the duration of
+// any CLI run, and runs permanently under `hpcmal serve`.
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config wires a Server to its observability sources. Zero fields fall
+// back to the process-wide defaults.
+type Config struct {
+	// Registry feeds /metrics. Default obs.DefaultRegistry.
+	Registry *obs.Registry
+	// Tracer feeds the span export. Default obs.DefaultTracer.
+	Tracer *obs.Tracer
+	// Bus feeds /events. Default obs.DefaultBus.
+	Bus *obs.Bus
+	// EventBuffer is the per-stream subscription buffer (default 256);
+	// overflow drops the oldest undelivered events.
+	EventBuffer int
+}
+
+// Server serves the telemetry endpoints over HTTP.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	httpSrv  *http.Server
+	ln       net.Listener
+	started  time.Time
+	manifest atomic.Pointer[obs.Manifest]
+	// closing is closed on Shutdown so long-lived /events streams end
+	// promptly and let the graceful drain finish.
+	closing      chan struct{}
+	serveErr     chan error
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// New builds a server over the given sources without listening yet.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.DefaultRegistry
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = obs.DefaultTracer
+	}
+	if cfg.Bus == nil {
+		cfg.Bus = obs.DefaultBus
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		started:  time.Now(),
+		closing:  make(chan struct{}),
+		serveErr: make(chan error, 1),
+	}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/buildinfo", s.handleBuildInfo)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/manifest", s.handleManifest)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the server's routing handler (useful for tests).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetManifest publishes the in-flight run manifest on /manifest.
+func (s *Server) SetManifest(m *obs.Manifest) { s.manifest.Store(m) }
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// in a background goroutine until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() {
+		err := s.httpSrv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.serveErr <- err
+	}()
+	obs.Log().Info("telemetry server listening", "url", s.URL())
+	return nil
+}
+
+// Addr returns the bound listen address (empty before Start).
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns the server's base URL (empty before Start).
+func (s *Server) URL() string {
+	a := s.Addr()
+	if a == "" {
+		return ""
+	}
+	return "http://" + a
+}
+
+// Shutdown ends open event streams and gracefully drains the HTTP
+// server. Safe to call more than once; later calls return the first
+// call's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil || s.httpSrv == nil {
+		return nil
+	}
+	s.shutdownOnce.Do(func() {
+		close(s.closing)
+		err := s.httpSrv.Shutdown(ctx)
+		if serr := <-s.serveErr; err == nil {
+			err = serr
+		}
+		s.shutdownErr = err
+	})
+	return s.shutdownErr
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `hpcmal telemetry
+  /healthz      liveness
+  /buildinfo    binary identity (JSON)
+  /metrics      Prometheus text exposition
+  /manifest     in-flight run manifest (JSON)
+  /events       detection-event stream (NDJSON; SSE with Accept: text/event-stream)
+  /debug/pprof  profiling
+`)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok uptime_s=%.1f\n", time.Since(s.started).Seconds())
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(obs.Build())
+}
+
+// handleMetrics renders the registry as Prometheus text, appending the
+// server's own meta-series (build info, uptime, event-bus delivery and
+// drop totals) so scrapers see the stream health too.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WritePrometheus(w, s.cfg.Registry.Snapshot()); err != nil {
+		return
+	}
+	bi := obs.Build()
+	fmt.Fprintf(w, "# TYPE hpcmal_build_info gauge\nhpcmal_build_info{version=%q,revision=%q,go=%q} 1\n",
+		bi.Version, bi.Revision, bi.GoVersion)
+	fmt.Fprintf(w, "# TYPE hpcmal_uptime_seconds gauge\nhpcmal_uptime_seconds %g\n",
+		time.Since(s.started).Seconds())
+	fmt.Fprintf(w, "# TYPE obs_events_published_total counter\nobs_events_published_total %d\n",
+		s.cfg.Bus.Published())
+	fmt.Fprintf(w, "# TYPE obs_events_dropped_total counter\nobs_events_dropped_total %d\n",
+		s.cfg.Bus.Dropped())
+	fmt.Fprintf(w, "# TYPE obs_events_subscribers gauge\nobs_events_subscribers %d\n",
+		s.cfg.Bus.Subscribers())
+}
+
+func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
+	m := s.manifest.Load()
+	if m == nil {
+		http.Error(w, "no run manifest registered", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m)
+}
+
+// handleEvents streams bus events for as long as the client stays
+// connected: one JSON object per line (NDJSON) by default, or Server-Sent
+// Events when the client asks for text/event-stream. A slow client's
+// backlog is bounded by the subscription buffer — the bus drops the
+// oldest events rather than stalling the pipeline.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream") ||
+		r.URL.Query().Get("sse") == "1"
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sub := s.cfg.Bus.Subscribe(s.cfg.EventBuffer)
+	defer sub.Close()
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case e, ok := <-sub.Events():
+			if !ok {
+				return
+			}
+			if sse {
+				fmt.Fprint(w, "data: ")
+			}
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			if sse {
+				fmt.Fprint(w, "\n")
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return
+		}
+	}
+}
