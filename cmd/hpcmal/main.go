@@ -124,6 +124,8 @@ func cmdList() error {
 	fmt.Printf("  %s (Logistic = MLR)\n", strings.Join(core.MulticlassNames(), " "))
 	fmt.Println("emittable as Verilog:")
 	fmt.Printf("  %s\n", strings.Join(core.EmittableNames(), " "))
+	fmt.Println("compiled batch inference (internal/infer):")
+	fmt.Printf("  %s\n", strings.Join(core.CompilableNames(), " "))
 	fmt.Println("experiments:")
 	for _, d := range experiments.Catalog() {
 		fmt.Printf("  %-15s %s\n", d.ID, d.Title)

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/hw"
+	"repro/internal/infer"
 	"repro/internal/ml"
 	"repro/internal/ml/bayes"
 	"repro/internal/ml/linear"
@@ -24,9 +25,9 @@ type CompileFunc func(module string, c ml.Classifier, numAttrs int) (*hw.Comb, e
 // netlist compilers. Both are populated once by init below; adding a
 // model to every CLI command and figure runner is one register call.
 var (
-	registry     = ml.NewRegistry()
-	compilersMu  sync.RWMutex
-	compilers    = map[string]CompileFunc{}
+	registry    = ml.NewRegistry()
+	compilersMu sync.RWMutex
+	compilers   = map[string]CompileFunc{}
 )
 
 // register wires one classifier into the system: the generic spec
@@ -196,4 +197,21 @@ func CompileDetector(name, module string, c ml.Classifier, numAttrs int) (*hw.Co
 			name, EmittableNames())
 	}
 	return compile(module, c, numAttrs)
+}
+
+// CompilableNames lists the classifiers the batch-inference engine
+// (internal/infer) compiles, in registration order — the software
+// counterpart of EmittableNames.
+func CompilableNames() []string {
+	return registry.NamesWhere(func(s ml.Spec) bool {
+		return infer.Compilable(s.New(1))
+	})
+}
+
+// CompileProgram lowers a trained classifier into its flat
+// batch-inference program — the software twin of CompileDetector's
+// netlist lowering. Callers that may hold non-compiling classifiers
+// should fall back to ml.Batch on infer.ErrNotCompilable.
+func CompileProgram(c ml.Classifier) (*infer.Program, error) {
+	return infer.Compile(c)
 }

@@ -1,0 +1,262 @@
+package infer
+
+import "math"
+
+// The MLP label kernel spends about half its per-row budget in the
+// seven math.Exp calls behind the hidden-layer sigmoids, and each call
+// is a serial dependency chain the CPU cannot overlap across the
+// call boundary. exp4 evaluates four exponentials with their chains
+// interleaved in straight-line code, so the four rows of the blocked
+// kernel share the multiplier pipeline instead of waiting on it in
+// turn.
+//
+// Bit-equality with the interpreted path is non-negotiable, so exp4
+// does not use its own approximation: it replays the exact operation
+// sequence of the Go runtime's math.Exp for this architecture. On
+// amd64 that is the SLEEF-derived assembly in math/exp_amd64.s, which
+// picks a fused (FMA) or unfused (SSE) instruction sequence at
+// startup; expInit probes both replays against math.Exp and keeps
+// whichever one bit-matches. On architectures where neither replay
+// matches (arm64 and s390x ship different assembly), exp4 degrades to
+// four math.Exp calls — still correct, just without the interleaving
+// win. The probe and TestExp4MatchesMathExp pin the equality.
+
+// Constants transcribed from math/exp_amd64.s (SLEEF, public domain):
+// the ln2 split used for Cody-Waite reduction, the Taylor
+// coefficients, and the overflow bound.
+const (
+	expLog2E = 1.4426950408889634073599246810018920
+	expLn2U  = 0.69314718055966295651160180568695068359375
+	expLn2L  = 0.28235290563031577122588448175013436025525412068e-12
+	expOver  = 7.09782712893384e+02
+
+	expC8 = 2.4801587301587301587e-5
+	expC7 = 1.9841269841269841270e-4
+	expC6 = 1.3888888888888888889e-3
+	expC5 = 8.3333333333333333333e-3
+	expC4 = 4.1666666666666666667e-2
+	expC3 = 1.6666666666666666667e-1
+
+	expRound = 1.5 * (1 << 52)
+)
+
+// expLo bounds the fast path from below: anything smaller goes through
+// math.Exp directly, which keeps the denormal-result and huge-negative
+// ldexp cases out of the interleaved code. Sigmoid arguments never get
+// near it.
+const expLo = -700.0
+
+const (
+	expModeNone = iota // replay does not match this arch's math.Exp
+	expModeFMA
+	expModeSSE
+)
+
+var expMode = expInit()
+
+func expInit() int {
+	for _, mode := range []int{expModeFMA, expModeSSE} {
+		if expProbe(mode) {
+			return mode
+		}
+	}
+	return expModeNone
+}
+
+// expProbe bit-compares the mode's replay against math.Exp across a
+// deterministic sweep of the finite fast-path range, dense where
+// sigmoid arguments live and log-spaced out to the overflow and
+// underflow boundaries.
+func expProbe(mode int) bool {
+	probe := func(x float64) bool {
+		var e [4]float64
+		exp4m(&e, x, -x, x/3, x*0.9999, mode)
+		return e[0] == math.Exp(x) && e[1] == math.Exp(-x) &&
+			e[2] == math.Exp(x/3) && e[3] == math.Exp(x*0.9999)
+	}
+	for i := 0; i <= 4096; i++ {
+		if !probe(-32 + float64(i)*(64.0/4096)) {
+			return false
+		}
+	}
+	for x := 1e-300; x < 640; x *= 1.5 {
+		if !probe(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// exp4 fills e with math.Exp of the four arguments, bit for bit.
+func exp4(e *[4]float64, x0, x1, x2, x3 float64) {
+	exp4m(e, x0, x1, x2, x3, expMode)
+}
+
+func exp4m(e *[4]float64, x0, x1, x2, x3 float64, mode int) {
+	// The interleaved path handles finite arguments that produce
+	// normal results; NaN, ±Inf and both tails fail these comparisons
+	// and take the library call.
+	if mode == expModeNone ||
+		!(x0 > expLo && x0 <= expOver && x1 > expLo && x1 <= expOver &&
+			x2 > expLo && x2 <= expOver && x3 > expLo && x3 <= expOver) {
+		e[0] = math.Exp(x0)
+		e[1] = math.Exp(x1)
+		e[2] = math.Exp(x2)
+		e[3] = math.Exp(x3)
+		return
+	}
+
+	// Argument reduction: x = k*ln2 + r. CVTSD2SL rounds to nearest
+	// even; adding and subtracting 1.5*2^52 performs exactly that
+	// rounding for |v| < 2^51 without a function call, because the sum
+	// lands where the float64 grid spacing is 1.0 and the subtraction
+	// is exact.
+	r0 := expLog2E * x0
+	r1 := expLog2E * x1
+	r2 := expLog2E * x2
+	r3 := expLog2E * x3
+	k0 := int32((r0 + expRound) - expRound)
+	k1 := int32((r1 + expRound) - expRound)
+	k2 := int32((r2 + expRound) - expRound)
+	k3 := int32((r3 + expRound) - expRound)
+	f0, f1, f2, f3 := float64(k0), float64(k1), float64(k2), float64(k3)
+
+	var y0, y1, y2, y3 float64
+	if mode == expModeFMA {
+		x0 = math.FMA(-f0, expLn2U, x0)
+		x1 = math.FMA(-f1, expLn2U, x1)
+		x2 = math.FMA(-f2, expLn2U, x2)
+		x3 = math.FMA(-f3, expLn2U, x3)
+		x0 = math.FMA(-f0, expLn2L, x0)
+		x1 = math.FMA(-f1, expLn2L, x1)
+		x2 = math.FMA(-f2, expLn2L, x2)
+		x3 = math.FMA(-f3, expLn2L, x3)
+		x0 *= 0.0625
+		x1 *= 0.0625
+		x2 *= 0.0625
+		x3 *= 0.0625
+		t0, t1, t2, t3 := expC8, expC8, expC8, expC8
+		t0 = math.FMA(t0, x0, expC7)
+		t1 = math.FMA(t1, x1, expC7)
+		t2 = math.FMA(t2, x2, expC7)
+		t3 = math.FMA(t3, x3, expC7)
+		t0 = math.FMA(t0, x0, expC6)
+		t1 = math.FMA(t1, x1, expC6)
+		t2 = math.FMA(t2, x2, expC6)
+		t3 = math.FMA(t3, x3, expC6)
+		t0 = math.FMA(t0, x0, expC5)
+		t1 = math.FMA(t1, x1, expC5)
+		t2 = math.FMA(t2, x2, expC5)
+		t3 = math.FMA(t3, x3, expC5)
+		t0 = math.FMA(t0, x0, expC4)
+		t1 = math.FMA(t1, x1, expC4)
+		t2 = math.FMA(t2, x2, expC4)
+		t3 = math.FMA(t3, x3, expC4)
+		t0 = math.FMA(t0, x0, expC3)
+		t1 = math.FMA(t1, x1, expC3)
+		t2 = math.FMA(t2, x2, expC3)
+		t3 = math.FMA(t3, x3, expC3)
+		t0 = math.FMA(t0, x0, 0.5)
+		t1 = math.FMA(t1, x1, 0.5)
+		t2 = math.FMA(t2, x2, 0.5)
+		t3 = math.FMA(t3, x3, 0.5)
+		t0 = math.FMA(t0, x0, 1)
+		t1 = math.FMA(t1, x1, 1)
+		t2 = math.FMA(t2, x2, 1)
+		t3 = math.FMA(t3, x3, 1)
+		y0 = x0 * t0
+		y1 = x1 * t1
+		y2 = x2 * t2
+		y3 = x3 * t3
+		y0 = y0 * (2 + y0)
+		y1 = y1 * (2 + y1)
+		y2 = y2 * (2 + y2)
+		y3 = y3 * (2 + y3)
+		y0 = y0 * (2 + y0)
+		y1 = y1 * (2 + y1)
+		y2 = y2 * (2 + y2)
+		y3 = y3 * (2 + y3)
+		y0 = y0 * (2 + y0)
+		y1 = y1 * (2 + y1)
+		y2 = y2 * (2 + y2)
+		y3 = y3 * (2 + y3)
+		// The assembly fuses the last undouble with the +1.
+		y0 = math.FMA(y0, 2+y0, 1)
+		y1 = math.FMA(y1, 2+y1, 1)
+		y2 = math.FMA(y2, 2+y2, 1)
+		y3 = math.FMA(y3, 2+y3, 1)
+	} else {
+		// Unfused variant: every multiply and add rounds separately,
+		// exactly as the pre-FMA instruction sequence does.
+		x0 = x0 - f0*expLn2U
+		x1 = x1 - f1*expLn2U
+		x2 = x2 - f2*expLn2U
+		x3 = x3 - f3*expLn2U
+		x0 = x0 - f0*expLn2L
+		x1 = x1 - f1*expLn2L
+		x2 = x2 - f2*expLn2L
+		x3 = x3 - f3*expLn2L
+		x0 *= 0.0625
+		x1 *= 0.0625
+		x2 *= 0.0625
+		x3 *= 0.0625
+		t0 := expC8*x0 + expC7
+		t1 := expC8*x1 + expC7
+		t2 := expC8*x2 + expC7
+		t3 := expC8*x3 + expC7
+		t0 = t0*x0 + expC6
+		t1 = t1*x1 + expC6
+		t2 = t2*x2 + expC6
+		t3 = t3*x3 + expC6
+		t0 = t0*x0 + expC5
+		t1 = t1*x1 + expC5
+		t2 = t2*x2 + expC5
+		t3 = t3*x3 + expC5
+		t0 = t0*x0 + expC4
+		t1 = t1*x1 + expC4
+		t2 = t2*x2 + expC4
+		t3 = t3*x3 + expC4
+		t0 = t0*x0 + expC3
+		t1 = t1*x1 + expC3
+		t2 = t2*x2 + expC3
+		t3 = t3*x3 + expC3
+		t0 = t0*x0 + 0.5
+		t1 = t1*x1 + 0.5
+		t2 = t2*x2 + 0.5
+		t3 = t3*x3 + 0.5
+		t0 = t0*x0 + 1
+		t1 = t1*x1 + 1
+		t2 = t2*x2 + 1
+		t3 = t3*x3 + 1
+		y0 = x0 * t0
+		y1 = x1 * t1
+		y2 = x2 * t2
+		y3 = x3 * t3
+		for i := 0; i < 4; i++ {
+			y0 = y0 * (2 + y0)
+			y1 = y1 * (2 + y1)
+			y2 = y2 * (2 + y2)
+			y3 = y3 * (2 + y3)
+		}
+		y0 += 1
+		y1 += 1
+		y2 += 1
+		y3 += 1
+	}
+
+	e[0] = expScale(y0, k0)
+	e[1] = expScale(y1, k1)
+	e[2] = expScale(y2, k2)
+	e[3] = expScale(y3, k3)
+}
+
+// expScale returns fr * 2**k through exponent-field construction, with
+// the same overflow check the assembly's ldexp tail performs. The
+// fast-path bounds guarantee k is far from the denormal range.
+func expScale(fr float64, k int32) float64 {
+	b := k + 0x3FF
+	if b >= 0x7FF {
+		return math.Inf(1)
+	}
+	return fr * math.Float64frombits(uint64(b)<<52)
+}

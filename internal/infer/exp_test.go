@@ -1,0 +1,60 @@
+package infer
+
+import (
+	"math"
+	"testing"
+)
+
+// TestExp4MatchesMathExp pins exp4 bit-identical to math.Exp across a
+// dense sweep of the sigmoid argument range, the overflow/underflow
+// boundaries, and every special value. Bit-equality of the compiled
+// MLP kernel rests on this.
+func TestExp4MatchesMathExp(t *testing.T) {
+	check := func(x0, x1, x2, x3 float64) {
+		t.Helper()
+		var e [4]float64
+		exp4(&e, x0, x1, x2, x3)
+		for i, x := range [4]float64{x0, x1, x2, x3} {
+			want := math.Exp(x)
+			if math.Float64bits(e[i]) != math.Float64bits(want) {
+				t.Fatalf("exp4 lane %d: Exp(%g) = %x, want %x (mode %d)",
+					i, x, math.Float64bits(e[i]), math.Float64bits(want), expMode)
+			}
+		}
+	}
+	// Dense over [-64, 64), the range sigmoid arguments live in.
+	for i := 0; i < 1<<16; i += 4 {
+		f := func(j int) float64 { return -64 + float64(j)*(128.0/(1<<16)) }
+		check(f(i), f(i+1), f(i+2), f(i+3))
+	}
+	// Log-spaced out to both tails, past the fast-path bounds.
+	for x := 1e-308; x < 1e4; x *= 1.37 {
+		check(x, -x, x*0.317, -x*0.713)
+	}
+	// Boundaries and specials, including mixed fast/slow lanes.
+	specials := []float64{
+		0, math.Copysign(0, -1), 1, -1,
+		expOver, math.Nextafter(expOver, 1000), -expOver,
+		expLo, math.Nextafter(expLo, -1000), math.Nextafter(expLo, 0),
+		-745.2, -744.9, 709.7, 710.0,
+		math.Inf(1), math.Inf(-1), math.NaN(),
+		math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+	}
+	for _, a := range specials {
+		check(a, a, a, a)
+		check(a, 0.5, -0.5, a)
+	}
+}
+
+// TestExpProbePicksReplay documents that on platforms whose math.Exp
+// the replay covers (amd64), the probe selects an interleaved mode
+// rather than the math.Exp fallback. Skipped elsewhere: exp4 is still
+// correct there, just not accelerated.
+func TestExpProbePicksReplay(t *testing.T) {
+	if expMode == expModeNone {
+		t.Skip("no bit-identical replay for this architecture's math.Exp")
+	}
+	if expProbe(expMode) != true {
+		t.Fatalf("probe no longer matches selected mode %d", expMode)
+	}
+}

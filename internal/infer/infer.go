@@ -1,0 +1,310 @@
+// Package infer compiles trained classifiers into flat, allocation-free
+// prediction programs — the software twin of the internal/hw netlist
+// lowering. Where hw lowers a model onto comparators and MAC arrays for
+// the paper's FPGA study, infer lowers the same introspection surface
+// (tree.Export, oner.Rule, rules.Rules, Weights/Scaler, bayes.Params,
+// mlp.Weights) onto contiguous Go arrays walked without interface
+// dispatch: trees and rule lists become index-linked node/condition
+// arrays, the dense models become fused standardize-then-MAC kernels
+// over internal/mat row buffers.
+//
+// A compiled Program predicts batches with zero steady-state
+// allocations: per-batch scratch comes from an internal fixed-capacity
+// free list, so a single Program is safe to share across goroutines
+// (online.MonitorAll workers, parallel CV folds). Compiled output is bit-identical to the
+// interpreted Predict/Proba of the source classifier — the kernels
+// replay the same floating-point operations in the same order, they just
+// stop paying for pointer chasing, interface calls, and per-call
+// allocation. Label-only paths additionally skip the softmax/exp
+// normalization, which cannot change the argmax.
+package infer
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/ml/bayes"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/mlp"
+	"repro/internal/ml/oner"
+	"repro/internal/ml/rules"
+	"repro/internal/ml/tree"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+)
+
+// ErrNotCompilable reports a classifier type with no compiled kernel
+// (ensembles, KNN, anomaly detectors). Callers fall back to ml.Batch.
+var ErrNotCompilable = errors.New("infer: classifier has no compiled kernel")
+
+// ErrNoProba reports a Proba call on a program whose source classifier
+// is not a ml.ProbClassifier.
+var ErrNoProba = errors.New("infer: program does not support probabilities")
+
+// Compile/inference instruments, exported at /metrics as infer.*.
+var (
+	mCompiled       = obs.GetCounter("infer.programs_compiled")
+	mCompileSeconds = obs.GetHistogram("infer.compile_seconds", obs.TimeBuckets)
+	mRows           = obs.GetCounter("infer.rows_predicted")
+	mBatches        = obs.GetCounter("infer.batches")
+)
+
+// kernel is a compiled label predictor over validated batches.
+type kernel interface {
+	predict(dst []int, X [][]float64, s *scratch)
+}
+
+// probaKernel is implemented by kernels whose source model supports
+// ml.ProbClassifier; dst rows are caller-allocated, length NumClasses.
+type probaKernel interface {
+	proba(dst [][]float64, X [][]float64, s *scratch)
+}
+
+// scratch is the per-batch working memory drawn from the program's pool.
+type scratch struct {
+	z, h   []float64
+	oneDst [1]int
+	oneX   [1][]float64
+}
+
+// Program is a compiled classifier: flat model arrays plus a scratch
+// pool. It implements ml.BatchPredictor and ml.Model and is safe for
+// concurrent use — the model arrays are read-only after Compile and
+// every batch checks its scratch out of the pool.
+type Program struct {
+	name    string
+	dim     int
+	classes int
+	k       kernel
+	pk      probaKernel
+	pool    chan *scratch
+	newS    func() *scratch
+	rows    *obs.Counter
+}
+
+// Compile lowers a trained classifier into a Program. It returns
+// ml.ErrNotTrained for an untrained model and ErrNotCompilable for
+// classifier types without a kernel (use ml.Batch for those).
+func Compile(c ml.Classifier) (p *Program, err error) {
+	// Introspection accessors panic ml.ErrNotTrained on untrained
+	// models; the compile API surfaces that as a returned error.
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, ml.ErrNotTrained) {
+				p, err = nil, ml.ErrNotTrained
+				return
+			}
+			panic(r)
+		}
+	}()
+	start := time.Now()
+	var zLen, hLen int
+	var k kernel
+	switch m := c.(type) {
+	case *oner.OneR:
+		k = compileOneR(m)
+	case *tree.J48:
+		if k, err = compileTree(m.Export()); err != nil {
+			return nil, err
+		}
+	case *tree.REPTree:
+		if k, err = compileTree(m.Export()); err != nil {
+			return nil, err
+		}
+	case *rules.JRip:
+		k = compileJRip(m)
+	case *linear.Logistic:
+		k = compileDense(m, true)
+		zLen = m.Dim()
+	case *linear.SVM:
+		k = compileDense(m, false)
+		zLen = m.Dim()
+	case *bayes.NaiveBayes:
+		k = compileBayes(m)
+		zLen = m.Dim()
+	case *mlp.MLP:
+		km := compileMLP(m)
+		k = km
+		// The MLP label kernel runs rows four at a time, so it needs
+		// four standardize buffers and four hidden-activation buffers.
+		zLen = 4 * m.Dim()
+		hLen = 4 * km.hidden
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrNotCompilable, c)
+	}
+	mm, ok := c.(ml.Model)
+	if !ok {
+		return nil, fmt.Errorf("infer: %T does not implement ml.Model", c)
+	}
+	p = &Program{
+		name:    c.Name(),
+		dim:     mm.Dim(),
+		classes: mm.NumClasses(),
+		k:       k,
+		rows:    obs.GetCounter("infer." + strings.ToLower(c.Name()) + "_rows"),
+	}
+	p.pk, _ = k.(probaKernel)
+	if dk, ok := k.(*denseKernel); ok && !dk.hasProba() {
+		p.pk = nil // SVM margins are not probabilities
+	}
+	p.newS = func() *scratch {
+		return &scratch{z: make([]float64, zLen), h: make([]float64, hLen)}
+	}
+	// A small fixed-capacity free list instead of sync.Pool: Pool's
+	// per-P caches can miss under goroutine migration, and a miss here
+	// would cost an allocation on the hot path this package exists to
+	// keep at zero.
+	p.pool = make(chan *scratch, 16)
+	mCompiled.Inc()
+	mCompileSeconds.Observe(time.Since(start).Seconds())
+	return p, nil
+}
+
+// Compilable reports whether Compile has a kernel for this classifier
+// type. It does not require the model to be trained; the registry uses
+// it to advertise the compiled set from zero-value factories.
+func Compilable(c ml.Classifier) bool {
+	switch c.(type) {
+	case *oner.OneR, *tree.J48, *tree.REPTree, *rules.JRip,
+		*linear.Logistic, *linear.SVM, *bayes.NaiveBayes, *mlp.MLP:
+		return true
+	}
+	return false
+}
+
+// Name returns the source classifier's display name.
+func (p *Program) Name() string { return p.name }
+
+// Dim implements ml.Model.
+func (p *Program) Dim() int { return p.dim }
+
+// NumClasses implements ml.Model.
+func (p *Program) NumClasses() int { return p.classes }
+
+// HasProba reports whether Proba is supported (the source classifier is
+// a ml.ProbClassifier).
+func (p *Program) HasProba() bool { return p.pk != nil }
+
+func (p *Program) getScratch() *scratch {
+	select {
+	case s := <-p.pool:
+		return s
+	default:
+		return p.newS()
+	}
+}
+
+func (p *Program) putScratch(s *scratch) {
+	s.oneX[0] = nil
+	select {
+	case p.pool <- s:
+	default:
+	}
+}
+
+func (p *Program) checkBatch(n int, X [][]float64) error {
+	if n < len(X) {
+		return fmt.Errorf("infer: %s: dst holds %d results but X has %d rows", p.name, n, len(X))
+	}
+	for i, row := range X {
+		if len(row) != p.dim {
+			return fmt.Errorf("infer: %s: row %d has %d features, want %d", p.name, i, len(row), p.dim)
+		}
+	}
+	return nil
+}
+
+// Predict fills dst[i] with the predicted label for X[i]. It allocates
+// nothing in steady state and matches the interpreted Predict of the
+// source classifier bit for bit.
+func (p *Program) Predict(dst []int, X [][]float64) error {
+	if err := p.checkBatch(len(dst), X); err != nil {
+		return err
+	}
+	s := p.getScratch()
+	p.k.predict(dst[:len(X)], X, s)
+	p.putScratch(s)
+	p.rows.Add(int64(len(X)))
+	mRows.Add(int64(len(X)))
+	mBatches.Inc()
+	return nil
+}
+
+// PredictBatch implements ml.BatchPredictor.
+func (p *Program) PredictBatch(dst []int, X [][]float64) error { return p.Predict(dst, X) }
+
+// PredictOne predicts a single instance through the compiled kernel
+// without allocating.
+func (p *Program) PredictOne(x []float64) (int, error) {
+	if len(x) != p.dim {
+		return 0, fmt.Errorf("infer: %s: %d features, want %d", p.name, len(x), p.dim)
+	}
+	s := p.getScratch()
+	s.oneX[0] = x
+	p.k.predict(s.oneDst[:], s.oneX[:], s)
+	label := s.oneDst[0]
+	p.putScratch(s)
+	p.rows.Add(1)
+	mRows.Add(1)
+	return label, nil
+}
+
+// Proba fills dst[i] (caller-allocated, length NumClasses) with the
+// class-probability distribution for X[i], bit-identical to the source
+// classifier's Proba. Returns ErrNoProba when unsupported.
+func (p *Program) Proba(dst [][]float64, X [][]float64) error {
+	if p.pk == nil {
+		return fmt.Errorf("%w: %s", ErrNoProba, p.name)
+	}
+	if err := p.checkBatch(len(dst), X); err != nil {
+		return err
+	}
+	for i := range X {
+		if len(dst[i]) != p.classes {
+			return fmt.Errorf("infer: %s: dst row %d has %d slots, want %d", p.name, i, len(dst[i]), p.classes)
+		}
+	}
+	s := p.getScratch()
+	p.pk.proba(dst[:len(X)], X, s)
+	p.putScratch(s)
+	p.rows.Add(int64(len(X)))
+	mRows.Add(int64(len(X)))
+	mBatches.Inc()
+	return nil
+}
+
+// shardMin is the smallest batch worth splitting across workers; below
+// it the fan-out overhead beats the kernel time.
+const shardMin = 2048
+
+// PredictParallel is Predict with the batch sharded across the parallel
+// engine. workers follows parallel.Options semantics (0 = process-wide
+// default, 1 = inline). Small batches and single-worker runs take the
+// serial zero-alloc path; predictions are per-row independent, so the
+// result is identical at any worker count.
+func (p *Program) PredictParallel(dst []int, X [][]float64, workers int) error {
+	if workers == 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if workers <= 1 || len(X) < shardMin {
+		return p.Predict(dst, X)
+	}
+	shards := workers
+	if max := len(X) / (shardMin / 2); shards > max {
+		shards = max
+	}
+	per := (len(X) + shards - 1) / shards
+	return parallel.ForEach(
+		parallel.Options{Name: "infer.predict", Workers: workers},
+		shards, func(i int) error {
+			lo := i * per
+			hi := lo + per
+			if hi > len(X) {
+				hi = len(X)
+			}
+			return p.Predict(dst[lo:hi], X[lo:hi])
+		})
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/mat"
+	"repro/internal/ml"
 )
 
 // Detector scores instances by abnormality: higher means more anomalous.
@@ -136,7 +137,7 @@ func (m *Mahalanobis) Fit(benign [][]float64, quantile float64) error {
 // mean.
 func (m *Mahalanobis) Score(features []float64) float64 {
 	if !m.trained {
-		panic("anomaly: detector not fitted")
+		panic(ml.ErrNotTrained)
 	}
 	if m.LogTransform {
 		tr := make([]float64, len(features))
@@ -166,7 +167,7 @@ func (m *Mahalanobis) Detect(features []float64) bool {
 // Threshold returns the calibrated detection threshold.
 func (m *Mahalanobis) Threshold() float64 {
 	if !m.trained {
-		panic("anomaly: detector not fitted")
+		panic(ml.ErrNotTrained)
 	}
 	return m.threshold
 }
@@ -214,7 +215,7 @@ func (z *ZScore) Fit(benign [][]float64, quantile float64) error {
 // Score implements Detector.
 func (z *ZScore) Score(features []float64) float64 {
 	if !z.trained {
-		panic("anomaly: detector not fitted")
+		panic(ml.ErrNotTrained)
 	}
 	if z.LogTransform {
 		tr := make([]float64, len(features))

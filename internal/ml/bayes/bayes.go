@@ -18,6 +18,7 @@ type NaiveBayes struct {
 	LogTransform bool
 
 	numClasses int
+	dim        int
 	priors     []float64   // log priors
 	means      [][]float64 // [class][attr]
 	vars       [][]float64 // [class][attr], floored
@@ -59,6 +60,7 @@ func (nb *NaiveBayes) Train(x [][]float64, y []int, numClasses int) error {
 		x = tx
 	}
 	nb.numClasses = numClasses
+	nb.dim = dim
 	nb.priors = make([]float64, numClasses)
 	nb.means = make([][]float64, numClasses)
 	nb.vars = make([][]float64, numClasses)
@@ -158,4 +160,30 @@ func (nb *NaiveBayes) Proba(features []float64) []float64 {
 		scores[i] /= sum
 	}
 	return scores
+}
+
+// Dim implements ml.Model.
+func (nb *NaiveBayes) Dim() int {
+	if !nb.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return nb.dim
+}
+
+// NumClasses implements ml.Model.
+func (nb *NaiveBayes) NumClasses() int {
+	if !nb.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return nb.numClasses
+}
+
+// Params exposes the fitted model for compilation: log priors and the
+// per-class per-attribute Gaussian means and (floored) variances. The
+// returned slices are the live model; callers must not mutate them.
+func (nb *NaiveBayes) Params() (logPriors []float64, means, vars [][]float64) {
+	if !nb.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return nb.priors, nb.means, nb.vars
 }

@@ -4,11 +4,14 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/infer"
 	"repro/internal/ml"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -132,7 +135,27 @@ type Result struct {
 // Accuracy is shorthand for the confusion accuracy.
 func (r *Result) Accuracy() float64 { return r.Confusion.Accuracy() }
 
-// Evaluate runs a trained classifier over a test set.
+// batchPredict routes a test batch through the compiled inference
+// engine when the classifier has a kernel, and through the ml.Batch
+// interpreted fallback otherwise. An untrained model surfaces as
+// ml.ErrNotTrained either way.
+func batchPredict(c ml.Classifier, dst []int, X [][]float64) error {
+	if bp, ok := c.(ml.BatchPredictor); ok {
+		return bp.PredictBatch(dst, X)
+	}
+	p, err := infer.Compile(c)
+	if err == nil {
+		return p.PredictParallel(dst, X, 0)
+	}
+	if !errors.Is(err, infer.ErrNotCompilable) {
+		return err
+	}
+	return ml.Batch(c).PredictBatch(dst, X)
+}
+
+// Evaluate runs a trained classifier over a test set. Classifiers with a
+// compiled kernel (see internal/infer) predict the whole batch through
+// it; the rest fall back to per-row interpreted Predict.
 func Evaluate(c ml.Classifier, xTest [][]float64, yTest []int, numClasses int) (*Result, error) {
 	if len(xTest) != len(yTest) {
 		return nil, fmt.Errorf("eval: %d rows but %d labels", len(xTest), len(yTest))
@@ -142,8 +165,11 @@ func Evaluate(c ml.Classifier, xTest [][]float64, yTest []int, numClasses int) (
 	}
 	start := time.Now()
 	conf := NewConfusion(numClasses)
-	for i, x := range xTest {
-		p := c.Predict(x)
+	preds := make([]int, len(xTest))
+	if err := batchPredict(c, preds, xTest); err != nil {
+		return nil, fmt.Errorf("eval: %s: %w", c.Name(), err)
+	}
+	for i, p := range preds {
 		if p < 0 || p >= numClasses {
 			return nil, fmt.Errorf("eval: %s predicted out-of-range label %d", c.Name(), p)
 		}
@@ -224,54 +250,88 @@ func CrossValidate(factory func() ml.Classifier, x [][]float64, y []int,
 			fold[r] = i % folds
 		}
 	}
-	type foldResult struct {
-		name string
-		conf *Confusion
-	}
-	results, err := parallel.Map(
+	// Fold scratch — split slices, prediction buffer, and a per-fold
+	// confusion matrix — is pooled so concurrent workers each hold one
+	// set and successive folds on the same worker reuse it instead of
+	// reallocating ~len(x) slots per fold.
+	pool := sync.Pool{New: func() any { return &foldScratch{} }}
+	conf := NewConfusion(numClasses)
+	name := ""
+	var mu sync.Mutex
+	err := parallel.ForEach(
 		parallel.Options{Name: "eval.cv", Workers: o.workers},
-		folds, func(f int) (foldResult, error) {
-			var xtr, xte [][]float64
-			var ytr, yte []int
+		folds, func(f int) error {
+			s := pool.Get().(*foldScratch)
+			defer pool.Put(s)
+			s.reset(numClasses)
 			for i := range x {
 				if fold[i] == f {
-					xte = append(xte, x[i])
-					yte = append(yte, y[i])
+					s.xte = append(s.xte, x[i])
+					s.yte = append(s.yte, y[i])
 				} else {
-					xtr = append(xtr, x[i])
-					ytr = append(ytr, y[i])
+					s.xtr = append(s.xtr, x[i])
+					s.ytr = append(s.ytr, y[i])
 				}
 			}
 			c := factory()
 			foldStart := time.Now()
-			if err := c.Train(xtr, ytr, numClasses); err != nil {
-				return foldResult{}, fmt.Errorf("eval: CV fold %d: %w", f, err)
+			if err := c.Train(s.xtr, s.ytr, numClasses); err != nil {
+				return fmt.Errorf("eval: CV fold %d: %w", f, err)
 			}
 			mFoldsTrained.Inc()
 			mFoldSeconds.Observe(time.Since(foldStart).Seconds())
-			conf := NewConfusion(numClasses)
-			for i := range xte {
-				conf.Observe(yte[i], c.Predict(xte[i]))
+			if cap(s.preds) < len(s.xte) {
+				s.preds = make([]int, len(s.xte))
+			}
+			preds := s.preds[:len(s.xte)]
+			if err := batchPredict(c, preds, s.xte); err != nil {
+				return fmt.Errorf("eval: CV fold %d: %w", f, err)
+			}
+			for i, p := range preds {
+				s.conf.Observe(s.yte[i], p)
 			}
 			obs.Log().Debug("cv fold trained", "classifier", c.Name(), "fold", f, "folds", folds)
-			return foldResult{name: c.Name(), conf: conf}, nil
+			// Merge into the pooled matrix before releasing the scratch.
+			// Integer counts commute, so the pooled result is identical at
+			// any worker count and fold completion order.
+			mu.Lock()
+			name = c.Name()
+			for a := 0; a < numClasses; a++ {
+				for p := 0; p < numClasses; p++ {
+					conf.Counts[a][p] += s.conf.Counts[a][p]
+				}
+			}
+			mu.Unlock()
+			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	// Merge in fold order. Integer counts commute, but a fixed order keeps
-	// the path deterministic by construction, not by arithmetic accident.
-	conf := NewConfusion(numClasses)
-	name := ""
-	for _, fr := range results {
-		name = fr.name
-		for a := 0; a < numClasses; a++ {
-			for p := 0; p < numClasses; p++ {
-				conf.Counts[a][p] += fr.conf.Counts[a][p]
-			}
+	return &Result{Classifier: name, Confusion: conf}, nil
+}
+
+// foldScratch is one CV worker's reusable buffers.
+type foldScratch struct {
+	xtr, xte [][]float64
+	ytr, yte []int
+	preds    []int
+	conf     *Confusion
+}
+
+// reset empties the split slices (keeping capacity) and zeroes the
+// confusion matrix, reallocating it only on a class-count change.
+func (s *foldScratch) reset(numClasses int) {
+	s.xtr, s.xte = s.xtr[:0], s.xte[:0]
+	s.ytr, s.yte = s.ytr[:0], s.yte[:0]
+	if s.conf == nil || s.conf.NumClasses != numClasses {
+		s.conf = NewConfusion(numClasses)
+		return
+	}
+	for _, row := range s.conf.Counts {
+		for i := range row {
+			row[i] = 0
 		}
 	}
-	return &Result{Classifier: name, Confusion: conf}, nil
 }
 
 // WriteReport renders a per-class classification report (precision,

@@ -237,6 +237,22 @@ func (lg *Logistic) Weights() [][]float64 {
 	return lg.w
 }
 
+// Dim implements ml.Model.
+func (lg *Logistic) Dim() int {
+	if !lg.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return lg.dim
+}
+
+// NumClasses implements ml.Model.
+func (lg *Logistic) NumClasses() int {
+	if !lg.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return lg.k
+}
+
 // SVM is a linear SVM trained with Pegasos; multiclass via one-vs-rest.
 type SVM struct {
 	// Lambda is the Pegasos regularization (default 1e-4).
@@ -354,6 +370,22 @@ func (s *SVM) Weights() [][]float64 {
 		panic(ml.ErrNotTrained)
 	}
 	return s.w
+}
+
+// Dim implements ml.Model.
+func (s *SVM) Dim() int {
+	if !s.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return s.dim
+}
+
+// NumClasses implements ml.Model.
+func (s *SVM) NumClasses() int {
+	if !s.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return s.k
 }
 
 // Scaler exposes the internal standardization statistics (means, stddevs)

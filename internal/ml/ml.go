@@ -19,13 +19,22 @@ import (
 
 // Classifier is a trainable multiclass classifier over dense float
 // features. Labels are ints in [0, numClasses).
+//
+// Untrained-model contract: every method other than Name and Train
+// requires a prior successful Train. A method that cannot return an
+// error (Predict, Proba, introspection accessors) panics with
+// ErrNotTrained when called early; a method that can return an error
+// (PredictBatch, infer.Compile, hw compilers) returns ErrNotTrained
+// instead. No implementation silently returns a zero-value prediction
+// from an untrained model.
 type Classifier interface {
 	// Name returns the classifier's display name (WEKA-style).
 	Name() string
 	// Train fits the model. Implementations must not retain X or y.
 	Train(x [][]float64, y []int, numClasses int) error
 	// Predict returns the predicted label for one instance. Predict must
-	// only be called after a successful Train.
+	// only be called after a successful Train; it panics with
+	// ErrNotTrained otherwise.
 	Predict(features []float64) int
 }
 
@@ -37,7 +46,59 @@ type ProbClassifier interface {
 	Proba(features []float64) []float64
 }
 
-// ErrNotTrained is returned/panicked by models used before Train.
+// Model reports the shape a classifier was trained with. All classifiers
+// in this repository implement it after a successful Train (and panic
+// with ErrNotTrained before one); consumers such as internal/infer and
+// internal/hw use it to size buffers without re-deriving dimensions from
+// data.
+type Model interface {
+	// Dim returns the feature dimensionality seen at Train time.
+	Dim() int
+	// NumClasses returns the number of classes seen at Train time.
+	NumClasses() int
+}
+
+// BatchPredictor predicts many instances in one call. dst must have
+// len(X); implementations fill dst[i] with the label for X[i] and are
+// free to use internal scratch, so a single BatchPredictor must not be
+// assumed goroutine-safe unless documented otherwise (infer.Program is).
+// PredictBatch returns ErrNotTrained — rather than panicking — when the
+// model has not been trained.
+type BatchPredictor interface {
+	PredictBatch(dst []int, X [][]float64) error
+}
+
+// Batch adapts any Classifier to the BatchPredictor interface by looping
+// over Predict. It is the fallback for classifiers that have no compiled
+// program; callers that want the fast path should try infer.Compile
+// first. The adapter converts an ErrNotTrained panic from Predict into a
+// returned error, honoring the batch half of the untrained contract.
+func Batch(c Classifier) BatchPredictor { return batchAdapter{c} }
+
+type batchAdapter struct{ c Classifier }
+
+func (b batchAdapter) PredictBatch(dst []int, X [][]float64) (err error) {
+	if len(dst) < len(X) {
+		return fmt.Errorf("ml: dst holds %d labels but X has %d rows", len(dst), len(X))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, ErrNotTrained) {
+				err = ErrNotTrained
+				return
+			}
+			panic(r)
+		}
+	}()
+	for i, row := range X {
+		dst[i] = b.c.Predict(row)
+	}
+	return nil
+}
+
+// ErrNotTrained is the sentinel for models used before Train: panicked
+// by single-instance methods that cannot return an error, returned by
+// batch and compile APIs that can. See the Classifier contract.
 var ErrNotTrained = errors.New("ml: classifier not trained")
 
 // CheckTrainingSet validates the common preconditions shared by every

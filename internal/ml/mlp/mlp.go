@@ -240,3 +240,38 @@ func (m *MLP) Topology() (in, hidden, out int) {
 	}
 	return m.dim, m.hidden, m.k
 }
+
+// Dim implements ml.Model.
+func (m *MLP) Dim() int {
+	if !m.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return m.dim
+}
+
+// NumClasses implements ml.Model.
+func (m *MLP) NumClasses() int {
+	if !m.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return m.k
+}
+
+// Weights exposes the fitted layers for compilation: w1 is
+// [hidden][dim+1] and w2 is [classes][hidden+1], biases last. The
+// returned slices are the live model; callers must not mutate them.
+func (m *MLP) Weights() (w1, w2 [][]float64) {
+	if !m.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return m.w1, m.w2
+}
+
+// Scaler exposes the internal standardization statistics (means,
+// stddevs) fitted at training time, mirroring linear.Logistic.Scaler.
+func (m *MLP) Scaler() (means, stddevs []float64) {
+	if !m.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return m.mean, m.sd
+}

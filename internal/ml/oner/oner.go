@@ -27,6 +27,8 @@ type OneR struct {
 	thresholds []float64 // interval upper bounds (exclusive), ascending
 	labels     []int     // len(thresholds)+1 interval labels
 	fallback   int       // majority class, for degenerate cases
+	dim        int
+	numClasses int
 	trained    bool
 }
 
@@ -69,8 +71,34 @@ func (o *OneR) Train(x [][]float64, y []int, numClasses int) error {
 	if bestErrs > len(y) {
 		return fmt.Errorf("oner: no usable attribute found")
 	}
+	o.dim, o.numClasses = dim, numClasses
 	o.trained = true
 	return nil
+}
+
+// Dim implements ml.Model.
+func (o *OneR) Dim() int {
+	if !o.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return o.dim
+}
+
+// NumClasses implements ml.Model.
+func (o *OneR) NumClasses() int {
+	if !o.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return o.numClasses
+}
+
+// Fallback returns the majority-class label used when the selected
+// attribute is missing from an instance.
+func (o *OneR) Fallback() int {
+	if !o.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return o.fallback
 }
 
 // buildRule discretizes attribute a with Holte's algorithm and returns the

@@ -7,9 +7,9 @@ import (
 
 type stubClassifier struct{ seed uint64 }
 
-func (s *stubClassifier) Name() string                               { return "Stub" }
-func (s *stubClassifier) Train(x [][]float64, y []int, k int) error  { return nil }
-func (s *stubClassifier) Predict(features []float64) int             { return 0 }
+func (s *stubClassifier) Name() string                              { return "Stub" }
+func (s *stubClassifier) Train(x [][]float64, y []int, k int) error { return nil }
+func (s *stubClassifier) Predict(features []float64) int            { return 0 }
 
 func stubFactory(seed uint64) Classifier { return &stubClassifier{seed: seed} }
 

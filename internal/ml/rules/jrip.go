@@ -84,6 +84,8 @@ type JRip struct {
 
 	rules        []Rule
 	defaultLabel int
+	dim          int
+	numClasses   int
 	trained      bool
 }
 
@@ -95,9 +97,11 @@ func (j *JRip) Name() string { return "JRip" }
 
 // Train implements ml.Classifier.
 func (j *JRip) Train(x [][]float64, y []int, numClasses int) error {
-	if _, err := ml.CheckTrainingSet(x, y, numClasses); err != nil {
+	dim, err := ml.CheckTrainingSet(x, y, numClasses)
+	if err != nil {
 		return err
 	}
+	j.dim, j.numClasses = dim, numClasses
 	if j.MaxRulesPerClass <= 0 {
 		j.MaxRulesPerClass = 16
 	}
@@ -327,6 +331,22 @@ func (j *JRip) DefaultLabel() int {
 		panic(ml.ErrNotTrained)
 	}
 	return j.defaultLabel
+}
+
+// Dim implements ml.Model.
+func (j *JRip) Dim() int {
+	if !j.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return j.dim
+}
+
+// NumClasses implements ml.Model.
+func (j *JRip) NumClasses() int {
+	if !j.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return j.numClasses
 }
 
 // NumConditions returns the total number of threshold literals across all

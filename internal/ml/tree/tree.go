@@ -245,8 +245,10 @@ type J48 struct {
 	// MaxDepth bounds tree depth (0 = unlimited).
 	MaxDepth int
 
-	root    *node
-	trained bool
+	root       *node
+	dim        int
+	numClasses int
+	trained    bool
 }
 
 // NewJ48 returns a J48 with WEKA's default parameters.
@@ -257,9 +259,11 @@ func (j *J48) Name() string { return "J48" }
 
 // Train implements ml.Classifier.
 func (j *J48) Train(x [][]float64, y []int, numClasses int) error {
-	if _, err := ml.CheckTrainingSet(x, y, numClasses); err != nil {
+	dim, err := ml.CheckTrainingSet(x, y, numClasses)
+	if err != nil {
 		return err
 	}
+	j.dim, j.numClasses = dim, numClasses
 	if j.MinLeaf <= 0 {
 		j.MinLeaf = 2
 	}
@@ -398,6 +402,22 @@ func (j *J48) Depth() int {
 	return j.root.depth()
 }
 
+// Dim implements ml.Model.
+func (j *J48) Dim() int {
+	if !j.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return j.dim
+}
+
+// NumClasses implements ml.Model.
+func (j *J48) NumClasses() int {
+	if !j.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return j.numClasses
+}
+
 // --- REPTree ---
 
 // REPTree is WEKA's fast tree learner: information-gain splits and
@@ -413,8 +433,10 @@ type REPTree struct {
 	// Seed controls the prune-set draw.
 	Seed uint64
 
-	root    *node
-	trained bool
+	root       *node
+	dim        int
+	numClasses int
+	trained    bool
 }
 
 // NewREPTree returns a REPTree with WEKA-like defaults.
@@ -425,9 +447,11 @@ func (r *REPTree) Name() string { return "REPTree" }
 
 // Train implements ml.Classifier.
 func (r *REPTree) Train(x [][]float64, y []int, numClasses int) error {
-	if _, err := ml.CheckTrainingSet(x, y, numClasses); err != nil {
+	dim, err := ml.CheckTrainingSet(x, y, numClasses)
+	if err != nil {
 		return err
 	}
+	r.dim, r.numClasses = dim, numClasses
 	if r.MinLeaf <= 0 {
 		r.MinLeaf = 2
 	}
@@ -519,6 +543,22 @@ func (r *REPTree) Leaves() int {
 		panic(ml.ErrNotTrained)
 	}
 	return r.root.leaves()
+}
+
+// Dim implements ml.Model.
+func (r *REPTree) Dim() int {
+	if !r.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return r.dim
+}
+
+// NumClasses implements ml.Model.
+func (r *REPTree) NumClasses() int {
+	if !r.trained {
+		panic(ml.ErrNotTrained)
+	}
+	return r.numClasses
 }
 
 // ExportedNode is one node of a trained tree in export form. Leaf nodes

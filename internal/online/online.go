@@ -9,8 +9,10 @@ package online
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"repro/internal/infer"
 	"repro/internal/ml"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -216,37 +218,67 @@ func buildOptions(opts []Option) (options, error) {
 	return o, nil
 }
 
+// compileOnce lowers the classifier into its batch-inference program
+// when it has a compiled kernel. A nil program means "interpret"; an
+// untrained model is reported up front instead of panicking per window.
+func compileOnce(clf ml.Classifier) (*infer.Program, error) {
+	if clf == nil {
+		return nil, fmt.Errorf("online: nil classifier")
+	}
+	prog, err := infer.Compile(clf)
+	switch {
+	case err == nil:
+		return prog, nil
+	case errors.Is(err, infer.ErrNotCompilable):
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("online: compiling %s: %w", clf.Name(), err)
+	}
+}
+
 // Monitor replays a trace through a trained binary classifier and a
 // decision smoother, returning when (if ever) the alarm fires. The
 // classifier must have been trained on the same event set as the trace,
 // with binary labels (1 = malware). With no options it smooths through a
 // default MajorityVoter at the paper's 10 ms sampling period.
+// Classifiers with a compiled kernel (see internal/infer) run each
+// window through the compiled program.
 func Monitor(clf ml.Classifier, tr *trace.Trace, opts ...Option) (*Result, error) {
 	o, err := buildOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return monitor(clf, tr, o)
+	prog, err := compileOnce(clf)
+	if err != nil {
+		return nil, err
+	}
+	return monitor(clf, prog, tr, o)
 }
 
 // MonitorAll monitors every trace concurrently and returns the results in
 // trace order. Each trace gets its own smoother instance, so the results
 // are identical to calling Monitor on each trace serially, at any worker
-// count. The classifier is shared across workers: Predict must be
-// read-only (every classifier in this repository is).
+// count. The classifier is compiled once and the program shared across
+// workers (a Program is goroutine-safe); interpreted fallbacks share the
+// classifier, whose Predict must be read-only (every classifier in this
+// repository is).
 func MonitorAll(clf ml.Classifier, traces []*trace.Trace, opts ...Option) ([]*Result, error) {
 	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := compileOnce(clf)
 	if err != nil {
 		return nil, err
 	}
 	return parallel.Map(
 		parallel.Options{Name: "online.monitor", Workers: o.parallelism, Context: o.ctx},
 		len(traces), func(i int) (*Result, error) {
-			return monitor(clf, traces[i], o)
+			return monitor(clf, prog, traces[i], o)
 		})
 }
 
-func monitor(clf ml.Classifier, tr *trace.Trace, o options) (*Result, error) {
+func monitor(clf ml.Classifier, prog *infer.Program, tr *trace.Trace, o options) (*Result, error) {
 	if clf == nil || tr == nil {
 		return nil, fmt.Errorf("online: nil argument")
 	}
@@ -258,8 +290,23 @@ func monitor(clf ml.Classifier, tr *trace.Trace, o options) (*Result, error) {
 	mMonitors.Inc()
 	bus := obs.DefaultBus
 	res := &Result{Window: -1}
+	// One feature buffer per trace, refilled in place each window,
+	// instead of a fresh Values() slice per 10 ms sample.
+	var vals []float64
+	if len(tr.Records) > 0 {
+		vals = make([]float64, 0, len(tr.Records[0].Readings))
+	}
 	for i := range tr.Records {
-		pred := clf.Predict(tr.Records[i].Values())
+		vals = tr.Records[i].AppendValues(vals[:0])
+		var pred int
+		if prog != nil {
+			var err error
+			if pred, err = prog.PredictOne(vals); err != nil {
+				return nil, fmt.Errorf("online: %s window %d: %w", tr.SampleName, i, err)
+			}
+		} else {
+			pred = clf.Predict(vals)
+		}
 		// Per-window classification events only cost anything when a
 		// live /events stream is attached; Publish without subscribers
 		// is a single atomic load.

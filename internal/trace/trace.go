@@ -107,11 +107,17 @@ type Record struct {
 
 // Values returns the reading values in event order.
 func (r *Record) Values() []float64 {
-	out := make([]float64, len(r.Readings))
-	for i, rd := range r.Readings {
-		out[i] = rd.Value
+	return r.AppendValues(make([]float64, 0, len(r.Readings)))
+}
+
+// AppendValues appends the reading values in event order to dst and
+// returns the extended slice. Callers on hot paths pass a reused
+// buffer's dst[:0] to avoid the per-window allocation Values incurs.
+func (r *Record) AppendValues(dst []float64) []float64 {
+	for _, rd := range r.Readings {
+		dst = append(dst, rd.Value)
 	}
-	return out
+	return dst
 }
 
 // Trace is the full measurement of one application sample.
