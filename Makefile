@@ -2,7 +2,7 @@
 
 BENCHTIME ?= 10x
 
-.PHONY: build test race bench bench-baseline serve
+.PHONY: build test race bench bench-baseline bench-diff serve
 
 build:
 	go build ./...
@@ -24,6 +24,13 @@ bench:
 # moved the numbers.
 bench-baseline:
 	go test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | go run ./cmd/benchjson -o BENCH_baseline.json
+
+# bench-diff is the perf regression gate: rerun the suite and fail if
+# any benchmark shared with BENCH_baseline.json slowed by more than 20%
+# ns/op (override with THRESHOLD=N).
+THRESHOLD ?= 20
+bench-diff:
+	go test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | go run ./cmd/benchjson -diff BENCH_baseline.json -threshold $(THRESHOLD)
 
 # serve runs the online detector daemon with live telemetry on :9090.
 serve:

@@ -8,6 +8,14 @@
 // custom metrics (the repository's benchmarks report headline accuracy
 // and area figures that way). `make bench` wraps this; the committed
 // BENCH_baseline.json is the trajectory seed future PRs diff against.
+//
+// With -diff, benchjson instead compares the run on stdin against a
+// committed baseline and exits non-zero when any shared benchmark's
+// ns/op regressed by more than -threshold percent (default 20):
+//
+//	go test -bench=. ./... | go run ./cmd/benchjson -diff BENCH_baseline.json
+//
+// `make bench-diff` wraps that as the perf regression gate.
 package main
 
 import (
@@ -23,14 +31,14 @@ import (
 
 // Benchmark is one normalized benchmark result.
 type Benchmark struct {
-	Pkg        string             `json:"pkg"`
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs,omitempty"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64           `json:"allocs_per_op,omitempty"`
-	Custom     map[string]float64 `json:"custom,omitempty"`
+	Pkg         string             `json:"pkg"`
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Custom      map[string]float64 `json:"custom,omitempty"`
 }
 
 // File is the normalized document.
@@ -43,6 +51,8 @@ type File struct {
 
 func main() {
 	out := flag.String("o", "", "output path (default stdout)")
+	diff := flag.String("diff", "", "baseline JSON `file` to compare against; exits 1 on regression")
+	threshold := flag.Float64("threshold", 20, "ns/op regression `percent` that fails a -diff")
 	flag.Parse()
 
 	doc := parse(bufio.NewScanner(os.Stdin))
@@ -53,6 +63,25 @@ func main() {
 		}
 		return a.Name < b.Name
 	})
+
+	if *diff != "" {
+		raw, err := os.ReadFile(*diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base File
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *diff, err)
+			os.Exit(1)
+		}
+		report, regressed := diffDocs(base, doc, *threshold)
+		fmt.Print(report)
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -71,6 +100,58 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks normalized\n", len(doc.Benchmarks))
+}
+
+// diffDocs compares a fresh run against a committed baseline, benchmark
+// by benchmark, and reports ns/op deltas. A benchmark regresses when its
+// ns/op exceeds the baseline by more than threshold percent; benchmarks
+// present on only one side are reported but never fail the diff (the
+// suite grows every PR, and CI machines differ from the baseline host).
+func diffDocs(base, cur File, threshold float64) (string, bool) {
+	key := func(b Benchmark) string { return b.Pkg + " " + b.Name }
+	baseline := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[key(b)] = b
+	}
+	var sb strings.Builder
+	regressed := false
+	compared := 0
+	for _, b := range cur.Benchmarks {
+		old, ok := baseline[key(b)]
+		if !ok {
+			fmt.Fprintf(&sb, "  new      %-60s %12.1f ns/op\n", key(b), b.NsPerOp)
+			continue
+		}
+		delete(baseline, key(b))
+		if old.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		pct := (b.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		verdict := "ok"
+		if pct > threshold {
+			verdict, regressed = "REGRESS", true
+		} else if pct < -threshold {
+			verdict = "faster"
+		}
+		fmt.Fprintf(&sb, "  %-8s %-60s %12.1f -> %12.1f ns/op (%+.1f%%)\n",
+			verdict, key(b), old.NsPerOp, b.NsPerOp, pct)
+	}
+	missing := make([]string, 0, len(baseline))
+	for k := range baseline {
+		missing = append(missing, k)
+	}
+	sort.Strings(missing)
+	for _, k := range missing {
+		fmt.Fprintf(&sb, "  missing  %s\n", k)
+	}
+	status := "ok"
+	if regressed {
+		status = "REGRESSION"
+	}
+	fmt.Fprintf(&sb, "benchjson diff: %d compared, threshold %.0f%%: %s\n",
+		compared, threshold, status)
+	return sb.String(), regressed
 }
 
 func parse(sc *bufio.Scanner) File {

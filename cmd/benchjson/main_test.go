@@ -44,3 +44,52 @@ garbage line
 		t.Errorf("second pkg = %+v", doc.Benchmarks[2])
 	}
 }
+
+func TestDiffDocs(t *testing.T) {
+	base := File{Benchmarks: []Benchmark{
+		{Pkg: "repro", Name: "BenchmarkStable", NsPerOp: 100},
+		{Pkg: "repro", Name: "BenchmarkFaster", NsPerOp: 100},
+		{Pkg: "repro", Name: "BenchmarkGone", NsPerOp: 50},
+	}}
+	cur := File{Benchmarks: []Benchmark{
+		{Pkg: "repro", Name: "BenchmarkStable", NsPerOp: 115},
+		{Pkg: "repro", Name: "BenchmarkFaster", NsPerOp: 40},
+		{Pkg: "repro", Name: "BenchmarkNew", NsPerOp: 10},
+	}}
+
+	report, regressed := diffDocs(base, cur, 20)
+	if regressed {
+		t.Fatalf("+15%% within a 20%% threshold regressed:\n%s", report)
+	}
+	for _, want := range []string{
+		"ok       repro BenchmarkStable",
+		"faster   repro BenchmarkFaster",
+		"new      repro BenchmarkNew",
+		"missing  repro BenchmarkGone",
+		"2 compared, threshold 20%: ok",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Past the threshold the diff fails.
+	report, regressed = diffDocs(base, File{Benchmarks: []Benchmark{
+		{Pkg: "repro", Name: "BenchmarkStable", NsPerOp: 121},
+	}}, 20)
+	if !regressed || !strings.Contains(report, "REGRESS  repro BenchmarkStable") {
+		t.Fatalf("+21%% did not regress:\n%s", report)
+	}
+
+	// New and missing benchmarks alone never fail the gate, and zero
+	// baselines are skipped rather than divided by.
+	report, regressed = diffDocs(
+		File{Benchmarks: []Benchmark{{Pkg: "p", Name: "BenchmarkZero"}}},
+		File{Benchmarks: []Benchmark{
+			{Pkg: "p", Name: "BenchmarkZero", NsPerOp: 999},
+			{Pkg: "p", Name: "BenchmarkNew", NsPerOp: 1},
+		}}, 20)
+	if regressed || !strings.Contains(report, "0 compared") {
+		t.Fatalf("structural-only diff regressed:\n%s", report)
+	}
+}

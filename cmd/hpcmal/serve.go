@@ -9,9 +9,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/core"
+	"repro/internal/flightrec"
 	"repro/internal/obs"
 	"repro/internal/online"
+	"repro/internal/quality"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -54,9 +57,22 @@ func runServe(ctx context.Context, args []string) error {
 	windows := fs.Int("windows", 32, "sampling windows per monitored trace")
 	rounds := fs.Int("rounds", 0, "replay rounds before exiting (0 = run until SIGINT/SIGTERM)")
 	interval := fs.Duration("interval", 0, "pause between replay rounds")
+	rulesPath := fs.String("rules", "", "alert rule JSON `file` evaluated against the metric registry (see README)")
+	alertInterval := fs.Duration("alert-interval", 2*time.Second, "alert-rule evaluation interval")
+	incidentDir := fs.String("incident-dir", "", "write flight-recorder incident dumps to `dir` on alarms, firing alerts and panics")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var rules []alert.Rule
+	if *rulesPath != "" {
+		raw, err := os.ReadFile(*rulesPath)
+		if err != nil {
+			return fmt.Errorf("serve: reading -rules: %w", err)
+		}
+		if rules, err = alert.ParseRules(raw); err != nil {
+			return err
+		}
 	}
 	// A telemetry daemon without its server would be pointless; default
 	// the shared -listen flag instead of requiring it.
@@ -67,7 +83,7 @@ func runServe(ctx context.Context, args []string) error {
 		return err
 	}
 	srv := of.Server()
-	fmt.Printf("telemetry on %s (/metrics /events /healthz /buildinfo /manifest /debug/pprof)\n", srv.URL())
+	fmt.Printf("telemetry on %s (/metrics /events /quality /drift /alerts /healthz /buildinfo /manifest /debug/flightrecorder /debug/pprof)\n", srv.URL())
 
 	// Train the detector once, up front.
 	sp := obs.StartSpan("serve.train")
@@ -89,6 +105,36 @@ func runServe(ctx context.Context, args []string) error {
 	sp.End()
 	obs.Log().Info("detector trained", "classifier", *classifier,
 		"rows", tbl.NumInstances())
+
+	// Model-quality observability: sketch the training distribution into
+	// the manifest, then score and drift-check the labeled replay live.
+	base, err := quality.CaptureBaseline(tbl.Attributes, rows, 16)
+	if err != nil {
+		return err
+	}
+	if of.manifest.Baseline, err = base.JSON(); err != nil {
+		return err
+	}
+	board := quality.NewScoreboard(quality.Config{})
+	driftDet, err := quality.NewDriftDetector(base, quality.DriftConfig{})
+	if err != nil {
+		return err
+	}
+	rec := flightrec.New(flightrec.Config{Dir: *incidentDir, Manifest: of.manifest})
+	defer rec.DumpOnPanic()
+	// Alarms trip the recorder via the bus; firing alert rules via the
+	// engine's hook (each dump named after the rule that fired).
+	go rec.Watch(ctx, obs.DefaultBus, online.EventAlarm)
+	eng := alert.New(rules, alert.WithOnFire(func(st alert.RuleStatus) {
+		rec.TryDump("alert-" + st.Rule.Name)
+	}))
+	go eng.Run(ctx, *alertInterval)
+	srv.SetQuality(func() any { return board.Snapshot() })
+	srv.SetDrift(func() any { return driftDet.Snapshot() })
+	srv.SetAlerts(func() any { return eng.Snapshot() })
+	srv.SetFlightRecorder(func() any { return rec.Snapshot() })
+	obs.Log().Info("model-quality observability armed",
+		"alert_rules", len(rules), "incident_dir", *incidentDir)
 	if serveReady != nil {
 		serveReady(srv)
 	}
@@ -113,9 +159,24 @@ loop:
 				rsp.End()
 				return err
 			}
+			// The replay is labeled — serve collects each trace knowing its
+			// class — so every window scores the scoreboard, feeds drift
+			// detection, and lands in the flight recorder's ring.
+			actual := 0
+			if class.IsMalware() {
+				actual = 1
+			}
+			observer := func(o online.WindowObservation) {
+				board.Observe(actual, o.Pred, o.Score)
+				driftDet.Observe(o.Values)
+				rec.RecordWindow(flightrec.WindowRecord{Sample: o.Sample,
+					Class: o.Class, Window: o.Window, Predicted: o.Pred,
+					Score: o.Score, Values: o.Values})
+			}
 			results, err := online.MonitorAll(clf, traces,
 				online.WithSamplePeriod(cfg.SamplePeriod),
-				online.WithContext(ctx))
+				online.WithContext(ctx),
+				online.WithWindowObserver(observer))
 			if err != nil {
 				if ctx.Err() != nil {
 					// Cancelled mid-round by a signal: not a failure.
@@ -132,6 +193,10 @@ loop:
 			}
 		}
 		rsp.End()
+		// Rotate the sliding windows once per replay round: the scoreboard
+		// and drift detector report over the last 8 rounds.
+		board.Advance()
+		driftDet.Advance()
 		obs.Log().Info("replay round complete", "round", round+1,
 			"alarms_total", alarms)
 		if *rounds == 0 || round+1 < *rounds {
@@ -149,6 +214,12 @@ loop:
 
 	of.manifest.Config["classifier"] = *classifier
 	of.manifest.Config["rounds"] = fmt.Sprint(round)
+	if *rulesPath != "" {
+		of.manifest.Config["rules"] = *rulesPath
+	}
+	if *incidentDir != "" {
+		of.manifest.Config["incident_dir"] = *incidentDir
+	}
 	if err := of.writeManifest("", *seed, *scale, nil, 0, 0); err != nil {
 		return err
 	}

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -159,5 +161,255 @@ func TestVersionPrints(t *testing.T) {
 	}
 	if s := bi.String(); s == "" {
 		t.Error("empty version banner")
+	}
+}
+
+// TestServeModelQualityStack is the acceptance path for the model-quality
+// layer: a bounded serve with an alert rule file and an incident
+// directory must (1) score the labeled replay on /quality, (2) expose
+// PSI/KS per counter on /drift, (3) fire the alert rule onto the bus,
+// and (4) leave an incident JSON dump behind.
+func TestServeModelQualityStack(t *testing.T) {
+	dir := t.TempDir()
+	rulesPath := filepath.Join(dir, "rules.json")
+	// online.monitors is a counter that moves immediately, so the rule
+	// fires on the first evaluation tick.
+	if err := os.WriteFile(rulesPath, []byte(`[
+		{"name": "replay-started", "metric": "online.monitors", "op": ">", "threshold": 0,
+		 "severity": "info", "msg": "traces are being monitored"}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	incidents := filepath.Join(dir, "incidents")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Unbounded rounds: the test cancels once it has seen everything, so
+	// the endpoints stay up for the whole assertion sequence.
+	srv, errc := startServe(t, ctx, []string{
+		"-scale", "0.01", "-perclass", "1", "-windows", "16",
+		"-rules", rulesPath, "-alert-interval", "100ms",
+		"-incident-dir", incidents, "-quiet"})
+
+	getJSON := func(path string, out any) {
+		t.Helper()
+		deadline := time.Now().Add(120 * time.Second)
+		for {
+			resp, err := http.Get(srv.URL() + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				if err := json.Unmarshal(body, out); err != nil {
+					t.Fatalf("%s not JSON: %v\n%s", path, err, body)
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s = %d %s", path, resp.StatusCode, body)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Wait for the first round to finish (rotation 1) so the scoreboard
+	// and drift detector have a full window of labeled replay.
+	var q struct {
+		Rotations      int64   `json:"rotations"`
+		WindowObserved int64   `json:"window_observed"`
+		Accuracy       float64 `json:"accuracy"`
+		Confusion      [][]int `json:"confusion"`
+		F1             float64 `json:"f1"`
+		Calibration    []any   `json:"calibration"`
+	}
+	deadline := time.Now().Add(180 * time.Second)
+	for q.Rotations == 0 || q.WindowObserved == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("/quality never reported a scored window")
+		}
+		getJSON("/quality", &q)
+		time.Sleep(100 * time.Millisecond)
+	}
+	if len(q.Confusion) != 2 || len(q.Calibration) == 0 {
+		t.Fatalf("/quality = %+v", q)
+	}
+	if q.Accuracy <= 0 || q.Accuracy > 1 {
+		t.Fatalf("accuracy = %v", q.Accuracy)
+	}
+
+	var d struct {
+		WindowObserved int64 `json:"window_observed"`
+		Bins           int   `json:"bins"`
+		Features       []struct {
+			Name string  `json:"name"`
+			PSI  float64 `json:"psi"`
+			KS   float64 `json:"ks"`
+		} `json:"features"`
+	}
+	getJSON("/drift", &d)
+	if d.WindowObserved == 0 || len(d.Features) == 0 || d.Features[0].Name == "" {
+		t.Fatalf("/drift = %+v", d)
+	}
+
+	// The rule fires once monitoring has begun.
+	var a struct {
+		Firing int `json:"firing"`
+		Rules  []struct {
+			State string `json:"state"`
+			Rule  struct {
+				Name string `json:"name"`
+			} `json:"rule"`
+		} `json:"rules"`
+	}
+	for a.Firing == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("alert rule never fired")
+		}
+		getJSON("/alerts", &a)
+		time.Sleep(50 * time.Millisecond)
+	}
+	if a.Rules[0].Rule.Name != "replay-started" || a.Rules[0].State != "firing" {
+		t.Fatalf("/alerts = %+v", a)
+	}
+
+	// The firing rule (and any alarms) left incident dumps behind.
+	var files []string
+	for len(files) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no incident dump written")
+		}
+		files, _ = filepath.Glob(filepath.Join(incidents, "incident-*.json"))
+		time.Sleep(50 * time.Millisecond)
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc struct {
+		Reason   string `json:"reason"`
+		Build    any    `json:"build"`
+		Manifest *obs.Manifest
+		Metrics  struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &inc); err != nil {
+		t.Fatalf("incident not JSON: %v", err)
+	}
+	if inc.Reason == "" || inc.Build == nil || inc.Manifest == nil {
+		t.Fatalf("incident = %+v", inc)
+	}
+	if inc.Metrics.Counters["online.monitors"] == 0 {
+		t.Fatal("incident metrics snapshot empty")
+	}
+
+	// The flight recorder debug endpoint serves its rings live.
+	var fr struct {
+		Reason  string `json:"reason"`
+		Windows []any  `json:"windows"`
+	}
+	getJSON("/debug/flightrecorder", &fr)
+	if fr.Reason != "snapshot" {
+		t.Fatalf("/debug/flightrecorder = %+v", fr)
+	}
+
+	// The manifest embeds the training baseline for drift provenance.
+	var man obs.Manifest
+	getJSON("/manifest", &man)
+	if len(man.Baseline) == 0 {
+		t.Fatal("manifest missing training baseline")
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exit: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("serve did not exit")
+	}
+}
+
+// TestServeQualityDeterministicAcrossParallelism pins the determinism
+// contract end to end: the same bounded replay at -parallel 1 and
+// -parallel 8 produces identical confusion matrices and drift PSI,
+// because every quality update is a commutative count.
+func TestServeQualityDeterministicAcrossParallelism(t *testing.T) {
+	run := func(workers string) (qBody, dBody string) {
+		t.Helper()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		ready := make(chan *telemetry.Server, 1)
+		serveReady = func(s *telemetry.Server) { ready <- s }
+		defer func() { serveReady = nil }()
+		errc := make(chan error, 1)
+		// -rounds 2 with a long -interval: after the first round the loop
+		// parks in the inter-round pause, freezing the scoreboard at
+		// rotation 1 so both runs are scraped in an identical state.
+		go func() {
+			errc <- runServe(ctx, []string{
+				"-scale", "0.01", "-perclass", "1", "-windows", "8",
+				"-rounds", "2", "-interval", "120s",
+				"-parallel", workers, "-quiet"})
+		}()
+		var srv *telemetry.Server
+		select {
+		case srv = <-ready:
+		case err := <-errc:
+			t.Fatalf("serve exited early: %v", err)
+		case <-time.After(120 * time.Second):
+			t.Fatal("serve never ready")
+		}
+		// Let the bounded run finish, then scrape before shutdown: poll
+		// until rotations reaches the round count.
+		deadline := time.Now().Add(180 * time.Second)
+		for {
+			resp, err := http.Get(srv.URL() + "/quality")
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var q struct {
+				Rotations int64 `json:"rotations"`
+			}
+			if resp.StatusCode == 200 && json.Unmarshal(body, &q) == nil && q.Rotations >= 1 {
+				qBody = string(body)
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("quality window never rotated")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		resp, err := http.Get(srv.URL() + "/drift")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		dBody = string(body)
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("serve exit: %v", err)
+			}
+		case <-time.After(120 * time.Second):
+			t.Fatal("serve did not exit")
+		}
+		return qBody, dBody
+	}
+
+	q1, d1 := run("1")
+	q8, d8 := run("8")
+	if q1 != q8 {
+		t.Errorf("/quality differs between -parallel 1 and 8:\n--- 1 ---\n%s\n--- 8 ---\n%s", q1, q8)
+	}
+	if d1 != d8 {
+		t.Errorf("/drift differs between -parallel 1 and 8:\n--- 1 ---\n%s\n--- 8 ---\n%s", d1, d8)
 	}
 }

@@ -1,0 +1,243 @@
+package flightrec
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func testRecorder(t *testing.T, cfg Config) *Recorder {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	return New(cfg)
+}
+
+func TestRecorderRingAndDump(t *testing.T) {
+	dir := t.TempDir()
+	r := testRecorder(t, Config{Dir: dir, WindowDepth: 4, EventDepth: 2})
+	// Overfill the window ring: only the newest 4 survive, oldest-first.
+	for i := 0; i < 6; i++ {
+		r.RecordWindow(WindowRecord{Window: i, Predicted: i % 2, Score: float64(i) / 10,
+			Sample: "rootkit_001", Values: []float64{float64(i), 2}})
+	}
+	r.RecordEvent(obs.Event{Type: "window", Window: 4})
+	r.RecordEvent(obs.Event{Type: "alarm", Window: 5})
+	r.RecordEvent(obs.Event{Type: "drift", Window: 5}) // evicts "window"
+
+	path, err := r.Dump("alarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "incident-0001-alarm.json"); path != want {
+		t.Fatalf("path = %q, want %q", path, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc Incident
+	if err := json.Unmarshal(data, &inc); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Reason != "alarm" || inc.Seq != 1 || inc.TimeUnixMS == 0 {
+		t.Fatalf("incident header = %+v", inc)
+	}
+	if len(inc.Windows) != 4 || inc.Windows[0].Window != 2 || inc.Windows[3].Window != 5 {
+		t.Fatalf("windows = %+v, want [2 3 4 5]", inc.Windows)
+	}
+	if len(inc.Events) != 2 || inc.Events[0].Type != "alarm" || inc.Events[1].Type != "drift" {
+		t.Fatalf("events = %+v", inc.Events)
+	}
+	if inc.Build == nil || inc.Build.GoVersion == "" {
+		t.Fatal("build info missing from incident")
+	}
+	if inc.Windows[0].Values[0] != 2 {
+		t.Fatalf("window values = %v", inc.Windows[0].Values)
+	}
+}
+
+func TestRecordWindowCopiesValues(t *testing.T) {
+	r := testRecorder(t, Config{})
+	buf := []float64{1, 2, 3}
+	r.RecordWindow(WindowRecord{Window: 0, Values: buf})
+	buf[0] = 99 // caller reuses its buffer
+	if got := r.Snapshot().Windows[0].Values[0]; got != 1 {
+		t.Fatalf("recorded value mutated to %v; Values not copied", got)
+	}
+}
+
+func TestTryDumpCooldownAndCap(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	r := New(Config{Dir: dir, Cooldown: time.Hour, MaxIncidents: 2, Registry: reg})
+	if p := r.TryDump("alarm"); p == "" {
+		t.Fatal("first dump suppressed")
+	}
+	if p := r.TryDump("alarm"); p != "" {
+		t.Fatalf("cooldown did not suppress: %q", p)
+	}
+	if got := reg.Counter(SuppressedMetric).Value(); got != 1 {
+		t.Errorf("suppressed counter = %d, want 1", got)
+	}
+
+	// With no cooldown the cap still binds.
+	r2 := New(Config{Dir: t.TempDir(), Cooldown: time.Nanosecond, MaxIncidents: 2, Registry: obs.NewRegistry()})
+	time.Sleep(time.Millisecond)
+	r2.TryDump("a")
+	time.Sleep(time.Millisecond)
+	r2.TryDump("b")
+	time.Sleep(time.Millisecond)
+	if p := r2.TryDump("c"); p != "" {
+		t.Fatalf("cap did not suppress: %q", p)
+	}
+}
+
+func TestDumpWithoutDir(t *testing.T) {
+	r := New(Config{Registry: obs.NewRegistry()})
+	if _, err := r.Dump("alarm"); err == nil {
+		t.Fatal("dump without a directory did not error")
+	}
+	if p := r.TryDump("alarm"); p != "" {
+		t.Fatalf("TryDump without a directory wrote %q", p)
+	}
+}
+
+func TestNilRecorderInert(t *testing.T) {
+	var r *Recorder
+	r.RecordWindow(WindowRecord{Window: 1})
+	r.RecordEvent(obs.Event{Type: "alarm"})
+	if p := r.TryDump("alarm"); p != "" {
+		t.Fatal("nil recorder dumped")
+	}
+	if _, err := r.Dump("alarm"); err == nil {
+		t.Fatal("nil recorder Dump did not error")
+	}
+	if snap := r.Snapshot(); len(snap.Windows) != 0 {
+		t.Fatal("nil recorder snapshot not empty")
+	}
+	r.Watch(context.Background(), nil) // returns immediately
+	r.DumpOnPanic()                    // no-op when not panicking
+}
+
+func TestWatchDumpsOnTrigger(t *testing.T) {
+	dir := t.TempDir()
+	bus := obs.NewBus()
+	r := testRecorder(t, Config{Dir: dir})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Watch(ctx, bus, "alarm")
+	}()
+	// Wait for the subscription before publishing.
+	deadline := time.After(2 * time.Second)
+	for !bus.Active() {
+		select {
+		case <-deadline:
+			t.Fatal("watcher never subscribed")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	bus.Publish(obs.Event{Type: "window", Window: 1})
+	bus.Publish(obs.Event{Type: "alarm", Sample: "rootkit_001", Window: 2})
+	var files []string
+	deadline = time.After(2 * time.Second)
+	for len(files) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no incident written for alarm event")
+		case <-time.After(5 * time.Millisecond):
+			files, _ = filepath.Glob(filepath.Join(dir, "incident-*.json"))
+		}
+	}
+	if !strings.Contains(files[0], "-alarm.json") {
+		t.Fatalf("incident file = %v", files)
+	}
+	var inc Incident
+	data, _ := os.ReadFile(files[0])
+	if err := json.Unmarshal(data, &inc); err != nil {
+		t.Fatal(err)
+	}
+	// The watcher records events into the ring before dumping, so the
+	// non-trigger "window" event is in the incident too.
+	if len(inc.Events) < 2 || inc.Events[0].Type != "window" || inc.Events[1].Type != "alarm" {
+		t.Fatalf("incident events = %+v", inc.Events)
+	}
+	cancel()
+	<-done
+}
+
+func TestDumpOnPanic(t *testing.T) {
+	dir := t.TempDir()
+	r := testRecorder(t, Config{Dir: dir})
+	r.RecordWindow(WindowRecord{Window: 7})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("DumpOnPanic swallowed the panic")
+			}
+		}()
+		defer r.DumpOnPanic()
+		panic("kernel took the counters away")
+	}()
+	files, _ := filepath.Glob(filepath.Join(dir, "incident-*-panic.json"))
+	if len(files) != 1 {
+		t.Fatalf("panic incidents = %v", files)
+	}
+	var inc Incident
+	data, _ := os.ReadFile(files[0])
+	if err := json.Unmarshal(data, &inc); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(inc.Stack, "kernel took the counters away") ||
+		!strings.Contains(inc.Stack, "goroutine") {
+		t.Fatalf("panic stack missing: %q", inc.Stack)
+	}
+	if len(inc.Windows) != 1 || inc.Windows[0].Window != 7 {
+		t.Fatalf("panic incident windows = %+v", inc.Windows)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"alarm":                  "alarm",
+		"alert-FPR High!":        "alert-fpr-high-",
+		"":                       "incident",
+		"a/b\\c..d":              "a-b-c--d",
+		strings.Repeat("x", 100): strings.Repeat("x", 48),
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestManifestEmbedded(t *testing.T) {
+	m := obs.NewManifest("hpcmal", "serve")
+	m.Config["model"] = "bayes"
+	r := testRecorder(t, Config{Manifest: m})
+	path, err := r.Dump("alarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc Incident
+	data, _ := os.ReadFile(path)
+	if err := json.Unmarshal(data, &inc); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Manifest == nil || inc.Manifest.Command != "serve" || inc.Manifest.Config["model"] != "bayes" {
+		t.Fatalf("manifest = %+v", inc.Manifest)
+	}
+}

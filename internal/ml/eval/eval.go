@@ -108,6 +108,63 @@ func (c *Confusion) F1(class int) float64 {
 	return 2 * p * r / (p + r)
 }
 
+// FalsePositiveRate returns, for one class, the fraction of instances of
+// every other class that were predicted as this class: FP / (FP + TN).
+// For the binary detector (class 1 = malware) this is the false-alarm
+// rate on benign windows — the operational cost the online smoothing
+// exists to bound. Returns 0 when no other-class instances were observed.
+func (c *Confusion) FalsePositiveRate(class int) float64 {
+	fp, others := 0, 0
+	for a := 0; a < c.NumClasses; a++ {
+		if a == class {
+			continue
+		}
+		for p, v := range c.Counts[a] {
+			others += v
+			if p == class {
+				fp += v
+			}
+		}
+	}
+	if others == 0 {
+		return 0
+	}
+	return float64(fp) / float64(others)
+}
+
+// MacroF1 averages F1 over all classes, weighting each class equally
+// regardless of support — the headline that degrades first when a rare
+// class's detection quality collapses.
+func (c *Confusion) MacroF1() float64 {
+	if c.NumClasses == 0 {
+		return 0
+	}
+	sum := 0.0
+	for k := 0; k < c.NumClasses; k++ {
+		sum += c.F1(k)
+	}
+	return sum / float64(c.NumClasses)
+}
+
+// Merge adds other's counts into c. Integer counts commute, so merging
+// per-shard matrices in any order yields the same pooled result — the
+// property the streaming quality scoreboard and parallel CV rely on.
+func (c *Confusion) Merge(other *Confusion) error {
+	if other == nil {
+		return nil
+	}
+	if other.NumClasses != c.NumClasses {
+		return fmt.Errorf("eval: merging %d-class confusion into %d-class",
+			other.NumClasses, c.NumClasses)
+	}
+	for a := range other.Counts {
+		for p, v := range other.Counts[a] {
+			c.Counts[a][p] += v
+		}
+	}
+	return nil
+}
+
 // String renders the matrix with actual classes as rows.
 func (c *Confusion) String() string {
 	var b strings.Builder

@@ -53,6 +53,52 @@ func TestConfusionEmptyClass(t *testing.T) {
 	if c.Recall(2) != 0 || c.Precision(2) != 0 || c.F1(2) != 0 {
 		t.Fatal("empty class metrics not zero")
 	}
+	if c.FalsePositiveRate(0) != 0 {
+		t.Fatal("FPR with no other-class instances not zero")
+	}
+}
+
+func TestConfusionFPRMacroF1Merge(t *testing.T) {
+	c := NewConfusion(2)
+	// actual 0 (benign): 8 TN, 2 FP; actual 1 (malware): 6 TP, 4 FN.
+	for i := 0; i < 8; i++ {
+		c.Observe(0, 0)
+	}
+	for i := 0; i < 2; i++ {
+		c.Observe(0, 1)
+	}
+	for i := 0; i < 6; i++ {
+		c.Observe(1, 1)
+	}
+	for i := 0; i < 4; i++ {
+		c.Observe(1, 0)
+	}
+	if got := c.FalsePositiveRate(1); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("FPR(malware) = %v, want 0.2", got)
+	}
+	if got := c.FalsePositiveRate(0); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("FPR(benign) = %v, want 0.4", got)
+	}
+	want := (c.F1(0) + c.F1(1)) / 2
+	if got := c.MacroF1(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MacroF1 = %v, want %v", got, want)
+	}
+
+	other := NewConfusion(2)
+	other.Observe(1, 1)
+	other.Observe(0, 1)
+	if err := c.Merge(other); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 22 || c.Counts[1][1] != 7 || c.Counts[0][1] != 3 {
+		t.Errorf("merged counts = %v", c.Counts)
+	}
+	if err := c.Merge(NewConfusion(3)); err == nil {
+		t.Error("merging mismatched class counts did not error")
+	}
+	if err := c.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
 }
 
 func TestTrainAndTest(t *testing.T) {

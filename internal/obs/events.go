@@ -45,6 +45,12 @@ type Bus struct {
 	nsubs     atomic.Int32
 	published atomic.Int64
 	dropped   atomic.Int64
+
+	// Registry mirrors installed by AttachMetrics (nil until then).
+	// Counter and Gauge methods are nil-safe, so Publish needs no check.
+	mPublished *Counter
+	mDropped   *Counter
+	gSubs      *Gauge
 }
 
 // NewBus returns an empty bus.
@@ -54,6 +60,38 @@ func NewBus() *Bus { return &Bus{} }
 // alarm and window-classification events here; the telemetry server's
 // /events endpoint subscribes to it.
 var DefaultBus = NewBus()
+
+func init() {
+	// Make the default bus's drop-oldest accounting a first-class metric:
+	// scrapers of any exposition of DefaultRegistry see drops instead of
+	// losing events invisibly.
+	DefaultBus.AttachMetrics(DefaultRegistry)
+}
+
+// Registry metric names published by AttachMetrics.
+const (
+	EventsPublishedMetric   = "obs.events_published"
+	EventsDroppedMetric     = "obs.events_dropped"
+	EventsSubscribersMetric = "obs.events_subscribers"
+)
+
+// AttachMetrics mirrors the bus's delivery accounting into a metrics
+// registry: events delivered and events discarded by drop-oldest
+// backpressure become counters (per-run, subject to Registry.Reset) and
+// the live subscriber count a gauge. DefaultBus is attached to
+// DefaultRegistry at init; attaching again (e.g. to a private registry in
+// tests) replaces the previous mirror.
+func (b *Bus) AttachMetrics(r *Registry) {
+	if b == nil || r == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mPublished = r.Counter(EventsPublishedMetric)
+	b.mDropped = r.Counter(EventsDroppedMetric)
+	b.gSubs = r.Gauge(EventsSubscribersMetric)
+	b.gSubs.Set(float64(len(b.subs)))
+}
 
 // PublishEvent publishes e on the default bus.
 func PublishEvent(e Event) { DefaultBus.Publish(e) }
@@ -104,6 +142,7 @@ func (b *Bus) Publish(e Event) {
 		return
 	}
 	b.published.Add(1)
+	b.mPublished.Inc()
 	for _, s := range b.subs {
 		for {
 			select {
@@ -115,6 +154,7 @@ func (b *Bus) Publish(e Event) {
 				case <-s.ch:
 					s.dropped.Add(1)
 					b.dropped.Add(1)
+					b.mDropped.Inc()
 				default:
 				}
 				continue
@@ -138,6 +178,7 @@ func (b *Bus) Subscribe(buffer int) *Subscription {
 	b.mu.Lock()
 	b.subs = append(b.subs, s)
 	b.nsubs.Store(int32(len(b.subs)))
+	b.gSubs.Set(float64(len(b.subs)))
 	b.mu.Unlock()
 	return s
 }
@@ -187,6 +228,7 @@ func (s *Subscription) Close() {
 		}
 	}
 	b.nsubs.Store(int32(len(b.subs)))
+	b.gSubs.Set(float64(len(b.subs)))
 	// Publish sends only under b.mu, so closing here cannot race a send.
 	close(s.ch)
 }

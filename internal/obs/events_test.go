@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -73,6 +74,57 @@ func TestBusDropOldest(t *testing.T) {
 	}
 	if b.Published() != 10 {
 		t.Fatalf("published = %d, want 10", b.Published())
+	}
+}
+
+// TestBusAttachMetrics pins the registry mirror: delivery, drop-oldest and
+// subscriber accounting become scrapeable metrics instead of private
+// atomics (drops used to be invisible to /metrics consumers).
+func TestBusAttachMetrics(t *testing.T) {
+	b := NewBus()
+	r := NewRegistry()
+	b.AttachMetrics(r)
+	sub := b.Subscribe(4)
+	if got := r.Gauge(EventsSubscribersMetric).Value(); got != 1 {
+		t.Fatalf("subscribers gauge = %g, want 1", got)
+	}
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Type: "window", Window: i})
+	}
+	if got := r.Counter(EventsPublishedMetric).Value(); got != 10 {
+		t.Errorf("published counter = %d, want 10", got)
+	}
+	if got := r.Counter(EventsDroppedMetric).Value(); got != 6 {
+		t.Errorf("dropped counter = %d, want 6", got)
+	}
+	sub.Close()
+	if got := r.Gauge(EventsSubscribersMetric).Value(); got != 0 {
+		t.Errorf("subscribers gauge after close = %g, want 0", got)
+	}
+	// The mirror must render in the Prometheus exposition of the registry.
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"obs_events_dropped_total 6", "obs_events_published_total 10"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestDefaultBusMetricsWired checks the init-time wiring of DefaultBus to
+// DefaultRegistry (re-attaching first, since other tests may have moved
+// the mirror to a private registry).
+func TestDefaultBusMetricsWired(t *testing.T) {
+	DefaultBus.AttachMetrics(DefaultRegistry)
+	before := GetCounter(EventsDroppedMetric).Value()
+	sub := DefaultBus.Subscribe(1)
+	defer sub.Close()
+	DefaultBus.Publish(Event{Type: "window"})
+	DefaultBus.Publish(Event{Type: "window"})
+	if got := GetCounter(EventsDroppedMetric).Value(); got != before+1 {
+		t.Errorf("default-registry dropped counter moved by %d, want 1", got-before)
 	}
 }
 

@@ -15,15 +15,15 @@ import (
 // times, and headline row counts — so every generated dataset or
 // reproduced figure is auditable and comparable across runs.
 type Manifest struct {
-	Tool      string            `json:"tool"`
-	Command   string            `json:"command"`
-	Args      []string          `json:"args,omitempty"`
-	Seed      uint64            `json:"seed"`
-	Scale     float64           `json:"scale,omitempty"`
-	Config    map[string]string `json:"config,omitempty"`
-	Outputs   []string          `json:"outputs,omitempty"`
-	Rows      int               `json:"rows,omitempty"`
-	Samples   int               `json:"samples,omitempty"`
+	Tool    string            `json:"tool"`
+	Command string            `json:"command"`
+	Args    []string          `json:"args,omitempty"`
+	Seed    uint64            `json:"seed"`
+	Scale   float64           `json:"scale,omitempty"`
+	Config  map[string]string `json:"config,omitempty"`
+	Outputs []string          `json:"outputs,omitempty"`
+	Rows    int               `json:"rows,omitempty"`
+	Samples int               `json:"samples,omitempty"`
 	// Workers is the process-wide parallel worker bound the run used
 	// (the -parallel flag; 0 when the run predates the flag).
 	Workers   int             `json:"workers,omitempty"`
@@ -35,6 +35,12 @@ type Manifest struct {
 	// Build records the producing binary's identity (module version, VCS
 	// revision and dirty flag) so artifacts are traceable to a commit.
 	Build *BuildInfo `json:"build,omitempty"`
+	// Baseline is the train-time feature-distribution baseline captured
+	// by model-quality observability (see internal/quality): per-counter
+	// mean/std and fixed-bin histogram sketches that online drift
+	// detection compares live traffic against. Stored raw so obs stays
+	// free of model-domain types; quality.BaselineFromJSON decodes it.
+	Baseline json.RawMessage `json:"baseline,omitempty"`
 
 	start time.Time
 }

@@ -52,7 +52,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		var cum int64
 		for i, bound := range h.Buckets {
 			cum += h.Counts[i]
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum)
+			fmt.Fprintf(&b, "%s_bucket{le=%s} %d\n", pn, QuoteLabel(promFloat(bound)), cum)
 		}
 		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
 		fmt.Fprintf(&b, "%s_sum %s\n", pn, promFloat(h.Sum))
@@ -82,4 +82,30 @@ func promName(name string) string {
 
 func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// QuoteLabel renders a label value as a double-quoted Prometheus string.
+// The text exposition format escapes exactly three characters inside
+// label values — backslash, double-quote and line feed — which is NOT
+// the Go %q escaping (Go would also escape control characters and
+// non-ASCII runes, producing values a Prometheus parser reads back
+// differently than they were recorded).
+func QuoteLabel(v string) string {
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	b.WriteByte('"')
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }

@@ -54,3 +54,79 @@ func TestPromName(t *testing.T) {
 		}
 	}
 }
+
+func TestQuoteLabel(t *testing.T) {
+	cases := map[string]string{
+		"":              `""`,
+		"v1.2.3":        `"v1.2.3"`,
+		`C:\path`:       `"C:\\path"`,
+		`say "hi"`:      `"say \"hi\""`,
+		"line1\nline2":  `"line1\nline2"`,
+		"tab\tand é ok": "\"tab\tand é ok\"", // only \ " \n are escaped
+	}
+	for in, want := range cases {
+		if got := QuoteLabel(in); got != want {
+			t.Errorf("QuoteLabel(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+// unquoteLabel reverses QuoteLabel the way a Prometheus text parser
+// would, for the fuzz round-trip property below.
+func unquoteLabel(t *testing.T, s string) string {
+	t.Helper()
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		t.Fatalf("not a quoted label: %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c == '"' {
+			t.Fatalf("unescaped quote inside label body of %q", s)
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			t.Fatalf("dangling backslash in %q", s)
+		}
+		switch body[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			t.Fatalf("invalid escape \\%c in %q", body[i], s)
+		}
+	}
+	return b.String()
+}
+
+// FuzzQuoteLabel checks the exposition-format invariants for arbitrary
+// label values: the quoted form has no raw newline, every interior quote
+// and backslash is escaped, and a Prometheus-style unescape round-trips
+// to the original value. Quotes, backslashes and newlines in label
+// values (e.g. a VCS revision or a sample name) must never corrupt the
+// line-oriented /metrics output.
+func FuzzQuoteLabel(f *testing.F) {
+	for _, seed := range []string{
+		"", "plain", `back\slash`, `"quoted"`, "new\nline", `mix\"ed` + "\n",
+		"unicode é 漢", "\x00control", strings.Repeat(`\`, 7), `trailing\`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, v string) {
+		q := QuoteLabel(v)
+		if strings.ContainsRune(q, '\n') {
+			t.Fatalf("QuoteLabel(%q) contains a raw newline: %q", v, q)
+		}
+		if got := unquoteLabel(t, q); got != v {
+			t.Fatalf("round trip: QuoteLabel(%q) = %q unescapes to %q", v, q, got)
+		}
+	})
+}

@@ -160,6 +160,26 @@ type Result struct {
 	LatencySeconds float64
 }
 
+// WindowObservation is one classified window as a window observer sees
+// it — the hook the model-quality layer (scoreboard, drift detector,
+// flight recorder) builds on.
+type WindowObservation struct {
+	Sample string
+	Class  string
+	// Window is the 0-based index within the trace.
+	Window int
+	// Pred is the raw per-window verdict (1 = malware).
+	Pred int
+	// Score is the model's malware-class probability when the classifier
+	// exposes probabilities (compiled or interpreted), else the 0/1
+	// verdict — calibration degrades but confusion metrics stay exact.
+	Score float64
+	// Values is the window's HPC feature vector. It aliases the monitor
+	// loop's reuse buffer and is only valid for the duration of the call:
+	// observers that keep it must copy.
+	Values []float64
+}
+
 // options collects the Monitor/MonitorAll configuration. Smoothers are
 // stateful, so the option carries a factory: every monitored trace gets
 // its own instance, which is what makes MonitorAll safe to fan out.
@@ -168,6 +188,7 @@ type options struct {
 	samplePeriod float64
 	parallelism  int
 	ctx          context.Context
+	observer     func(WindowObservation)
 }
 
 // Option configures Monitor and MonitorAll.
@@ -191,6 +212,16 @@ func WithSamplePeriod(seconds float64) Option {
 // process-wide default; 1 forces the serial path. Monitor ignores it.
 func WithParallelism(n int) Option {
 	return func(o *options) { o.parallelism = n }
+}
+
+// WithWindowObserver installs fn, called once per classified window with
+// the window's verdict, score and feature vector. MonitorAll invokes it
+// from its worker goroutines, so fn must be safe for concurrent use; the
+// Values slice is only valid during the call. Per-window probability
+// lookup only happens when an observer is installed, so monitoring
+// without one costs nothing extra.
+func WithWindowObserver(fn func(WindowObservation)) Option {
+	return func(o *options) { o.observer = fn }
 }
 
 // WithContext cancels MonitorAll early when ctx is done: traces not yet
@@ -278,6 +309,19 @@ func MonitorAll(clf ml.Classifier, traces []*trace.Trace, opts ...Option) ([]*Re
 		})
 }
 
+// malwareScore reduces a class-probability vector to the observer's
+// score: the malware (class 1) probability for binary models, the
+// predicted class's probability otherwise.
+func malwareScore(p []float64, pred int) float64 {
+	if len(p) == 2 {
+		return p[1]
+	}
+	if pred >= 0 && pred < len(p) {
+		return p[pred]
+	}
+	return float64(pred)
+}
+
 func monitor(clf ml.Classifier, prog *infer.Program, tr *trace.Trace, o options) (*Result, error) {
 	if clf == nil || tr == nil {
 		return nil, fmt.Errorf("online: nil argument")
@@ -296,6 +340,18 @@ func monitor(clf ml.Classifier, prog *infer.Program, tr *trace.Trace, o options)
 	if len(tr.Records) > 0 {
 		vals = make([]float64, 0, len(tr.Records[0].Readings))
 	}
+	// Probability scratch, allocated once per trace and only when an
+	// observer wants scores.
+	var probaDst, probaX [][]float64
+	var probClf ml.ProbClassifier
+	if o.observer != nil {
+		if prog != nil && prog.HasProba() {
+			probaDst = [][]float64{make([]float64, prog.NumClasses())}
+			probaX = [][]float64{nil}
+		} else if pc, ok := clf.(ml.ProbClassifier); ok {
+			probClf = pc
+		}
+	}
 	for i := range tr.Records {
 		vals = tr.Records[i].AppendValues(vals[:0])
 		var pred int
@@ -312,6 +368,22 @@ func monitor(clf ml.Classifier, prog *infer.Program, tr *trace.Trace, o options)
 		// is a single atomic load.
 		bus.Publish(obs.Event{Type: EventWindow, Sample: tr.SampleName,
 			Class: tr.Class.String(), Window: i, Value: float64(pred)})
+		if o.observer != nil {
+			score := float64(pred)
+			if probaX != nil {
+				probaX[0] = vals
+				if err := prog.Proba(probaDst, probaX); err == nil {
+					score = malwareScore(probaDst[0], pred)
+				}
+			} else if probClf != nil {
+				if p := probClf.Proba(vals); len(p) > 0 {
+					score = malwareScore(p, pred)
+				}
+			}
+			o.observer(WindowObservation{Sample: tr.SampleName,
+				Class: tr.Class.String(), Window: i, Pred: pred,
+				Score: score, Values: vals})
+		}
 		if sm.Observe(pred) && !res.Detected {
 			res.Detected = true
 			res.Window = i

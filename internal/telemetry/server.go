@@ -10,7 +10,15 @@
 //	/metrics     Prometheus text exposition 0.0.4 of the metrics registry
 //	/manifest    the in-flight run manifest (JSON)
 //	/events      live detection-event stream (NDJSON, or SSE on Accept)
+//	/quality     detection scoreboard: confusion, F1, calibration (JSON)
+//	/drift       per-counter PSI/KS against the train-time baseline (JSON)
+//	/alerts      alert-rule engine state (JSON)
+//	/debug/flightrecorder  the flight recorder's current rings (JSON)
 //	/debug/pprof CPU/heap/goroutine profiling (net/http/pprof)
+//
+// The model-quality endpoints 404 until a source is attached via
+// SetQuality/SetDrift/SetAlerts/SetFlightRecorder — a plain telemetry
+// server (every CLI command's -listen) has no labeled replay to score.
 //
 // The server is started by the shared -listen flag for the duration of
 // any CLI run, and runs permanently under `hpcmal serve`.
@@ -43,6 +51,15 @@ type Config struct {
 	// EventBuffer is the per-stream subscription buffer (default 256);
 	// overflow drops the oldest undelivered events.
 	EventBuffer int
+	// Quality, Drift, Alerts and FlightRecorder feed the model-quality
+	// endpoints: each is a snapshot function whose result is rendered as
+	// JSON (e.g. the quality.Scoreboard's Snapshot). Nil leaves the
+	// endpoint returning 404; the Set* methods attach sources after
+	// construction (serve builds the model once the server is up).
+	Quality        func() any
+	Drift          func() any
+	Alerts         func() any
+	FlightRecorder func() any
 }
 
 // Server serves the telemetry endpoints over HTTP.
@@ -53,6 +70,12 @@ type Server struct {
 	ln       net.Listener
 	started  time.Time
 	manifest atomic.Pointer[obs.Manifest]
+	// Late-bound model-quality sources (see Set*): atomic so serve can
+	// attach them after Start without racing in-flight scrapes.
+	quality atomic.Pointer[snapshotFn]
+	drift   atomic.Pointer[snapshotFn]
+	alerts  atomic.Pointer[snapshotFn]
+	flight  atomic.Pointer[snapshotFn]
 	// closing is closed on Shutdown so long-lived /events streams end
 	// promptly and let the graceful drain finish.
 	closing      chan struct{}
@@ -75,6 +98,9 @@ func New(cfg Config) *Server {
 	if cfg.EventBuffer <= 0 {
 		cfg.EventBuffer = 256
 	}
+	// Mirror the bus's delivery/drop/subscriber accounting into the
+	// registry so /metrics exposes it without hand-written lines.
+	cfg.Bus.AttachMetrics(cfg.Registry)
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
@@ -82,12 +108,20 @@ func New(cfg Config) *Server {
 		closing:  make(chan struct{}),
 		serveErr: make(chan error, 1),
 	}
+	s.SetQuality(cfg.Quality)
+	s.SetDrift(cfg.Drift)
+	s.SetAlerts(cfg.Alerts)
+	s.SetFlightRecorder(cfg.FlightRecorder)
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/buildinfo", s.handleBuildInfo)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/manifest", s.handleManifest)
 	s.mux.HandleFunc("/events", s.handleEvents)
+	s.mux.HandleFunc("/quality", s.snapshotHandler(&s.quality, "no detection scoreboard attached"))
+	s.mux.HandleFunc("/drift", s.snapshotHandler(&s.drift, "no drift detector attached"))
+	s.mux.HandleFunc("/alerts", s.snapshotHandler(&s.alerts, "no alert engine attached"))
+	s.mux.HandleFunc("/debug/flightrecorder", s.snapshotHandler(&s.flight, "no flight recorder attached"))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -101,6 +135,47 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // SetManifest publishes the in-flight run manifest on /manifest.
 func (s *Server) SetManifest(m *obs.Manifest) { s.manifest.Store(m) }
+
+// snapshotFn produces one JSON-renderable snapshot for a model-quality
+// endpoint.
+type snapshotFn func() any
+
+func storeFn(p *atomic.Pointer[snapshotFn], fn func() any) {
+	if fn == nil {
+		p.Store(nil)
+		return
+	}
+	sf := snapshotFn(fn)
+	p.Store(&sf)
+}
+
+// SetQuality attaches (or, with nil, detaches) the /quality source.
+func (s *Server) SetQuality(fn func() any) { storeFn(&s.quality, fn) }
+
+// SetDrift attaches the /drift source.
+func (s *Server) SetDrift(fn func() any) { storeFn(&s.drift, fn) }
+
+// SetAlerts attaches the /alerts source.
+func (s *Server) SetAlerts(fn func() any) { storeFn(&s.alerts, fn) }
+
+// SetFlightRecorder attaches the /debug/flightrecorder source.
+func (s *Server) SetFlightRecorder(fn func() any) { storeFn(&s.flight, fn) }
+
+// snapshotHandler serves a late-bound snapshot source as indented JSON,
+// or 404 with a hint while no source is attached.
+func (s *Server) snapshotHandler(p *atomic.Pointer[snapshotFn], missing string) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		fn := p.Load()
+		if fn == nil {
+			http.Error(w, missing, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode((*fn)())
+	}
+}
 
 // Start listens on addr (host:port; port 0 picks a free one) and serves
 // in a background goroutine until Shutdown.
@@ -169,6 +244,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /metrics      Prometheus text exposition
   /manifest     in-flight run manifest (JSON)
   /events       detection-event stream (NDJSON; SSE with Accept: text/event-stream)
+  /quality      detection scoreboard: confusion, F1, calibration (JSON)
+  /drift        per-counter PSI/KS vs the training baseline (JSON)
+  /alerts       alert-rule engine state (JSON)
+  /debug/flightrecorder  flight-recorder rings (JSON)
   /debug/pprof  profiling
 `)
 }
@@ -186,24 +265,20 @@ func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleMetrics renders the registry as Prometheus text, appending the
-// server's own meta-series (build info, uptime, event-bus delivery and
-// drop totals) so scrapers see the stream health too.
+// server's own meta-series (build info, uptime) so scrapers see the
+// serving binary's identity too. The event bus's delivery/drop totals
+// arrive through the registry itself — New mirrors the bus into it via
+// AttachMetrics — so they render exactly once.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.WritePrometheus(w, s.cfg.Registry.Snapshot()); err != nil {
 		return
 	}
 	bi := obs.Build()
-	fmt.Fprintf(w, "# TYPE hpcmal_build_info gauge\nhpcmal_build_info{version=%q,revision=%q,go=%q} 1\n",
-		bi.Version, bi.Revision, bi.GoVersion)
+	fmt.Fprintf(w, "# TYPE hpcmal_build_info gauge\nhpcmal_build_info{version=%s,revision=%s,go=%s} 1\n",
+		obs.QuoteLabel(bi.Version), obs.QuoteLabel(bi.Revision), obs.QuoteLabel(bi.GoVersion))
 	fmt.Fprintf(w, "# TYPE hpcmal_uptime_seconds gauge\nhpcmal_uptime_seconds %g\n",
 		time.Since(s.started).Seconds())
-	fmt.Fprintf(w, "# TYPE obs_events_published_total counter\nobs_events_published_total %d\n",
-		s.cfg.Bus.Published())
-	fmt.Fprintf(w, "# TYPE obs_events_dropped_total counter\nobs_events_dropped_total %d\n",
-		s.cfg.Bus.Dropped())
-	fmt.Fprintf(w, "# TYPE obs_events_subscribers gauge\nobs_events_subscribers %d\n",
-		s.cfg.Bus.Subscribers())
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {

@@ -48,8 +48,16 @@ func TestMetricsEndpoint(t *testing.T) {
 	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
 		t.Errorf("content type = %q", ct)
 	}
-	want := `# TYPE online_alarms_total counter
+	// The bus mirror (AttachMetrics in New) puts the event-bus counters in
+	// the registry itself, so they render once, in sorted order, at zero.
+	want := `# TYPE obs_events_dropped_total counter
+obs_events_dropped_total 0
+# TYPE obs_events_published_total counter
+obs_events_published_total 0
+# TYPE online_alarms_total counter
 online_alarms_total 2
+# TYPE obs_events_subscribers gauge
+obs_events_subscribers 0
 # TYPE parallel_online_monitor_workers gauge
 parallel_online_monitor_workers 4
 # TYPE online_alarm_latency_windows histogram
@@ -246,4 +254,100 @@ func readLine(t *testing.T, r io.Reader) string {
 		t.Fatal("no stream line within 5s")
 		return ""
 	}
+}
+
+// TestMetricsExposeBusDrops pins satellite behaviour: drop-oldest losses
+// on the event bus surface as a counter in /metrics, not just a private
+// atomic.
+func TestMetricsExposeBusDrops(t *testing.T) {
+	s, _, bus := testServer(t)
+	sub := bus.Subscribe(2)
+	defer sub.Close()
+	for i := 0; i < 6; i++ {
+		bus.Publish(obs.Event{Type: "window", Window: i})
+	}
+	_, body, _ := get(t, s.Handler(), "/metrics")
+	if !strings.Contains(body, "obs_events_dropped_total 4") {
+		t.Fatalf("dropped counter missing from exposition:\n%s", body)
+	}
+	if !strings.Contains(body, "obs_events_published_total 6") {
+		t.Fatalf("published counter missing from exposition:\n%s", body)
+	}
+	if strings.Count(body, "# TYPE obs_events_dropped_total") != 1 {
+		t.Fatalf("dropped counter family rendered more than once:\n%s", body)
+	}
+}
+
+// TestQualityEndpoints covers the four late-bound model-quality routes:
+// 404 until a source is attached, indented JSON after.
+func TestQualityEndpoints(t *testing.T) {
+	s, _, _ := testServer(t)
+	paths := []string{"/quality", "/drift", "/alerts", "/debug/flightrecorder"}
+	for _, p := range paths {
+		if code, _, _ := get(t, s.Handler(), p); code != 404 {
+			t.Errorf("%s before attach = %d, want 404", p, code)
+		}
+	}
+	s.SetQuality(func() any { return map[string]any{"f1": 0.93} })
+	s.SetDrift(func() any { return map[string]any{"drifting": 1} })
+	s.SetAlerts(func() any { return map[string]any{"firing": 2} })
+	s.SetFlightRecorder(func() any { return map[string]any{"reason": "snapshot"} })
+	wants := map[string]string{
+		"/quality":              `"f1": 0.93`,
+		"/drift":                `"drifting": 1`,
+		"/alerts":               `"firing": 2`,
+		"/debug/flightrecorder": `"reason": "snapshot"`,
+	}
+	for _, p := range paths {
+		code, body, hdr := get(t, s.Handler(), p)
+		if code != 200 || hdr.Get("Content-Type") != "application/json" {
+			t.Errorf("%s = %d %q", p, code, hdr.Get("Content-Type"))
+		}
+		if !strings.Contains(body, wants[p]) {
+			t.Errorf("%s body = %q, want %q", p, body, wants[p])
+		}
+	}
+	// Detaching restores 404.
+	s.SetQuality(nil)
+	if code, _, _ := get(t, s.Handler(), "/quality"); code != 404 {
+		t.Errorf("detached /quality = %d, want 404", code)
+	}
+}
+
+// TestEventsClientDisconnect pins stream cleanup: when an SSE/NDJSON
+// client goes away mid-stream, the handler unsubscribes from the bus and
+// its goroutine exits (checked under -race via the subscriber count).
+func TestEventsClientDisconnect(t *testing.T) {
+	s, _, bus := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitSubscribed(t, bus)
+	bus.Publish(obs.Event{Type: "window", Window: 1})
+	if line := readLine(t, resp.Body); !strings.HasPrefix(line, "data: {") {
+		t.Fatalf("stream line = %q", line)
+	}
+
+	// Drop the client mid-stream. The handler must notice and unsubscribe.
+	cancel()
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for bus.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("handler kept its bus subscription after client disconnect")
+		}
+		// Keep publishing so a handler stuck in the select's event arm
+		// still wakes up and hits the write error.
+		bus.Publish(obs.Event{Type: "window", Window: 2})
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Later events go nowhere, and publishing is still safe.
+	bus.Publish(obs.Event{Type: "alarm"})
 }
