@@ -2,7 +2,7 @@
 
 BENCHTIME ?= 10x
 
-.PHONY: build test race bench bench-baseline bench-diff serve
+.PHONY: build test race bench bench-baseline bench-diff serve top
 
 build:
 	go build ./...
@@ -32,6 +32,11 @@ THRESHOLD ?= 20
 bench-diff:
 	go test -bench=. -benchmem -benchtime=$(BENCHTIME) ./... | go run ./cmd/benchjson -diff BENCH_baseline.json -threshold $(THRESHOLD)
 
-# serve runs the online detector daemon with live telemetry on :9090.
+# serve runs the online detector daemon with live telemetry on :9090
+# (browse http://127.0.0.1:9090/dashboard for the live dashboard).
 serve:
 	go run ./cmd/hpcmal serve -listen 127.0.0.1:9090
+
+# top attaches the terminal dashboard to the serve daemon above.
+top:
+	go run ./cmd/hpcmal top -addr 127.0.0.1:9090

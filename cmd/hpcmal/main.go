@@ -12,6 +12,7 @@
 //	hpcmal hwcost [-scale 0.05]
 //	hpcmal repro  [all|ablations|table1|table2|fig6|pcaplots|fig13|...|fig19]
 //	hpcmal serve  -listen :9090 [-scale 0.05 -classifier J48]
+//	hpcmal top    -addr 127.0.0.1:9090 [-interval 2s]
 package main
 
 import (
@@ -60,6 +61,8 @@ func main() {
 		err = cmdRepro(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "-version", "--version", "version":
 		printVersion()
 	case "-h", "--help", "help":
@@ -92,6 +95,8 @@ commands:
   repro  <id|all|ablations|extensions>   regenerate the paper's evaluation
   serve  [-listen -scale -classifier -rounds]   run the online detector as
                                a long-lived daemon with live telemetry
+  top    [-addr -interval -once]   terminal dashboard over a serve daemon's
+                               range-query API (history, alerts, readiness)
   version                      print build identity (module, VCS revision)
 
 shared flags (every command):

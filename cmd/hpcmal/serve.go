@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -17,12 +18,19 @@ import (
 	"repro/internal/quality"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tsdb"
 	"repro/internal/workload"
 )
 
 // serveReady, when non-nil, receives the telemetry server once `serve`
 // is accepting requests. Tests hook it to learn the bound port.
 var serveReady func(*telemetry.Server)
+
+// serveStarted, when non-nil, receives the server as soon as it is
+// listening but before the detector trains — the window where /readyz
+// must answer 503. It runs synchronously on the serve goroutine, so a
+// test hook can probe the not-ready state without racing training.
+var serveStarted func(*telemetry.Server)
 
 // printVersion implements `hpcmal -version`: the same build identity the
 // run manifests and /buildinfo report.
@@ -60,6 +68,7 @@ func runServe(ctx context.Context, args []string) error {
 	rulesPath := fs.String("rules", "", "alert rule JSON `file` evaluated against the metric registry (see README)")
 	alertInterval := fs.Duration("alert-interval", 2*time.Second, "alert-rule evaluation interval")
 	incidentDir := fs.String("incident-dir", "", "write flight-recorder incident dumps to `dir` on alarms, firing alerts and panics")
+	scrapeInterval := fs.Duration("scrape-interval", time.Second, "metric-history scrape period for /api/v1/query_range and the dashboard")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,11 +88,39 @@ func runServe(ctx context.Context, args []string) error {
 	if of.Listen == "" {
 		of.Listen = "127.0.0.1:0"
 	}
+	// The readiness gate must exist before setup starts the listener so
+	// /readyz never reports a default-ready window: the daemon is ready
+	// once the detector is trained AND the history scraper is running.
+	// The store itself is built after setup — setup resets the registry,
+	// which would orphan a store built earlier — so the gate reads it
+	// through an atomic pointer (Running is nil-safe).
+	var trained atomic.Bool
+	var storePtr atomic.Pointer[tsdb.Store]
+	of.ReadyFn = func() (bool, string) {
+		if !trained.Load() {
+			return false, "detector not trained yet"
+		}
+		if !storePtr.Load().Running() {
+			return false, "metric-history scraper not running"
+		}
+		return true, ""
+	}
 	if err := of.setup(); err != nil {
 		return err
 	}
 	srv := of.Server()
-	fmt.Printf("telemetry on %s (/metrics /events /quality /drift /alerts /healthz /buildinfo /manifest /debug/flightrecorder /debug/pprof)\n", srv.URL())
+
+	// Embedded time-series store: scrape the registry into bounded rings
+	// for the whole daemon lifetime, feeding the range-query API, the
+	// dashboard, /alerts/history and incident pre-trigger history.
+	store := tsdb.New(tsdb.Config{Interval: *scrapeInterval})
+	storePtr.Store(store)
+	go store.Run(ctx)
+	srv.SetStore(store)
+	fmt.Printf("telemetry on %s (/metrics /events /quality /drift /alerts /alerts/history /api/v1/series /api/v1/query_range /dashboard /healthz /readyz /buildinfo /manifest /debug/flightrecorder /debug/pprof)\n", srv.URL())
+	if serveStarted != nil {
+		serveStarted(srv)
+	}
 
 	// Train the detector once, up front.
 	sp := obs.StartSpan("serve.train")
@@ -103,6 +140,7 @@ func runServe(ctx context.Context, args []string) error {
 		return err
 	}
 	sp.End()
+	trained.Store(true)
 	obs.Log().Info("detector trained", "classifier", *classifier,
 		"rows", tbl.NumInstances())
 
@@ -120,7 +158,10 @@ func runServe(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	rec := flightrec.New(flightrec.Config{Dir: *incidentDir, Manifest: of.manifest})
+	// Incident dumps embed the last five minutes of metric history, so a
+	// dump shows the decay leading up to the trigger, not just its moment.
+	rec := flightrec.New(flightrec.Config{Dir: *incidentDir, Manifest: of.manifest,
+		History: func() any { return store.RecentHistory(5 * time.Minute) }})
 	defer rec.DumpOnPanic()
 	// Alarms trip the recorder via the bus; firing alert rules via the
 	// engine's hook (each dump named after the rule that fired).

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/telemetry"
+	"repro/internal/tsdb"
 )
 
 // startServe runs runServe in the background with the test hook attached
@@ -411,5 +413,200 @@ func TestServeQualityDeterministicAcrossParallelism(t *testing.T) {
 	}
 	if d1 != d8 {
 		t.Errorf("/drift differs between -parallel 1 and 8:\n--- 1 ---\n%s\n--- 8 ---\n%s", d1, d8)
+	}
+}
+
+// TestServeHistoricalObservability is the acceptance path for the
+// embedded time-series layer: /readyz transitions 503 → 200 around
+// training, the query API answers over scraped history, the dashboard
+// serves, alert history is retained, incident dumps embed pre-trigger
+// metric history, and `hpcmal top` renders a frame from the live API.
+func TestServeHistoricalObservability(t *testing.T) {
+	dir := t.TempDir()
+	rulesPath := filepath.Join(dir, "rules.json")
+	if err := os.WriteFile(rulesPath, []byte(`[
+		{"name": "replay-started", "metric": "online.monitors", "op": ">", "threshold": 0,
+		 "severity": "info", "msg": "traces are being monitored"}
+	]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	incidents := filepath.Join(dir, "incidents")
+
+	// Probe the not-ready window synchronously on the serve goroutine:
+	// the hook fires after the listener is up but before training, so
+	// /readyz must be 503 here — the transition's "before" leg.
+	notReady := make(chan string, 1)
+	serveStarted = func(s *telemetry.Server) {
+		resp, err := http.Get(s.URL() + "/readyz")
+		if err != nil {
+			notReady <- "error: " + err.Error()
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			notReady <- fmt.Sprintf("status %d: %s", resp.StatusCode, body)
+			return
+		}
+		notReady <- string(body)
+	}
+	defer func() { serveStarted = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, errc := startServe(t, ctx, []string{
+		"-scale", "0.01", "-perclass", "1", "-windows", "16",
+		"-scrape-interval", "50ms",
+		"-rules", rulesPath, "-alert-interval", "100ms",
+		"-incident-dir", incidents, "-quiet"})
+
+	if msg := <-notReady; !strings.Contains(msg, "not ready") {
+		t.Fatalf("pre-training /readyz = %q, want a not-ready 503", msg)
+	}
+
+	// After training the gate flips: ready as soon as the scraper runs.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL() + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == 200 && strings.HasPrefix(string(body), "ready") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never became ready: %d %s", resp.StatusCode, body)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	getJSON := func(path string, out any) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == 200 && out != nil {
+			if err := json.Unmarshal(body, out); err != nil {
+				t.Fatalf("%s not JSON: %v\n%s", path, err, body)
+			}
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// The catalog fills as the scraper runs; wait for the replay's own
+	// counter to appear so range queries below have real detection data.
+	var cat tsdb.Catalog
+	for {
+		if code, body := getJSON("/api/v1/series", &cat); code != 200 {
+			t.Fatalf("/api/v1/series = %d %s", code, body)
+		}
+		found := false
+		for _, si := range cat.Series {
+			if si.Name == "trace.windows_simulated" {
+				found = true
+			}
+		}
+		if found && cat.LastMS > cat.FirstMS {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("catalog never saw the replay: %+v", cat)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// Range queries answer from raw and downsampled tiers.
+	var raw tsdb.QueryResult
+	if code, body := getJSON("/api/v1/query_range?metric=trace.windows_simulated&from=now-2m&to=now&agg=max", &raw); code != 200 {
+		t.Fatalf("raw query = %d %s", code, body)
+	}
+	if raw.Tier != "raw" || len(raw.Points) == 0 {
+		t.Fatalf("raw query = %+v", raw)
+	}
+	var mid tsdb.QueryResult
+	if code, body := getJSON("/api/v1/query_range?metric=tsdb.scrapes&from=now-2m&to=now&step=15s&agg=max", &mid); code != 200 {
+		t.Fatalf("15s query = %d %s", code, body)
+	} else if mid.Tier != "15s" || len(mid.Points) == 0 {
+		t.Fatalf("15s query = %+v", mid)
+	}
+	if code, _ := getJSON("/api/v1/query_range?metric=no.such.series", nil); code != 404 {
+		t.Errorf("unknown metric = %d, want 404", code)
+	}
+
+	// The firing alert rule lands in the retained event history.
+	var hist tsdb.EventHistory
+	for hist.Total == 0 {
+		if code, body := getJSON("/alerts/history", &hist); code != 200 {
+			t.Fatalf("/alerts/history = %d %s", code, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("alert never reached the event history")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if hist.Events[0].Type == "" {
+		t.Fatalf("history event = %+v", hist.Events[0])
+	}
+
+	// The dashboard is a self-contained HTML page.
+	if code, body := getJSON("/dashboard", nil); code != 200 || !strings.Contains(body, "/api/v1/query_range") {
+		t.Fatalf("/dashboard = %d", code)
+	}
+
+	// Incident dumps carry the pre-trigger metric history.
+	var files []string
+	for len(files) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no incident dump written")
+		}
+		files, _ = filepath.Glob(filepath.Join(incidents, "incident-*.json"))
+		time.Sleep(50 * time.Millisecond)
+	}
+	rawInc, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc struct {
+		History *struct {
+			FromMS int64                   `json:"from_ms"`
+			ToMS   int64                   `json:"to_ms"`
+			Series map[string][]tsdb.Point `json:"series"`
+		} `json:"history"`
+	}
+	if err := json.Unmarshal(rawInc, &inc); err != nil {
+		t.Fatal(err)
+	}
+	if inc.History == nil || len(inc.History.Series) == 0 {
+		t.Fatalf("incident missing pre-trigger history: %s", files[0])
+	}
+	if inc.History.ToMS <= inc.History.FromMS {
+		t.Fatalf("history window = [%d, %d]", inc.History.FromMS, inc.History.ToMS)
+	}
+
+	// `hpcmal top` renders a live frame from the same API.
+	c := &topClient{base: srv.URL(), hc: http.DefaultClient}
+	frame, err := c.frame(2 * time.Minute)
+	if err != nil {
+		t.Fatalf("top frame: %v", err)
+	}
+	for _, want := range []string{"hpcmal top", "ready", "series", "windows/s", "recent alerts"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("top frame missing %q:\n%s", want, frame)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exit: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("serve did not exit")
 	}
 }

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// TestSpark pins the sparkline renderer: fixed width, self-scaled, flat
+// series render low, and empty input renders blank instead of panicking.
+func TestSpark(t *testing.T) {
+	if got := spark(nil, 10); got != strings.Repeat(" ", 10) {
+		t.Errorf("empty spark = %q", got)
+	}
+	ramp := spark([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(ramp) != 8 {
+		t.Fatalf("spark width = %d runes (%q)", utf8.RuneCountInString(ramp), ramp)
+	}
+	runes := []rune(ramp)
+	if runes[0] != sparkRunes[0] || runes[7] != sparkRunes[len(sparkRunes)-1] {
+		t.Errorf("ramp spark = %q, want %c..%c", ramp, sparkRunes[0], sparkRunes[len(sparkRunes)-1])
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("ramp spark not monotonic: %q", ramp)
+		}
+	}
+	flat := spark([]float64{5, 5, 5}, 6)
+	for _, r := range flat {
+		if r != sparkRunes[0] {
+			t.Errorf("flat spark = %q, want all %c", flat, sparkRunes[0])
+		}
+	}
+	// More points than columns resamples rather than truncating.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i)
+	}
+	if got := spark(long, 12); utf8.RuneCountInString(got) != 12 {
+		t.Errorf("resampled spark width = %q", got)
+	}
+}

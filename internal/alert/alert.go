@@ -20,7 +20,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -213,48 +212,6 @@ func New(rules []Rule, opts ...Option) *Engine {
 	return e
 }
 
-// lookupMetric resolves a rule's metric against a registry snapshot.
-func lookupMetric(snap obs.Snapshot, metric string) (float64, bool) {
-	if v, ok := snap.Counters[metric]; ok {
-		return float64(v), true
-	}
-	if v, ok := snap.Gauges[metric]; ok {
-		return v, true
-	}
-	name, agg := metric, "mean"
-	if i := strings.LastIndex(metric, ":"); i >= 0 {
-		name, agg = metric[:i], metric[i+1:]
-	}
-	h, ok := snap.Histograms[name]
-	if !ok {
-		return 0, false
-	}
-	switch agg {
-	case "count":
-		return float64(h.Count), true
-	case "sum":
-		return h.Sum, true
-	case "min":
-		return h.Min, true
-	case "max":
-		return h.Max, true
-	case "mean":
-		if h.Count == 0 {
-			return 0, true
-		}
-		return h.Sum / float64(h.Count), true
-	case "p50", "p90", "p95", "p99":
-		var q float64
-		fmt.Sscanf(agg, "p%f", &q)
-		v := h.Quantile(q / 100)
-		if v != v { // NaN on empty histogram
-			return 0, true
-		}
-		return v, true
-	}
-	return 0, false
-}
-
 // EvaluateAt runs one evaluation pass with an explicit clock, the
 // testable core of Run.
 func (e *Engine) EvaluateAt(now time.Time) {
@@ -267,7 +224,10 @@ func (e *Engine) EvaluateAt(now time.Time) {
 	firing := 0
 	for i := range e.status {
 		st := &e.status[i]
-		v, ok := lookupMetric(snap, st.Rule.Metric)
+		// Metric references resolve through the shared obs lookup:
+		// histogram aggregates via "name:agg", empty histograms as 0
+		// (see obs.Snapshot.Lookup for the documented contract).
+		v, ok := snap.Lookup(st.Rule.Metric)
 		wasFiring := st.State == StateFiring
 		switch {
 		case !ok:

@@ -150,40 +150,45 @@ func TestEngineZeroForFiresImmediately(t *testing.T) {
 	}
 }
 
-func TestLookupMetricHistogram(t *testing.T) {
+// TestRuleMetricResolution pins the alert engine's side of the shared
+// obs.Snapshot.Lookup contract: histogram rules address aggregates with
+// a ":" suffix, and an empty histogram evaluates as 0 (not NaN), so a
+// "p99 > threshold" rule stays inactive rather than no_data or poisoned
+// before the first observation.
+func TestRuleMetricResolution(t *testing.T) {
 	r := obs.NewRegistry()
 	h := r.Histogram("lat", []float64{1, 10, 100})
 	for _, v := range []float64{0.5, 2, 3, 50} {
 		h.Observe(v)
 	}
-	snap := r.Snapshot()
-	cases := map[string]float64{
-		"lat:count": 4,
-		"lat:sum":   55.5,
-		"lat:min":   0.5,
-		"lat:max":   50,
-		"lat:mean":  55.5 / 4,
-		"lat":       55.5 / 4, // bare histogram name defaults to mean
-	}
-	for metric, want := range cases {
-		got, ok := lookupMetric(snap, metric)
-		if !ok || got != want {
-			t.Errorf("lookup %q = %v ok=%v, want %v", metric, got, ok, want)
-		}
-	}
-	if p99, ok := lookupMetric(snap, "lat:p99"); !ok || p99 <= 0 {
-		t.Errorf("p99 = %v ok=%v", p99, ok)
-	}
-	if _, ok := lookupMetric(snap, "lat:p12345"); ok {
-		t.Error("accepted unknown aggregate")
-	}
-	if _, ok := lookupMetric(snap, "nope"); ok {
-		t.Error("resolved a missing metric")
-	}
-	// Empty histogram quantile is defined (0), not NaN.
 	r.Histogram("empty", []float64{1})
-	if v, ok := lookupMetric(r.Snapshot(), "empty:p99"); !ok || v != 0 {
-		t.Errorf("empty histogram p99 = %v ok=%v, want 0", v, ok)
+	e := New([]Rule{
+		{Name: "lat-p99", Metric: "lat:p99", Op: ">", Threshold: 0},
+		{Name: "lat-count", Metric: "lat:count", Op: "==", Threshold: 4},
+		{Name: "empty-p99", Metric: "empty:p99", Op: ">", Threshold: 0},
+		{Name: "empty-mean-zero", Metric: "empty:mean", Op: "==", Threshold: 0},
+		{Name: "bad-agg", Metric: "lat:p12345", Op: ">", Threshold: 0},
+	}, WithRegistry(r), WithBus(obs.NewBus()))
+	e.EvaluateAt(time.UnixMilli(1000))
+	got := map[string]RuleStatus{}
+	for _, st := range e.Snapshot().Rules {
+		got[st.Rule.Name] = st
+	}
+	if st := got["lat-p99"]; st.State != StateFiring || st.Value <= 0 {
+		t.Errorf("lat-p99 = %+v, want firing with positive value", st)
+	}
+	if st := got["lat-count"]; st.State != StateFiring || st.Value != 4 {
+		t.Errorf("lat-count = %+v, want firing at 4", st)
+	}
+	// Empty histogram: resolved (not no_data), coerced to 0.
+	if st := got["empty-p99"]; st.State != StateInactive || st.Value != 0 {
+		t.Errorf("empty-p99 = %+v, want inactive at 0", st)
+	}
+	if st := got["empty-mean-zero"]; st.State != StateFiring {
+		t.Errorf("empty-mean-zero = %+v, want firing (0 == 0)", st)
+	}
+	if st := got["bad-agg"]; st.State != StateNoData {
+		t.Errorf("bad-agg = %+v, want no_data", st)
 	}
 }
 

@@ -64,6 +64,10 @@ type Incident struct {
 	Events   []obs.Event    `json:"events"`
 	// Metrics is the full registry snapshot at dump time.
 	Metrics obs.Snapshot `json:"metrics"`
+	// History is the recent metric history leading up to the trigger
+	// (a tsdb.HistoryDump when serve wires Config.History), so a dump
+	// shows the minutes before the incident, not just its instant.
+	History any `json:"history,omitempty"`
 	// Stack is set on panic dumps.
 	Stack string `json:"stack,omitempty"`
 }
@@ -86,6 +90,10 @@ type Config struct {
 	Registry *obs.Registry
 	// Manifest, when set, is embedded in every incident.
 	Manifest *obs.Manifest
+	// History, when set, is called (off-lock, like the metrics snapshot)
+	// at dump time and embedded as the incident's pre-trigger history —
+	// serve wires it to the tsdb store's RecentHistory.
+	History func() any
 }
 
 // Recorder is the bounded black-box recorder. All methods are safe for
@@ -197,6 +205,9 @@ func (r *Recorder) Snapshot() Incident {
 	build := obs.Build()
 	inc.Build = &build
 	inc.Metrics = r.cfg.Registry.Snapshot()
+	if r.cfg.History != nil {
+		inc.History = r.cfg.History()
+	}
 	return inc
 }
 
@@ -226,6 +237,9 @@ func (r *Recorder) Dump(reason string) (string, error) {
 	build := obs.Build()
 	inc.Build = &build
 	inc.Metrics = r.cfg.Registry.Snapshot()
+	if r.cfg.History != nil {
+		inc.History = r.cfg.History()
+	}
 
 	if err := os.MkdirAll(r.cfg.Dir, 0o755); err != nil {
 		return "", fmt.Errorf("flightrec: %w", err)

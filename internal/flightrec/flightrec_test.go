@@ -241,3 +241,46 @@ func TestManifestEmbedded(t *testing.T) {
 		t.Fatalf("manifest = %+v", inc.Manifest)
 	}
 }
+
+// TestHistoryHook pins the pre-trigger-history contract: when
+// Config.History is wired (serve points it at the tsdb store), its
+// payload is embedded in both dumps and snapshots; without it the
+// history field is absent from the JSON entirely.
+func TestHistoryHook(t *testing.T) {
+	r := testRecorder(t, Config{History: func() any {
+		return map[string]any{"from_ms": 1000, "series": map[string]any{"quality.f1": []float64{0.9, 0.8}}}
+	}})
+	path, err := r.Dump("alarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inc Incident
+	if err := json.Unmarshal(data, &inc); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := inc.History.(map[string]any)
+	if !ok || h["from_ms"] != float64(1000) {
+		t.Fatalf("dump history = %#v", inc.History)
+	}
+	if snap := r.Snapshot(); snap.History == nil {
+		t.Fatal("snapshot missing history")
+	}
+
+	// No hook: the field is omitted, not null.
+	bare := testRecorder(t, Config{})
+	p2, err := bare.Dump("alarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"history"`) {
+		t.Fatalf("unwired history serialized: %s", raw)
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HistogramAggregates lists the ":"-suffix aggregates a metric reference
+// may select on a histogram (see Snapshot.Lookup).
+var HistogramAggregates = []string{"count", "sum", "mean", "min", "max", "p50", "p90", "p95", "p99"}
+
+// SplitAggregate splits a metric reference of the form "name:agg" into
+// its metric name and aggregate selector. References without a ":" come
+// back with an empty aggregate; only the last ":" splits, so metric
+// names containing colons keep working as long as the final segment is
+// the selector.
+func SplitAggregate(metric string) (name, agg string) {
+	if i := strings.LastIndex(metric, ":"); i >= 0 {
+		return metric[:i], metric[i+1:]
+	}
+	return metric, ""
+}
+
+// Lookup resolves a metric reference against the snapshot and reports
+// whether it named anything. Counters and gauges resolve by name;
+// histograms take a ":" suffix selecting an aggregate — count, sum,
+// mean, min, max, p50, p90, p95 or p99 — and a bare histogram name
+// defaults to mean.
+//
+// Empty-histogram contract: every aggregate of a histogram with zero
+// observations resolves to 0 (found=true). HistogramSnapshot.Quantile
+// itself returns NaN on an empty histogram — the honest primitive
+// answer — but a metric *reference* is used for thresholds, alert rules
+// and time series, where NaN poisons every comparison and JSON
+// encoding; 0 is the single documented coercion, applied here and
+// nowhere else.
+func (s Snapshot) Lookup(metric string) (float64, bool) {
+	if v, ok := s.Counters[metric]; ok {
+		return float64(v), true
+	}
+	if v, ok := s.Gauges[metric]; ok {
+		return v, true
+	}
+	name, agg := SplitAggregate(metric)
+	if agg == "" {
+		name, agg = metric, "mean"
+	}
+	h, ok := s.Histograms[name]
+	if !ok {
+		return 0, false
+	}
+	switch agg {
+	case "count":
+		return float64(h.Count), true
+	case "sum":
+		return h.Sum, true
+	case "min":
+		return h.Min, true
+	case "max":
+		return h.Max, true
+	case "mean":
+		if h.Count == 0 {
+			return 0, true
+		}
+		return h.Sum / float64(h.Count), true
+	case "p50", "p90", "p95", "p99":
+		var q float64
+		fmt.Sscanf(agg, "p%f", &q)
+		v := h.Quantile(q / 100)
+		if v != v { // NaN: empty histogram
+			return 0, true
+		}
+		return v, true
+	}
+	return 0, false
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitAggregate(t *testing.T) {
+	cases := []struct{ in, name, agg string }{
+		{"lat:p99", "lat", "p99"},
+		{"lat", "lat", ""},
+		{"ns:sub:count", "ns:sub", "count"},
+	}
+	for _, c := range cases {
+		name, agg := SplitAggregate(c.in)
+		if name != c.name || agg != c.agg {
+			t.Errorf("SplitAggregate(%q) = %q, %q, want %q, %q", c.in, name, agg, c.name, c.agg)
+		}
+	}
+}
+
+func TestSnapshotLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(7)
+	r.Gauge("g").Set(2.5)
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 2, 3, 50} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+
+	cases := map[string]float64{
+		"c":         7,
+		"g":         2.5,
+		"lat:count": 4,
+		"lat:sum":   55.5,
+		"lat:min":   0.5,
+		"lat:max":   50,
+		"lat:mean":  55.5 / 4,
+		"lat":       55.5 / 4, // bare histogram name defaults to mean
+	}
+	for metric, want := range cases {
+		got, ok := snap.Lookup(metric)
+		if !ok || got != want {
+			t.Errorf("Lookup(%q) = %v ok=%v, want %v", metric, got, ok, want)
+		}
+	}
+	if p99, ok := snap.Lookup("lat:p99"); !ok || p99 <= 0 {
+		t.Errorf("p99 = %v ok=%v", p99, ok)
+	}
+	if _, ok := snap.Lookup("lat:p12345"); ok {
+		t.Error("accepted unknown aggregate")
+	}
+	if _, ok := snap.Lookup("nope"); ok {
+		t.Error("resolved a missing metric")
+	}
+	if _, ok := snap.Lookup("nope:p99"); ok {
+		t.Error("resolved an aggregate of a missing histogram")
+	}
+}
+
+// TestEmptyHistogramContract pins the two halves of the empty-histogram
+// behavior: the raw Quantile primitive answers NaN, while every metric
+// reference resolved through Lookup coerces to 0.
+func TestEmptyHistogramContract(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty", []float64{1, 2})
+	snap := r.Snapshot()
+
+	if q := snap.Histograms["empty"].Quantile(0.99); !math.IsNaN(q) {
+		t.Errorf("empty Quantile = %v, want NaN", q)
+	}
+	for _, agg := range HistogramAggregates {
+		v, ok := snap.Lookup("empty:" + agg)
+		if !ok || v != 0 {
+			t.Errorf("Lookup(empty:%s) = %v ok=%v, want 0, true", agg, v, ok)
+		}
+	}
+	if v, ok := snap.Lookup("empty"); !ok || v != 0 {
+		t.Errorf("Lookup(empty) = %v ok=%v, want 0, true", v, ok)
+	}
+}

@@ -36,6 +36,12 @@ type Flags struct {
 	Listen     string
 	Workers    int
 
+	// ReadyFn, when set before Setup, gates the telemetry server's
+	// /readyz endpoint from its very first request (Setup starts the
+	// listener, so attaching later would leave a default-ready window).
+	// Nil keeps /readyz mirroring liveness — right for one-shot runs.
+	ReadyFn func() (bool, string)
+
 	server  *telemetry.Server
 	cpuFile *os.File
 }
@@ -90,7 +96,7 @@ func (f *Flags) Setup() error {
 		f.cpuFile = cf
 	}
 	if f.Listen != "" {
-		f.server = telemetry.New(telemetry.Config{})
+		f.server = telemetry.New(telemetry.Config{Ready: f.ReadyFn})
 		if err := f.server.Start(f.Listen); err != nil {
 			f.stopCPUProfile()
 			return err

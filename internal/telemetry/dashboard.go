@@ -1,0 +1,183 @@
+package telemetry
+
+import "net/http"
+
+// handleDashboard serves the embedded live dashboard: a single
+// self-contained HTML page (no external assets, no build step) that
+// polls /api/v1/query_range for sparkline history and follows
+// /events?sse=1 for the live alert timeline. It renders even while no
+// store is attached — panels show "no data" until /api/v1/* comes up.
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(dashboardHTML))
+}
+
+// dashboardHTML is the whole dashboard. Panels are driven by the PANELS
+// table at the top of the script; each polls one range query every ~2 s
+// and draws a canvas sparkline. The alert timeline seeds itself from
+// /alerts/history, then appends live events from the SSE stream.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>hpcmal dashboard</title>
+<style>
+  :root { --bg:#0d1117; --panel:#161b22; --line:#58a6ff; --dim:#8b949e;
+          --fg:#e6edf3; --warn:#f0883e; --bad:#f85149; --ok:#3fb950; }
+  body { background:var(--bg); color:var(--fg); margin:0;
+         font:14px/1.4 ui-monospace,SFMono-Regular,Menlo,monospace; }
+  header { padding:10px 16px; border-bottom:1px solid #30363d;
+           display:flex; gap:16px; align-items:baseline; }
+  header h1 { font-size:16px; margin:0; }
+  header .meta { color:var(--dim); font-size:12px; }
+  #grid { display:grid; grid-template-columns:repeat(auto-fill,minmax(300px,1fr));
+          gap:12px; padding:12px 16px; }
+  .panel { background:var(--panel); border:1px solid #30363d;
+           border-radius:6px; padding:10px 12px; }
+  .panel .name { color:var(--dim); font-size:12px; }
+  .panel .value { font-size:22px; margin:2px 0 6px; }
+  .panel canvas { width:100%; height:48px; display:block; }
+  #timeline { margin:0 16px 16px; background:var(--panel);
+              border:1px solid #30363d; border-radius:6px; padding:10px 12px; }
+  #timeline h2 { font-size:13px; color:var(--dim); margin:0 0 6px; }
+  #tl-rows { max-height:220px; overflow-y:auto; }
+  .ev { display:flex; gap:10px; padding:2px 0; font-size:12px; }
+  .ev .t { color:var(--dim); white-space:nowrap; }
+  .ev .ty { min-width:110px; }
+  .ev.alarm .ty, .ev.alert .ty { color:var(--bad); }
+  .ev.drift .ty { color:var(--warn); }
+  .ev.alert_resolved .ty, .ev.drift_resolved .ty { color:var(--ok); }
+  .nodata { color:var(--dim); }
+</style>
+</head>
+<body>
+<header>
+  <h1>hpcmal</h1>
+  <span class="meta" id="status">connecting…</span>
+</header>
+<div id="grid"></div>
+<div id="timeline">
+  <h2>alert / drift / alarm timeline</h2>
+  <div id="tl-rows"><span class="nodata">no events yet</span></div>
+</div>
+<script>
+"use strict";
+// Each panel is one range query over the last 5 minutes. Metrics and
+// aggregations mirror the serve daemon's registry names.
+const PANELS = [
+  {name:"windows / sec",    metric:"trace.windows_simulated", agg:"rate", fmt:v=>v.toFixed(1)},
+  {name:"alarms / sec",     metric:"online.alarms",           agg:"rate", fmt:v=>v.toFixed(2)},
+  {name:"F1",               metric:"quality.f1",              agg:"avg",  fmt:v=>v.toFixed(3)},
+  {name:"features drifting",metric:"drift.features_drifting", agg:"max",  fmt:v=>v.toFixed(0)},
+  {name:"bus drops / sec",  metric:"obs.events_dropped",      agg:"rate", fmt:v=>v.toFixed(2)},
+  {name:"scrape p99 (ms)",  metric:"tsdb.scrape_ms:p99",      agg:"avg",  fmt:v=>v.toFixed(2)},
+];
+
+const grid = document.getElementById("grid");
+for (const p of PANELS) {
+  const el = document.createElement("div");
+  el.className = "panel";
+  el.innerHTML = '<div class="name"></div><div class="value nodata">no data</div><canvas></canvas>';
+  el.querySelector(".name").textContent = p.name + "  (" + p.metric + ":" + p.agg + ")";
+  grid.appendChild(el);
+  p.valueEl = el.querySelector(".value");
+  p.canvas = el.querySelector("canvas");
+}
+
+function spark(canvas, pts) {
+  const dpr = window.devicePixelRatio || 1;
+  const w = canvas.clientWidth, h = canvas.clientHeight;
+  canvas.width = w * dpr; canvas.height = h * dpr;
+  const ctx = canvas.getContext("2d");
+  ctx.scale(dpr, dpr);
+  ctx.clearRect(0, 0, w, h);
+  if (pts.length < 2) return;
+  let lo = Infinity, hi = -Infinity;
+  for (const p of pts) { lo = Math.min(lo, p.v); hi = Math.max(hi, p.v); }
+  if (hi === lo) { hi = lo + 1; }
+  const t0 = pts[0].t_ms, t1 = pts[pts.length - 1].t_ms || t0 + 1;
+  const x = t => 2 + (w - 4) * (t - t0) / Math.max(1, t1 - t0);
+  const y = v => h - 3 - (h - 6) * (v - lo) / (hi - lo);
+  ctx.beginPath();
+  ctx.strokeStyle = getComputedStyle(document.body).getPropertyValue("--line");
+  ctx.lineWidth = 1.5;
+  pts.forEach((p, i) => i ? ctx.lineTo(x(p.t_ms), y(p.v)) : ctx.moveTo(x(p.t_ms), y(p.v)));
+  ctx.stroke();
+}
+
+async function poll() {
+  let live = false;
+  for (const p of PANELS) {
+    try {
+      const u = "/api/v1/query_range?metric=" + encodeURIComponent(p.metric) +
+                "&from=now-5m&to=now&agg=" + p.agg;
+      const r = await fetch(u);
+      if (!r.ok) { continue; }
+      const q = await r.json();
+      live = true;
+      const pts = q.points || [];
+      if (pts.length) {
+        p.valueEl.textContent = p.fmt(pts[pts.length - 1].v);
+        p.valueEl.classList.remove("nodata");
+      }
+      spark(p.canvas, pts);
+    } catch (_) { /* daemon restarting; keep last frame */ }
+  }
+  document.getElementById("status").textContent =
+    live ? "live · " + new Date().toLocaleTimeString() : "waiting for store…";
+}
+
+const tlRows = document.getElementById("tl-rows");
+let tlEmpty = true;
+// Rows are prepended, so feeding oldest-first history leaves the newest
+// event at the top — same ordering live SSE events land in.
+function addEvent(e) {
+  if (tlEmpty) { tlRows.textContent = ""; tlEmpty = false; }
+  const row = document.createElement("div");
+  row.className = "ev " + (e.type || "");
+  const t = document.createElement("span"); t.className = "t";
+  t.textContent = e.t_ms ? new Date(e.t_ms).toLocaleTimeString() : "";
+  const ty = document.createElement("span"); ty.className = "ty";
+  ty.textContent = e.type || "?";
+  const msg = document.createElement("span");
+  const bits = [];
+  if (e.msg) bits.push(e.msg);
+  if (e.sample) bits.push(e.sample);
+  if (e.class) bits.push(e.class);
+  if (e.value !== undefined) bits.push("value=" + e.value);
+  msg.textContent = bits.join("  ");
+  row.append(t, ty, msg);
+  tlRows.prepend(row);
+  while (tlRows.childElementCount > 200) tlRows.lastElementChild.remove();
+}
+
+async function seedTimeline() {
+  try {
+    const r = await fetch("/alerts/history");
+    if (!r.ok) return;
+    const h = await r.json();
+    for (const e of h.events || []) addEvent(e);
+  } catch (_) {}
+}
+
+function follow() {
+  // The SSE framing of /events ("data: {json}") is EventSource-native.
+  const es = new EventSource("/events?sse=1");
+  const keep = new Set(["alarm","alert","alert_resolved","drift","drift_resolved"]);
+  es.onmessage = m => {
+    try {
+      const e = JSON.parse(m.data);
+      if (keep.has(e.type)) addEvent(e);
+    } catch (_) {}
+  };
+  es.onerror = () => { es.close(); setTimeout(follow, 3000); };
+}
+
+seedTimeline();
+follow();
+poll();
+setInterval(poll, 2000);
+</script>
+</body>
+</html>
+`

@@ -5,7 +5,8 @@
 // Endpoints:
 //
 //	/            endpoint index (plain text)
-//	/healthz     liveness: "ok" plus uptime
+//	/healthz     liveness: "ok" plus uptime (never gated)
+//	/readyz      readiness: 503 until the attached gate reports ready
 //	/buildinfo   module version, VCS revision, Go version (JSON)
 //	/metrics     Prometheus text exposition 0.0.4 of the metrics registry
 //	/manifest    the in-flight run manifest (JSON)
@@ -13,12 +14,18 @@
 //	/quality     detection scoreboard: confusion, F1, calibration (JSON)
 //	/drift       per-counter PSI/KS against the train-time baseline (JSON)
 //	/alerts      alert-rule engine state (JSON)
+//	/alerts/history        retained alert/drift/alarm events (JSON)
+//	/api/v1/series         time-series catalog of the embedded tsdb (JSON)
+//	/api/v1/query_range    range query: ?metric=&from=&to=&step=&agg= (JSON)
+//	/dashboard   embedded live dashboard (HTML, zero dependencies)
 //	/debug/flightrecorder  the flight recorder's current rings (JSON)
 //	/debug/pprof CPU/heap/goroutine profiling (net/http/pprof)
 //
 // The model-quality endpoints 404 until a source is attached via
 // SetQuality/SetDrift/SetAlerts/SetFlightRecorder — a plain telemetry
 // server (every CLI command's -listen) has no labeled replay to score.
+// Likewise the historical endpoints (/api/v1/*, /alerts/history) 404
+// until SetStore attaches an embedded time-series store.
 //
 // The server is started by the shared -listen flag for the duration of
 // any CLI run, and runs permanently under `hpcmal serve`.
@@ -27,16 +34,19 @@ package telemetry
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tsdb"
 )
 
 // Config wires a Server to its observability sources. Zero fields fall
@@ -60,6 +70,22 @@ type Config struct {
 	Drift          func() any
 	Alerts         func() any
 	FlightRecorder func() any
+	// Store feeds the historical endpoints (/api/v1/series,
+	// /api/v1/query_range, /alerts/history). Nil leaves them 404 until
+	// SetStore.
+	Store *tsdb.Store
+	// Ready gates /readyz: the endpoint answers 503 with the returned
+	// reason until the gate reports true. Nil means no gate — /readyz
+	// mirrors liveness, the right semantics for one-shot CLI runs that
+	// have nothing to warm up. Attach it in Config (not via SetReady)
+	// when readiness must be correct from the very first request.
+	Ready func() (bool, string)
+	// SSEKeepAlive is the idle-stream heartbeat period for SSE /events
+	// clients (default 15 s): comment frames that keep proxies and
+	// load-balancer idle timeouts from severing a quiet stream. NDJSON
+	// streams are never touched — heartbeats are an SSE comment-frame
+	// concept and would corrupt line-delimited JSON framing.
+	SSEKeepAlive time.Duration
 }
 
 // Server serves the telemetry endpoints over HTTP.
@@ -76,6 +102,8 @@ type Server struct {
 	drift   atomic.Pointer[snapshotFn]
 	alerts  atomic.Pointer[snapshotFn]
 	flight  atomic.Pointer[snapshotFn]
+	store   atomic.Pointer[tsdb.Store]
+	ready   atomic.Pointer[readyFn]
 	// closing is closed on Shutdown so long-lived /events streams end
 	// promptly and let the graceful drain finish.
 	closing      chan struct{}
@@ -98,6 +126,9 @@ func New(cfg Config) *Server {
 	if cfg.EventBuffer <= 0 {
 		cfg.EventBuffer = 256
 	}
+	if cfg.SSEKeepAlive <= 0 {
+		cfg.SSEKeepAlive = 15 * time.Second
+	}
 	// Mirror the bus's delivery/drop/subscriber accounting into the
 	// registry so /metrics exposes it without hand-written lines.
 	cfg.Bus.AttachMetrics(cfg.Registry)
@@ -112,8 +143,15 @@ func New(cfg Config) *Server {
 	s.SetDrift(cfg.Drift)
 	s.SetAlerts(cfg.Alerts)
 	s.SetFlightRecorder(cfg.FlightRecorder)
+	s.SetStore(cfg.Store)
+	s.SetReady(cfg.Ready)
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/api/v1/series", s.handleSeries)
+	s.mux.HandleFunc("/api/v1/query_range", s.handleQueryRange)
+	s.mux.HandleFunc("/alerts/history", s.handleAlertsHistory)
+	s.mux.HandleFunc("/dashboard", s.handleDashboard)
 	s.mux.HandleFunc("/buildinfo", s.handleBuildInfo)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/manifest", s.handleManifest)
@@ -160,6 +198,25 @@ func (s *Server) SetAlerts(fn func() any) { storeFn(&s.alerts, fn) }
 
 // SetFlightRecorder attaches the /debug/flightrecorder source.
 func (s *Server) SetFlightRecorder(fn func() any) { storeFn(&s.flight, fn) }
+
+// readyFn reports readiness plus a human reason while not ready.
+type readyFn func() (bool, string)
+
+// SetStore attaches (or, with nil, detaches) the embedded time-series
+// store behind /api/v1/series, /api/v1/query_range and /alerts/history.
+func (s *Server) SetStore(st *tsdb.Store) { s.store.Store(st) }
+
+// SetReady attaches the /readyz gate after construction. Prefer
+// Config.Ready when the gate must hold from the first request — a
+// late-bound gate leaves a window where /readyz reports default-ready.
+func (s *Server) SetReady(fn func() (bool, string)) {
+	if fn == nil {
+		s.ready.Store(nil)
+		return
+	}
+	rf := readyFn(fn)
+	s.ready.Store(&rf)
+}
 
 // snapshotHandler serves a late-bound snapshot source as indented JSON,
 // or 404 with a hint while no source is attached.
@@ -240,6 +297,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `hpcmal telemetry
   /healthz      liveness
+  /readyz       readiness (503 until model trained and scraper running)
   /buildinfo    binary identity (JSON)
   /metrics      Prometheus text exposition
   /manifest     in-flight run manifest (JSON)
@@ -247,14 +305,153 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /quality      detection scoreboard: confusion, F1, calibration (JSON)
   /drift        per-counter PSI/KS vs the training baseline (JSON)
   /alerts       alert-rule engine state (JSON)
+  /alerts/history        retained alert/drift/alarm events (JSON)
+  /api/v1/series         time-series catalog (JSON)
+  /api/v1/query_range    ?metric=&from=&to=&step=&agg= (JSON)
+  /dashboard    live dashboard (HTML)
   /debug/flightrecorder  flight-recorder rings (JSON)
   /debug/pprof  profiling
 `)
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It is never gated on model state — a daemon mid-training is alive.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "ok uptime_s=%.1f\n", time.Since(s.started).Seconds())
+}
+
+// handleReadyz is readiness: 503 with a reason until the attached gate
+// reports ready (serve gates on "model trained AND tsdb scraper
+// running"). With no gate attached it mirrors liveness.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if fn := s.ready.Load(); fn != nil {
+		if ok, reason := (*fn)(); !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "not ready: %s\n", reason)
+			return
+		}
+	}
+	fmt.Fprintf(w, "ready uptime_s=%.1f\n", time.Since(s.started).Seconds())
+}
+
+// parseQueryTime parses a /api/v1/query_range time bound: "now",
+// "now-<duration>" (e.g. "now-5m"), a Unix timestamp in seconds, or one
+// in milliseconds (values above 1e12 — i.e. any real ms timestamp —
+// are taken as ms). Empty falls back to def.
+func parseQueryTime(v string, now time.Time, def int64) (int64, error) {
+	switch {
+	case v == "":
+		return def, nil
+	case v == "now":
+		return now.UnixMilli(), nil
+	case strings.HasPrefix(v, "now-"):
+		d, err := time.ParseDuration(v[len("now-"):])
+		if err != nil {
+			return 0, fmt.Errorf("bad relative time %q: %w", v, err)
+		}
+		return now.Add(-d).UnixMilli(), nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q (want now, now-<dur>, or unix seconds/ms)", v)
+	}
+	if f > 1e12 {
+		return int64(f), nil
+	}
+	return int64(f * 1000), nil
+}
+
+// parseQueryStep parses the step parameter: a Go duration ("30s") or a
+// bare number of seconds. Empty or zero asks for the answering tier's
+// native resolution.
+func parseQueryStep(v string) (int64, error) {
+	if v == "" {
+		return 0, nil
+	}
+	if d, err := time.ParseDuration(v); err == nil {
+		return d.Milliseconds(), nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad step %q (want a duration like 30s or seconds)", v)
+	}
+	return int64(f * 1000), nil
+}
+
+// handleSeries serves the tsdb catalog, or 404 while no store is
+// attached (plain -listen runs have no historical store).
+func (s *Server) handleSeries(w http.ResponseWriter, _ *http.Request) {
+	st := s.store.Load()
+	if st == nil {
+		http.Error(w, "no time-series store attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st.Series())
+}
+
+// handleQueryRange answers ?metric=&from=&to=&step=&agg= range queries
+// against the embedded store. Defaults: from=now-5m, to=now, step=tier
+// native, agg=avg. Unknown metrics are 404; malformed parameters 400.
+func (s *Server) handleQueryRange(w http.ResponseWriter, r *http.Request) {
+	st := s.store.Load()
+	if st == nil {
+		http.Error(w, "no time-series store attached", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	metric := q.Get("metric")
+	if metric == "" {
+		http.Error(w, "missing metric parameter", http.StatusBadRequest)
+		return
+	}
+	now := time.Now()
+	fromMS, err := parseQueryTime(q.Get("from"), now, now.Add(-5*time.Minute).UnixMilli())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	toMS, err := parseQueryTime(q.Get("to"), now, now.UnixMilli())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	stepMS, err := parseQueryStep(q.Get("step"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	result, err := st.QueryRange(metric, fromMS, toMS, stepMS, q.Get("agg"))
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, tsdb.ErrUnknownMetric) {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(result)
+}
+
+// handleAlertsHistory serves the store's retained alert/drift/alarm
+// events — history that outlives the alert engine's current state.
+func (s *Server) handleAlertsHistory(w http.ResponseWriter, _ *http.Request) {
+	st := s.store.Load()
+	if st == nil {
+		http.Error(w, "no time-series store attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st.Events())
 }
 
 func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
@@ -317,6 +514,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	sub := s.cfg.Bus.Subscribe(s.cfg.EventBuffer)
 	defer sub.Close()
+
+	// SSE streams get periodic comment-frame heartbeats so an idle
+	// stream survives proxy and load-balancer idle timeouts. NDJSON
+	// framing is line-delimited JSON only — never heartbeat it.
+	var keepalive <-chan time.Time
+	if sse {
+		t := time.NewTicker(s.cfg.SSEKeepAlive)
+		defer t.Stop()
+		keepalive = t.C
+	}
+
 	enc := json.NewEncoder(w)
 	for {
 		select {
@@ -332,6 +540,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			if sse {
 				fmt.Fprint(w, "\n")
+			}
+			flusher.Flush()
+		case <-keepalive:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
 			}
 			flusher.Flush()
 		case <-r.Context().Done():

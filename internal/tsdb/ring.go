@@ -1,0 +1,173 @@
+package tsdb
+
+// Point is one retained bucket of a series: the min/max/sum/count of
+// every sample that landed in its time slot. Raw-tier points hold a
+// single sample (Count 1, Min == Max == Sum); downsampled tiers merge
+// many. Keeping the four moments instead of a single averaged value is
+// what lets a 10 ms alarm spike survive compaction into a 2-minute
+// bucket: the max is still there even after the mean has flattened.
+type Point struct {
+	// T is the bucket start, unix milliseconds. Raw points carry the
+	// sample's own timestamp; downsampled points are aligned to the
+	// tier's resolution.
+	T     int64   `json:"t_ms"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
+	Count int64   `json:"count"`
+}
+
+// observe folds one sample into the bucket.
+func (p *Point) observe(v float64) {
+	if p.Count == 0 || v < p.Min {
+		p.Min = v
+	}
+	if p.Count == 0 || v > p.Max {
+		p.Max = v
+	}
+	p.Sum += v
+	p.Count++
+}
+
+// merge folds another bucket into this one.
+func (p *Point) merge(q Point) {
+	if q.Count == 0 {
+		return
+	}
+	if p.Count == 0 || q.Min < p.Min {
+		p.Min = q.Min
+	}
+	if p.Count == 0 || q.Max > p.Max {
+		p.Max = q.Max
+	}
+	p.Sum += q.Sum
+	p.Count += q.Count
+}
+
+// avg returns the bucket mean (0 for an empty bucket).
+func (p Point) avg() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Sum / float64(p.Count)
+}
+
+// ring is one resolution tier of one series: a fixed-capacity circular
+// buffer of Points. Capacity — not wall-clock — bounds storage: when the
+// ring is full the oldest bucket is overwritten, so a tier's retention
+// window is capacity × resolution regardless of how long the process
+// runs. resMS 0 means "no bucketing": every observation with a new
+// timestamp appends a point (the raw tier).
+type ring struct {
+	resMS int64
+	pts   []Point
+	next  int
+	full  bool
+}
+
+func newRing(resMS int64, capacity int) *ring {
+	return &ring{resMS: resMS, pts: make([]Point, capacity)}
+}
+
+// lastIdx returns the index of the most recently written point, or -1
+// when the ring is empty.
+func (r *ring) lastIdx() int {
+	if r.next == 0 && !r.full {
+		return -1
+	}
+	return (r.next - 1 + len(r.pts)) % len(r.pts)
+}
+
+// len returns the number of live points.
+func (r *ring) length() int {
+	if r.full {
+		return len(r.pts)
+	}
+	return r.next
+}
+
+// observe streams one sample in: it merges into the newest bucket when
+// the sample falls in the same time slot, else appends a fresh bucket
+// (evicting the oldest when full). Samples are assumed to arrive in
+// non-decreasing time order — the scraper is the only writer.
+func (r *ring) observe(tMS int64, v float64) {
+	bucket := tMS
+	if r.resMS > 0 {
+		bucket = tMS - tMS%r.resMS
+	}
+	if i := r.lastIdx(); i >= 0 && r.pts[i].T == bucket {
+		r.pts[i].observe(v)
+		return
+	}
+	p := Point{T: bucket}
+	p.observe(v)
+	r.pts[r.next] = p
+	r.next = (r.next + 1) % len(r.pts)
+	if r.next == 0 {
+		r.full = true
+	}
+}
+
+// oldest returns the oldest retained bucket's start time.
+func (r *ring) oldest() (int64, bool) {
+	if r.full {
+		return r.pts[r.next].T, true
+	}
+	if r.next == 0 {
+		return 0, false
+	}
+	return r.pts[0].T, true
+}
+
+// scan calls fn for every retained point with T in [fromMS, toMS],
+// oldest first.
+func (r *ring) scan(fromMS, toMS int64, fn func(Point)) {
+	n := r.length()
+	start := 0
+	if r.full {
+		start = r.next
+	}
+	for i := 0; i < n; i++ {
+		p := r.pts[(start+i)%len(r.pts)]
+		if p.T < fromMS || p.T > toMS {
+			continue
+		}
+		fn(p)
+	}
+}
+
+// lastBefore returns the newest point strictly older than fromMS — the
+// seed for rate queries, so the first visible bucket has a predecessor
+// to difference against.
+func (r *ring) lastBefore(fromMS int64) (Point, bool) {
+	n := r.length()
+	start := 0
+	if r.full {
+		start = r.next
+	}
+	var got Point
+	var ok bool
+	for i := 0; i < n; i++ {
+		p := r.pts[(start+i)%len(r.pts)]
+		if p.T >= fromMS {
+			break
+		}
+		got, ok = p, true
+	}
+	return got, ok
+}
+
+// series is one named metric stream across all resolution tiers.
+type series struct {
+	name    string
+	kind    string
+	samples int64
+	tiers   []*ring // raw, mid, long — finest first
+}
+
+func (s *series) observe(tMS int64, v float64) {
+	s.samples++
+	for _, r := range s.tiers {
+		r.observe(tMS, v)
+	}
+}

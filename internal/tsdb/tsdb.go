@@ -1,0 +1,312 @@
+// Package tsdb is the embedded time-series store of the observability
+// stack: a bounded-memory, multi-resolution history of every metric the
+// obs registry exports, held entirely in fixed-capacity ring buffers so
+// a serve daemon can answer "what did windows/sec, F1 and drift PSI
+// look like for the last day" without any external database.
+//
+// A scraper goroutine snapshots the registry on an interval (default
+// 1 s) — snapshot-based, so nothing on the detection hot path ever
+// blocks on the store — and streams each metric into three tiers:
+//
+//	raw   one point per scrape     (default 600 points ≈ 10 min at 1 s)
+//	15s   15-second buckets        (default 480 points = 2 h)
+//	2m    2-minute buckets         (default 720 points = 24 h)
+//
+// Every tier bucket keeps min/max/sum/count, so compaction preserves
+// spikes (the max survives) and troughs (the min survives) instead of
+// averaging them away. Histogram metrics become three derived series:
+// "name:count" (cumulative observation count, rate-queryable) plus
+// "name:p50" and "name:p99" sampled through the shared
+// obs.HistogramSnapshot.Quantile helper.
+//
+// Memory is bounded by ring capacity, not wall-clock: with the default
+// capacities each series costs (600+480+720) × 40 B = 72 KB regardless
+// of uptime, and the series population is bounded by the registry's
+// metric names. The store also retains a bounded ring of alert, drift
+// and alarm events — the /alerts/history payload — so "what fired in
+// the last hour" outlives the alert engine's current state.
+package tsdb
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Registry metric names exported by the Store about itself.
+const (
+	ScrapesMetric  = "tsdb.scrapes"
+	SamplesMetric  = "tsdb.samples"
+	SeriesMetric   = "tsdb.series"
+	ScrapeMSMetric = "tsdb.scrape_ms"
+)
+
+// Series kinds, reported in the catalog.
+const (
+	KindCounter = "counter" // cumulative; query with agg=rate for per-second
+	KindGauge   = "gauge"   // instantaneous level
+)
+
+// Tier resolutions in milliseconds (raw is unbucketed).
+const (
+	midResMS  = 15_000
+	longResMS = 120_000
+)
+
+// tierNames index-matches series.tiers.
+var tierNames = []string{"raw", "15s", "2m"}
+
+// Config configures a Store. Zero fields take defaults.
+type Config struct {
+	// Registry is scraped into the store (default obs.DefaultRegistry).
+	Registry *obs.Registry
+	// Interval is the scrape period for Run (default 1 s).
+	Interval time.Duration
+	// RawCapacity / MidCapacity / LongCapacity bound the per-series
+	// tiers (defaults 600 / 480 / 720 points). Together they are the
+	// store's documented memory cap: bytes/series = 40 × (raw+mid+long).
+	RawCapacity  int
+	MidCapacity  int
+	LongCapacity int
+	// Bus, when non-nil (default obs.DefaultBus), is watched by Run for
+	// EventTypes, retained in a bounded history ring.
+	Bus *obs.Bus
+	// EventTypes selects which bus events the history ring keeps
+	// (default alarm, alert, alert_resolved, drift, drift_resolved).
+	EventTypes []string
+	// EventDepth bounds the event-history ring (default 512).
+	EventDepth int
+}
+
+// Store is the embedded time-series database. All methods are safe for
+// concurrent use; one Run goroutine writes, any number of queries read.
+type Store struct {
+	mu      sync.Mutex
+	cfg     Config
+	series  map[string]*series
+	events  []obs.Event
+	eNext   int
+	eFull   bool
+	eTotal  int64
+	firstMS int64
+	lastMS  int64
+
+	running atomic.Bool
+
+	mScrapes *obs.Counter
+	mSamples *obs.Counter
+	gSeries  *obs.Gauge
+	hScrape  *obs.Histogram
+}
+
+// New builds a store over the given registry without scraping yet.
+func New(cfg Config) *Store {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.DefaultRegistry
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.RawCapacity <= 0 {
+		cfg.RawCapacity = 600
+	}
+	if cfg.MidCapacity <= 0 {
+		cfg.MidCapacity = 480
+	}
+	if cfg.LongCapacity <= 0 {
+		cfg.LongCapacity = 720
+	}
+	if cfg.Bus == nil {
+		cfg.Bus = obs.DefaultBus
+	}
+	if cfg.EventTypes == nil {
+		cfg.EventTypes = []string{"alarm", "alert", "alert_resolved", "drift", "drift_resolved"}
+	}
+	if cfg.EventDepth <= 0 {
+		cfg.EventDepth = 512
+	}
+	return &Store{
+		cfg:      cfg,
+		series:   map[string]*series{},
+		events:   make([]obs.Event, cfg.EventDepth),
+		mScrapes: cfg.Registry.Counter(ScrapesMetric),
+		mSamples: cfg.Registry.Counter(SamplesMetric),
+		gSeries:  cfg.Registry.Gauge(SeriesMetric),
+		hScrape:  cfg.Registry.Histogram(ScrapeMSMetric, []float64{0.1, 0.5, 1, 5, 10, 50}),
+	}
+}
+
+// Interval returns the configured scrape period.
+func (st *Store) Interval() time.Duration { return st.cfg.Interval }
+
+// Running reports whether a Run loop is currently scraping — the
+// /readyz signal that history is accumulating.
+func (st *Store) Running() bool { return st != nil && st.running.Load() }
+
+func (st *Store) observeLocked(name, kind string, tMS int64, v float64) {
+	s, ok := st.series[name]
+	if !ok {
+		s = &series{name: name, kind: kind, tiers: []*ring{
+			newRing(0, st.cfg.RawCapacity),
+			newRing(midResMS, st.cfg.MidCapacity),
+			newRing(longResMS, st.cfg.LongCapacity),
+		}}
+		st.series[name] = s
+	}
+	s.observe(tMS, v)
+}
+
+// ScrapeAt takes one sample of every registry metric, stamped at now —
+// the testable core of Run. Counters and gauges become one series each;
+// histograms become "name:count" plus "name:p50"/"name:p99" (quantiles
+// are skipped while the histogram is empty, so the percentile series
+// starts at the first observation instead of a misleading 0).
+func (st *Store) ScrapeAt(now time.Time) {
+	t0 := time.Now()
+	// Snapshot outside the store lock: the registry does its own locking
+	// and the detection hot path only ever contends on that, never on
+	// query traffic.
+	snap := st.cfg.Registry.Snapshot()
+	tMS := now.UnixMilli()
+	samples := int64(0)
+
+	st.mu.Lock()
+	for name, v := range snap.Counters {
+		st.observeLocked(name, KindCounter, tMS, float64(v))
+		samples++
+	}
+	for name, v := range snap.Gauges {
+		st.observeLocked(name, KindGauge, tMS, v)
+		samples++
+	}
+	for name, h := range snap.Histograms {
+		st.observeLocked(name+":count", KindCounter, tMS, float64(h.Count))
+		samples++
+		if h.Count > 0 {
+			st.observeLocked(name+":p50", KindGauge, tMS, h.Quantile(0.50))
+			st.observeLocked(name+":p99", KindGauge, tMS, h.Quantile(0.99))
+			samples += 2
+		}
+	}
+	if st.firstMS == 0 {
+		st.firstMS = tMS
+	}
+	if tMS > st.lastMS {
+		st.lastMS = tMS
+	}
+	nseries := len(st.series)
+	st.mu.Unlock()
+
+	st.mScrapes.Inc()
+	st.mSamples.Add(samples)
+	st.gSeries.Set(float64(nseries))
+	st.hScrape.Observe(float64(time.Since(t0).Microseconds()) / 1000)
+}
+
+// RecordEvent retains one event in the bounded history ring (exported
+// for tests; Run feeds it from the bus).
+func (st *Store) RecordEvent(e obs.Event) {
+	st.mu.Lock()
+	st.events[st.eNext] = e
+	st.eNext = (st.eNext + 1) % len(st.events)
+	if st.eNext == 0 {
+		st.eFull = true
+	}
+	st.eTotal++
+	st.mu.Unlock()
+}
+
+// EventHistory is the /alerts/history payload.
+type EventHistory struct {
+	// Total counts every retained-type event ever seen; Depth is the
+	// ring bound, so Total > Depth means the oldest have been evicted.
+	Total int64 `json:"total"`
+	Depth int   `json:"depth"`
+	// Events is oldest-first.
+	Events []obs.Event `json:"events"`
+}
+
+// Events returns the retained alert/drift/alarm history, oldest first.
+func (st *Store) Events() EventHistory {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	h := EventHistory{Total: st.eTotal, Depth: len(st.events)}
+	if st.eFull {
+		h.Events = append(h.Events, st.events[st.eNext:]...)
+	}
+	h.Events = append(h.Events, st.events[:st.eNext]...)
+	return h
+}
+
+// Run scrapes on the configured interval and watches the bus for
+// history events until ctx is done. It scrapes once immediately so
+// queries and readiness have data from the first tick. Call it on its
+// own goroutine.
+func (st *Store) Run(ctx context.Context) {
+	st.running.Store(true)
+	defer st.running.Store(false)
+
+	keep := map[string]bool{}
+	for _, t := range st.cfg.EventTypes {
+		keep[t] = true
+	}
+	var events <-chan obs.Event
+	if st.cfg.Bus != nil {
+		sub := st.cfg.Bus.Subscribe(256)
+		defer sub.Close()
+		events = sub.Events()
+	}
+
+	st.ScrapeAt(time.Now())
+	tick := time.NewTicker(st.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			st.ScrapeAt(now)
+		case e, ok := <-events:
+			if !ok {
+				events = nil
+				continue
+			}
+			if keep[e.Type] {
+				st.RecordEvent(e)
+			}
+		}
+	}
+}
+
+// HistoryDump is a compact export of the raw tier's recent window — the
+// flight recorder embeds one in every incident so a dump shows the
+// minutes before the trigger, not just the instant of it.
+type HistoryDump struct {
+	FromMS int64 `json:"from_ms"`
+	ToMS   int64 `json:"to_ms"`
+	// Series maps metric name to its raw-tier points inside the window,
+	// oldest first.
+	Series map[string][]Point `json:"series"`
+}
+
+// RecentHistory exports every series' raw-tier points from the last d
+// of scraped time (relative to the newest sample).
+func (st *Store) RecentHistory(d time.Duration) HistoryDump {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	dump := HistoryDump{ToMS: st.lastMS, Series: map[string][]Point{}}
+	dump.FromMS = dump.ToMS - d.Milliseconds()
+	for name, s := range st.series {
+		var pts []Point
+		s.tiers[0].scan(dump.FromMS, dump.ToMS, func(p Point) {
+			pts = append(pts, p)
+		})
+		if len(pts) > 0 {
+			dump.Series[name] = pts
+		}
+	}
+	return dump
+}
