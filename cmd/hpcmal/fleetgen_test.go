@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpapi"
+	"repro/internal/ingest"
+)
+
+// TestFleetgenAgainstServe is the fleet e2e: a pure-ingest serve
+// (-replay=false) absorbs a small fleetgen run, every window lands in a
+// per-tenant scoreboard behind /api/v1/tenants, and the deprecated
+// alias paths still answer with a Deprecation header.
+func TestFleetgenAgainstServe(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, errc := startServe(t, ctx, []string{
+		"-scale", "0.01", "-replay=false", "-quiet"})
+
+	if err := cmdFleetgen([]string{
+		"-addr", srv.Addr(), "-tenants", "2", "-endpoints", "2",
+		"-batch", "8", "-rounds", "3", "-windows", "16"}); err != nil {
+		t.Fatalf("fleetgen: %v", err)
+	}
+
+	getJSON := func(path string, out any) (int, http.Header) {
+		t.Helper()
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == 200 && out != nil {
+			if err := json.Unmarshal(body, out); err != nil {
+				t.Fatalf("%s not JSON: %v\n%s", path, err, body)
+			}
+		}
+		return resp.StatusCode, resp.Header
+	}
+
+	// Both tenants exist, fully drained, with classified windows.
+	var tl struct {
+		Tenants []ingest.TenantSummary `json:"tenants"`
+	}
+	if code, _ := getJSON("/api/v1/tenants", &tl); code != 200 {
+		t.Fatalf("/api/v1/tenants = %d", code)
+	}
+	if len(tl.Tenants) != 2 {
+		t.Fatalf("tenants = %+v", tl.Tenants)
+	}
+	for _, ts := range tl.Tenants {
+		if ts.WindowsProcessed != 2*3*8 || ts.Queued != 0 {
+			t.Fatalf("tenant %s = %+v", ts.ID, ts)
+		}
+	}
+
+	// Per-tenant quality scored every labeled window; drift is armed.
+	var q struct {
+		Observed int64 `json:"observed"`
+	}
+	if code, _ := getJSON("/api/v1/tenants/tenant-00/quality", &q); code != 200 || q.Observed != 48 {
+		t.Fatalf("tenant quality = %d observed=%d", code, q.Observed)
+	}
+	if code, _ := getJSON("/api/v1/tenants/tenant-00/drift", nil); code != 200 {
+		t.Fatalf("tenant drift = %d", code)
+	}
+
+	// Fleet stats expose the sustained rate and latency percentiles.
+	var st ingest.Stats
+	if code, _ := getJSON("/api/v1/ingest", &st); code != 200 {
+		t.Fatalf("/api/v1/ingest = %d", code)
+	}
+	if st.WindowsProcessed != 2*2*3*8 || st.Tenants != 2 || st.WindowsPerSec <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.VerdictLatencyP99MS < st.VerdictLatencyP50MS {
+		t.Fatalf("latency percentiles inverted: %+v", st)
+	}
+
+	// A deprecated alias answers identically to its successor, stamped.
+	respLegacy, err := http.Get(srv.URL() + "/quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyBody, _ := io.ReadAll(respLegacy.Body)
+	respLegacy.Body.Close()
+	if dep := respLegacy.Header.Get(httpapi.DeprecationHeader); dep != "true" {
+		t.Fatalf("/quality Deprecation = %q", dep)
+	}
+	if link := respLegacy.Header.Get("Link"); !strings.Contains(link, "/api/v1/quality") {
+		t.Fatalf("/quality Link = %q", link)
+	}
+	respV1, err := http.Get(srv.URL() + "/api/v1/quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1Body, _ := io.ReadAll(respV1.Body)
+	respV1.Body.Close()
+	if string(legacyBody) != string(v1Body) {
+		t.Fatalf("alias body differs:\n--- /quality\n%s\n--- /api/v1/quality\n%s", legacyBody, v1Body)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exit: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("serve did not exit")
+	}
+}

@@ -11,7 +11,8 @@
 //	hpcmal pca    [-scale 0.05] [-k 8]
 //	hpcmal hwcost [-scale 0.05]
 //	hpcmal repro  [all|ablations|table1|table2|fig6|pcaplots|fig13|...|fig19]
-//	hpcmal serve  -listen :9090 [-scale 0.05 -classifier J48]
+//	hpcmal serve  -listen :9090 [-scale 0.05 -classifier J48] [-replay=false]
+//	hpcmal fleetgen -addr 127.0.0.1:9090 [-tenants 4 -endpoints 8 -rounds 10]
 //	hpcmal top    -addr 127.0.0.1:9090 [-interval 2s]
 package main
 
@@ -61,6 +62,8 @@ func main() {
 		err = cmdRepro(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "fleetgen":
+		err = cmdFleetgen(os.Args[2:])
 	case "top":
 		err = cmdTop(os.Args[2:])
 	case "-version", "--version", "version":
@@ -93,8 +96,12 @@ commands:
   emit   [-classifier -out -scale -seed]  train and emit synthesizable
                                Verilog for a rule/tree detector
   repro  <id|all|ablations|extensions>   regenerate the paper's evaluation
-  serve  [-listen -scale -classifier -rounds]   run the online detector as
-                               a long-lived daemon with live telemetry
+  serve  [-listen -scale -classifier -rounds -replay=false]   run the online
+                               detector as a long-lived daemon with live
+                               telemetry and the /api/v1/ingest fleet API
+  fleetgen [-addr -tenants -endpoints -batch -rounds -ndjson]   drive a serve
+                               daemon with simulated fleet ingest traffic and
+                               report windows/sec + latency percentiles
   top    [-addr -interval -once]   terminal dashboard over a serve daemon's
                                range-query API (history, alerts, readiness)
   version                      print build identity (module, VCS revision)

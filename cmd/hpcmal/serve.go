@@ -13,6 +13,7 @@ import (
 	"repro/internal/alert"
 	"repro/internal/core"
 	"repro/internal/flightrec"
+	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/quality"
@@ -69,6 +70,9 @@ func runServe(ctx context.Context, args []string) error {
 	alertInterval := fs.Duration("alert-interval", 2*time.Second, "alert-rule evaluation interval")
 	incidentDir := fs.String("incident-dir", "", "write flight-recorder incident dumps to `dir` on alarms, firing alerts and panics")
 	scrapeInterval := fs.Duration("scrape-interval", time.Second, "metric-history scrape period for /api/v1/query_range and the dashboard")
+	replay := fs.Bool("replay", true, "run the self-generated labeled replay loop (false = pure fleet-ingest server: train, mount /api/v1/ingest, wait for traffic)")
+	ingestQueue := fs.Int("ingest-queue", 16384, "per-tenant ingest queue capacity in windows (full queues answer 429 + Retry-After)")
+	ingestShards := fs.Int("ingest-shards", 0, "detection pipeline shards for the ingest service (0 = the -parallel worker bound)")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,12 +100,16 @@ func runServe(ctx context.Context, args []string) error {
 	// through an atomic pointer (Running is nil-safe).
 	var trained atomic.Bool
 	var storePtr atomic.Pointer[tsdb.Store]
+	var ingestUp atomic.Bool
 	of.ReadyFn = func() (bool, string) {
 		if !trained.Load() {
 			return false, "detector not trained yet"
 		}
 		if !storePtr.Load().Running() {
 			return false, "metric-history scraper not running"
+		}
+		if !ingestUp.Load() {
+			return false, "ingest service not mounted yet"
 		}
 		return true, ""
 	}
@@ -117,7 +125,7 @@ func runServe(ctx context.Context, args []string) error {
 	storePtr.Store(store)
 	go store.Run(ctx)
 	srv.SetStore(store)
-	fmt.Printf("telemetry on %s (/metrics /events /quality /drift /alerts /alerts/history /api/v1/series /api/v1/query_range /dashboard /healthz /readyz /buildinfo /manifest /debug/flightrecorder /debug/pprof)\n", srv.URL())
+	fmt.Printf("telemetry on %s (/metrics /events /dashboard /healthz /readyz /api/v1/{ingest,tenants,quality,drift,alerts,alerts/history,series,query_range,manifest,buildinfo} /debug/flightrecorder /debug/pprof)\n", srv.URL())
 	if serveStarted != nil {
 		serveStarted(srv)
 	}
@@ -176,6 +184,25 @@ func runServe(ctx context.Context, args []string) error {
 	srv.SetFlightRecorder(func() any { return rec.Snapshot() })
 	obs.Log().Info("model-quality observability armed",
 		"alert_rules", len(rules), "incident_dir", *incidentDir)
+
+	// Fleet ingest: mount the sharded per-tenant detection service on the
+	// versioned API. Remote endpoints POST window batches; the replay loop
+	// below stays the self-generated labeled traffic source.
+	svc, err := ingest.New(ingest.Config{
+		Classifier: clf,
+		Events:     tbl.Attributes,
+		Baseline:   base,
+		Shards:     *ingestShards,
+		QueueCap:   *ingestQueue,
+	})
+	if err != nil {
+		return err
+	}
+	svc.Start(ctx)
+	srv.SetIngest(svc.Handler())
+	ingestUp.Store(true)
+	obs.Log().Info("fleet ingest mounted", "shards", svc.Stats().Shards,
+		"queue_cap", *ingestQueue, "program", svc.Program())
 	if serveReady != nil {
 		serveReady(srv)
 	}
@@ -184,8 +211,14 @@ func runServe(ctx context.Context, args []string) error {
 	cfg.WindowsPerSample = *windows
 	classes := workload.AllClasses()
 	round, alarms := 0, 0
+	if !*replay {
+		// Pure ingest server: all traffic arrives over POST /api/v1/ingest
+		// (fleetgen or real endpoints). Hold until signalled.
+		obs.Log().Info("replay disabled; serving fleet ingest until signal")
+		<-ctx.Done()
+	}
 loop:
-	for ; *rounds == 0 || round < *rounds; round++ {
+	for ; *replay && (*rounds == 0 || round < *rounds); round++ {
 		rsp := obs.StartSpan("serve.round")
 		for _, class := range classes {
 			if ctx.Err() != nil {
@@ -251,10 +284,14 @@ loop:
 	if ctx.Err() != nil {
 		obs.Log().Info("signal received, shutting down")
 	}
-	fmt.Printf("monitored %d rounds, %d alarms raised\n", round, alarms)
+	ist := svc.Stats()
+	fmt.Printf("monitored %d rounds, %d alarms raised; ingest: %d windows from %d tenants (%.0f windows/s, p99 %.2f ms)\n",
+		round, alarms, ist.WindowsProcessed, ist.Tenants, ist.WindowsPerSec, ist.VerdictLatencyP99MS)
 
 	of.manifest.Config["classifier"] = *classifier
 	of.manifest.Config["rounds"] = fmt.Sprint(round)
+	of.manifest.Config["ingest_windows"] = fmt.Sprint(ist.WindowsProcessed)
+	of.manifest.Config["ingest_tenants"] = fmt.Sprint(ist.Tenants)
 	if *rulesPath != "" {
 		of.manifest.Config["rules"] = *rulesPath
 	}

@@ -163,7 +163,7 @@ func (c *topClient) frame(window time.Duration) (string, error) {
 	}
 
 	var hist tsdb.EventHistory
-	if err := c.getJSON("/alerts/history", &hist); err == nil {
+	if err := c.getJSON("/api/v1/alerts/history", &hist); err == nil {
 		fmt.Fprintf(&b, "\nrecent alerts/drift/alarms (%d total):\n", hist.Total)
 		events := hist.Events
 		if len(events) > 8 {

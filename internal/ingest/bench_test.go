@@ -1,0 +1,198 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/quality"
+)
+
+// benchFleet builds a started ingest service around a real trained
+// detector (compiled onto the hot path when the classifier supports it)
+// plus a replayable pool of labeled windows drawn from the dataset, so
+// the benchmarks measure the production ingest→detect pipeline rather
+// than a stub.
+func benchFleet(b *testing.B, shards int) (*Service, []Window) {
+	b.Helper()
+	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: 1, Scale: 0.02})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := make([][]float64, len(tbl.Instances))
+	for i := range tbl.Instances {
+		rows[i] = tbl.Instances[i].Features
+	}
+	labels := tbl.BinaryLabels()
+	clf, err := core.NewClassifier("J48", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := clf.Train(rows, labels, 2); err != nil {
+		b.Fatal(err)
+	}
+	base, err := quality.CaptureBaseline(tbl.Attributes, rows, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := New(Config{
+		Classifier: clf,
+		Events:     tbl.Attributes,
+		Baseline:   base,
+		Shards:     shards,
+		QueueCap:   1 << 17,
+		Registry:   obs.NewRegistry(),
+		Bus:        obs.NewBus(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b.Cleanup(cancel)
+	svc.Start(ctx)
+
+	pool := make([]Window, len(rows))
+	for i := range rows {
+		lbl := labels[i]
+		pool[i] = Window{
+			Endpoint: fmt.Sprintf("bench-ep-%02d", i%16),
+			Label:    &lbl,
+			Values:   rows[i],
+		}
+	}
+	return svc, pool
+}
+
+// benchEnqueue pushes one batch, absorbing transient backpressure so a
+// long -benchtime cannot fail the run: on queue_full it waits the
+// advertised Retry-After slice and resends.
+func benchEnqueue(b *testing.B, svc *Service, tenant string, ws []Window) int {
+	b.Helper()
+	for {
+		res, err := svc.Enqueue(tenant, "", ws)
+		if err == nil {
+			return res.Accepted
+		}
+		var qf *QueueFullError
+		if !errors.As(err, &qf) {
+			b.Fatal(err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitVerdicts blocks until every queued window has been classified, so
+// the timed region covers ingest-to-verdict, not ingest-to-queue.
+func waitVerdicts(b *testing.B, svc *Service) {
+	b.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for !svc.Drained() {
+		if time.Now().After(deadline) {
+			b.Fatalf("ingest did not drain: %+v", svc.Stats())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// reportFleet attaches the headline load-test figures as custom metrics
+// so `make bench-baseline` lands sustained windows/sec and the verdict
+// latency percentiles in BENCH_baseline.json.
+func reportFleet(b *testing.B, svc *Service, windows int) {
+	b.Helper()
+	st := svc.Stats()
+	b.ReportMetric(float64(windows)/b.Elapsed().Seconds(), "windows/s")
+	b.ReportMetric(st.VerdictLatencyP50MS, "p50_ms")
+	b.ReportMetric(st.VerdictLatencyP99MS, "p99_ms")
+}
+
+// BenchmarkFleet_IngestDetectPipeline is the load-test harness for the
+// sharded ingest service: each iteration enqueues one 512-window batch
+// into every one of 8 tenants (keeping all shards fed, the aggregate
+// fleet shape), and the run ends only after every window has a verdict.
+// windows/s is the sustained aggregate rate.
+func BenchmarkFleet_IngestDetectPipeline(b *testing.B) {
+	const batch, tenants = 512, 8
+	svc, pool := benchFleet(b, 0)
+	ws := make([]Window, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ws {
+			ws[j] = pool[(i*batch+j)%len(pool)]
+		}
+		for t := 0; t < tenants; t++ {
+			benchEnqueue(b, svc, fmt.Sprintf("tenant-%02d", t), ws)
+		}
+	}
+	waitVerdicts(b, svc)
+	b.StopTimer()
+	reportFleet(b, svc, b.N*batch*tenants)
+}
+
+// BenchmarkFleet_IngestDetectSingleShard pins the pipeline to one shard:
+// the sequential floor the sharded rate is compared against.
+func BenchmarkFleet_IngestDetectSingleShard(b *testing.B) {
+	const batch = 512
+	svc, pool := benchFleet(b, 1)
+	ws := make([]Window, batch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range ws {
+			ws[j] = pool[(i*batch+j)%len(pool)]
+		}
+		benchEnqueue(b, svc, "tenant-00", ws)
+	}
+	waitVerdicts(b, svc)
+	b.StopTimer()
+	reportFleet(b, svc, b.N*batch)
+}
+
+// BenchmarkFleet_IngestHTTP measures the full wire path: JSON batch
+// decode, validation, enqueue and classification behind POST
+// /api/v1/ingest on a live httptest server.
+func BenchmarkFleet_IngestHTTP(b *testing.B) {
+	const batch, tenants = 512, 8
+	svc, pool := benchFleet(b, 0)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	ws := make([]Window, batch)
+	for j := range ws {
+		ws[j] = pool[j%len(pool)]
+	}
+	payload, err := json.Marshal(Batch{Windows: ws})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(
+			ts.URL+"/api/v1/ingest?tenant="+fmt.Sprintf("tenant-%02d", i%tenants),
+			"application/json", bytes.NewReader(payload))
+		if err != nil {
+			b.Fatal(err)
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == 429 {
+			time.Sleep(time.Millisecond)
+			i--
+			continue
+		}
+		if code != 202 {
+			b.Fatalf("ingest returned %d", code)
+		}
+	}
+	waitVerdicts(b, svc)
+	b.StopTimer()
+	reportFleet(b, svc, b.N*batch)
+}

@@ -1,0 +1,275 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/httpapi"
+)
+
+// TenantHeader carries the tenant id when it is not in the body or the
+// ?tenant= query parameter.
+const TenantHeader = "X-Tenant-ID"
+
+// maxBodyBytes bounds one ingest request body (64 MiB — far above any
+// sane batch, low enough that a runaway client cannot exhaust memory).
+const maxBodyBytes = 64 << 20
+
+// Handler returns the ingest service's HTTP surface, rooted at
+// /api/v1/ingest and /api/v1/tenants. The telemetry server mounts it;
+// it can also serve standalone in tests.
+func (s *Service) Handler() http.Handler {
+	return http.HandlerFunc(s.route)
+}
+
+func (s *Service) route(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	switch {
+	case path == "/api/v1/ingest":
+		switch r.Method {
+		case http.MethodPost:
+			s.handleIngest(w, r)
+		case http.MethodGet, http.MethodHead:
+			httpapi.WriteJSON(w, s.Stats())
+		default:
+			w.Header().Set("Allow", "GET, POST")
+			httpapi.Errorf(w, http.StatusMethodNotAllowed, httpapi.CodeMethodNotAllowed,
+				"method %s not allowed on %s (allow: GET, POST)", r.Method, r.URL.Path)
+		}
+	case path == "/api/v1/tenants":
+		httpapi.Methods(func(w http.ResponseWriter, _ *http.Request) {
+			httpapi.WriteJSON(w, map[string]any{"tenants": s.Tenants()})
+		}, http.MethodGet)(w, r)
+	case strings.HasPrefix(path, "/api/v1/tenants/"):
+		httpapi.Methods(func(w http.ResponseWriter, r *http.Request) {
+			s.handleTenant(w, r, strings.TrimPrefix(path, "/api/v1/tenants/"))
+		}, http.MethodGet)(w, r)
+	default:
+		httpapi.NotFound(w, r)
+	}
+}
+
+// handleTenant serves /api/v1/tenants/{id}[/quality|/drift].
+func (s *Service) handleTenant(w http.ResponseWriter, r *http.Request, rest string) {
+	id, sub, _ := strings.Cut(rest, "/")
+	if !validTenantID(id) {
+		httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+			"invalid tenant id %q", id)
+		return
+	}
+	switch sub {
+	case "":
+		t := s.lookupTenant(id)
+		if t == nil {
+			httpapi.Errorf(w, http.StatusNotFound, httpapi.CodeNotFound,
+				"unknown tenant: %s", id)
+			return
+		}
+		httpapi.WriteJSON(w, t.summary(s.cfg.QueueCap))
+	case "quality":
+		snap, ok := s.TenantQuality(id)
+		if !ok {
+			httpapi.Errorf(w, http.StatusNotFound, httpapi.CodeNotFound,
+				"unknown tenant: %s", id)
+			return
+		}
+		httpapi.WriteJSON(w, snap)
+	case "drift":
+		snap, ok, armed := s.TenantDrift(id)
+		if !ok {
+			httpapi.Errorf(w, http.StatusNotFound, httpapi.CodeNotFound,
+				"unknown tenant: %s", id)
+			return
+		}
+		if !armed {
+			httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound,
+				"drift detection not armed: service has no baseline")
+			return
+		}
+		httpapi.WriteJSON(w, snap)
+	default:
+		httpapi.NotFound(w, r)
+	}
+}
+
+// handleIngest accepts POST /api/v1/ingest: a JSON Batch body, or (with
+// Content-Type application/x-ndjson) one Window JSON object per line.
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	headerTenant := r.Header.Get(TenantHeader)
+	queryTenant := r.URL.Query().Get("tenant")
+	if headerTenant != "" && queryTenant != "" && headerTenant != queryTenant {
+		httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+			"conflicting tenant ids: header %q vs query %q", headerTenant, queryTenant)
+		return
+	}
+	tenantID := headerTenant
+	if tenantID == "" {
+		tenantID = queryTenant
+	}
+
+	var batch Batch
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/x-ndjson") {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		line := 0
+		for sc.Scan() {
+			raw := strings.TrimSpace(sc.Text())
+			line++
+			if raw == "" {
+				continue
+			}
+			var win Window
+			if err := json.Unmarshal([]byte(raw), &win); err != nil {
+				httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+					"ndjson line %d: %v", line, err)
+				return
+			}
+			batch.Windows = append(batch.Windows, win)
+			if len(batch.Windows) > s.cfg.MaxBatchWindows {
+				httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+					"batch exceeds %d windows", s.cfg.MaxBatchWindows)
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				"reading ndjson body: %v", err)
+			return
+		}
+	} else {
+		dec := json.NewDecoder(body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&batch); err != nil {
+			var maxErr *http.MaxBytesError
+			if errors.As(err, &maxErr) {
+				httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+					"body exceeds %d bytes", maxErr.Limit)
+				return
+			}
+			httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				"decoding batch: %v", err)
+			return
+		}
+		if dec.More() {
+			httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				"trailing data after batch object (use application/x-ndjson for streams)")
+			return
+		}
+		if batch.Tenant != "" {
+			if tenantID != "" && batch.Tenant != tenantID {
+				httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+					"conflicting tenant ids: request %q vs body %q", tenantID, batch.Tenant)
+				return
+			}
+			tenantID = batch.Tenant
+		}
+	}
+	io.Copy(io.Discard, body)
+
+	if !validTenantID(tenantID) {
+		httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+			"missing or invalid tenant id %q (set %s, ?tenant=, or batch.tenant; [A-Za-z0-9._-]{1,64})",
+			tenantID, TenantHeader)
+		return
+	}
+	switch batch.Overflow {
+	case "", OverflowReject, OverflowDropOldest:
+	default:
+		httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+			"unknown overflow policy %q (want %q or %q)",
+			batch.Overflow, OverflowReject, OverflowDropOldest)
+		return
+	}
+	if len(batch.Windows) == 0 {
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+			"batch has no windows")
+		return
+	}
+	if len(batch.Windows) > s.cfg.MaxBatchWindows {
+		httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+			"batch exceeds %d windows", s.cfg.MaxBatchWindows)
+		return
+	}
+	for i := range batch.Windows {
+		if err := s.validateWindow(&batch.Windows[i]); err != nil {
+			httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				"window %d: %v", i, err)
+			return
+		}
+	}
+
+	res, err := s.Enqueue(tenantID, batch.Overflow, batch.Windows)
+	if err != nil {
+		var full *QueueFullError
+		var limit *TenantLimitError
+		switch {
+		case errors.As(err, &full):
+			secs := int(math.Ceil(full.RetryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			httpapi.Errorf(w, http.StatusTooManyRequests, httpapi.CodeQueueFull,
+				"tenant %s queue full (%d/%d windows); retry after %ds",
+				full.Tenant, full.Queued, full.Cap, secs)
+		case errors.As(err, &limit):
+			httpapi.Errorf(w, http.StatusTooManyRequests, httpapi.CodeTenantLimit,
+				"tenant limit reached (%d)", limit.Limit)
+		case errors.Is(err, ErrStopped):
+			httpapi.Error(w, http.StatusServiceUnavailable, httpapi.CodeUnavailable,
+				"ingest service stopped")
+		default:
+			httpapi.Error(w, http.StatusServiceUnavailable, httpapi.CodeUnavailable,
+				err.Error())
+		}
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	httpapi.WriteJSON(w, res)
+}
+
+// validateWindow enforces the wire schema: the trained feature
+// dimension, finite values, and a binary label when present.
+func (s *Service) validateWindow(w *Window) error {
+	if len(w.Values) != s.dim {
+		return fmt.Errorf("values has %d features, detector expects %d", len(w.Values), s.dim)
+	}
+	for j, v := range w.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("values[%d] is not finite", j)
+		}
+	}
+	if w.Label != nil && *w.Label != 0 && *w.Label != 1 {
+		return fmt.Errorf("label %d outside {0,1}", *w.Label)
+	}
+	if len(w.Endpoint) > 128 {
+		return fmt.Errorf("endpoint id longer than 128 bytes")
+	}
+	return nil
+}
+
+// validTenantID enforces the tenant id charset: [A-Za-z0-9._-]{1,64}.
+func validTenantID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -42,6 +42,12 @@ type Flags struct {
 	// Nil keeps /readyz mirroring liveness — right for one-shot runs.
 	ReadyFn func() (bool, string)
 
+	// TelemetryOpts are extra telemetry.New options appended after the
+	// ones Setup derives from the flags, so commands can wire sources
+	// (stores, snapshot functions, an ingest service) uniformly at
+	// construction instead of via post-hoc setters.
+	TelemetryOpts []telemetry.Option
+
 	server  *telemetry.Server
 	cpuFile *os.File
 }
@@ -96,7 +102,9 @@ func (f *Flags) Setup() error {
 		f.cpuFile = cf
 	}
 	if f.Listen != "" {
-		f.server = telemetry.New(telemetry.Config{Ready: f.ReadyFn})
+		opts := []telemetry.Option{telemetry.WithReady(f.ReadyFn)}
+		opts = append(opts, f.TelemetryOpts...)
+		f.server = telemetry.New(opts...)
 		if err := f.server.Start(f.Listen); err != nil {
 			f.stopCPUProfile()
 			return err

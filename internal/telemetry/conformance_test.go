@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/httpapi"
+	"repro/internal/obs"
+)
+
+// TestAPIConformance is the table-driven wire-contract test for the
+// versioned API: every JSON endpoint answers errors with the stable
+// {"error":{"code","message"}} envelope and the right status code, and
+// rejects wrong methods with 405 + Allow.
+func TestAPIConformance(t *testing.T) {
+	s, _, _ := testServer(t) // nothing attached: sources all missing
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		status int
+		code   string
+	}{
+		{"quality unattached", "GET", "/api/v1/quality", 404, httpapi.CodeNotFound},
+		{"drift unattached", "GET", "/api/v1/drift", 404, httpapi.CodeNotFound},
+		{"alerts unattached", "GET", "/api/v1/alerts", 404, httpapi.CodeNotFound},
+		{"alerts history unattached", "GET", "/api/v1/alerts/history", 404, httpapi.CodeNotFound},
+		{"manifest unattached", "GET", "/api/v1/manifest", 404, httpapi.CodeNotFound},
+		{"series no store", "GET", "/api/v1/series", 404, httpapi.CodeNotFound},
+		{"query_range no store", "GET", "/api/v1/query_range?metric=x", 404, httpapi.CodeNotFound},
+		{"flightrecorder unattached", "GET", "/debug/flightrecorder", 404, httpapi.CodeNotFound},
+		{"ingest unmounted", "POST", "/api/v1/ingest", 503, httpapi.CodeUnavailable},
+		{"tenants unmounted", "GET", "/api/v1/tenants", 503, httpapi.CodeUnavailable},
+		{"tenant subpath unmounted", "GET", "/api/v1/tenants/acme/quality", 503, httpapi.CodeUnavailable},
+		{"quality wrong method", "POST", "/api/v1/quality", 405, httpapi.CodeMethodNotAllowed},
+		{"series wrong method", "DELETE", "/api/v1/series", 405, httpapi.CodeMethodNotAllowed},
+		{"buildinfo wrong method", "PUT", "/api/v1/buildinfo", 405, httpapi.CodeMethodNotAllowed},
+		{"legacy alias wrong method", "POST", "/quality", 405, httpapi.CodeMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(tc.method, tc.path, nil)
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != tc.status {
+				t.Fatalf("status = %d want %d: %s", rec.Code, tc.status, rec.Body.String())
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("content type = %q (plain-text errors are gone)", ct)
+			}
+			var env httpapi.ErrorEnvelope
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("not an envelope: %v\n%s", err, rec.Body.String())
+			}
+			if env.Error.Code != tc.code {
+				t.Fatalf("code = %q want %q", env.Error.Code, tc.code)
+			}
+			if env.Error.Message == "" {
+				t.Fatal("empty error message")
+			}
+			if tc.status == 405 && rec.Header().Get("Allow") == "" {
+				t.Fatal("405 without Allow header")
+			}
+		})
+	}
+}
+
+// TestLegacyAliases asserts every pre-v1 path still answers with a body
+// byte-identical to its /api/v1 successor, plus the Deprecation header
+// and an RFC 8288 successor-version Link.
+func TestLegacyAliases(t *testing.T) {
+	s, _, _ := testServer(t)
+	// Attach sources so the aliased endpoints have real bodies.
+	s.SetQuality(func() any { return map[string]any{"f1": 0.91} })
+	s.SetDrift(func() any { return map[string]any{"psi": 0.02} })
+	s.SetAlerts(func() any { return map[string]any{"firing": 0} })
+	s.SetManifest(&obs.Manifest{})
+
+	pairs := []struct{ legacy, successor string }{
+		{"/quality", "/api/v1/quality"},
+		{"/drift", "/api/v1/drift"},
+		{"/alerts", "/api/v1/alerts"},
+		{"/alerts/history", "/api/v1/alerts/history"}, // both 404 (no store): still identical
+		{"/manifest", "/api/v1/manifest"},
+		{"/buildinfo", "/api/v1/buildinfo"},
+	}
+	for _, p := range pairs {
+		t.Run(p.legacy, func(t *testing.T) {
+			fetch := func(path string) (*httptest.ResponseRecorder, string) {
+				rec := httptest.NewRecorder()
+				s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+				return rec, rec.Body.String()
+			}
+			legacyRec, legacyBody := fetch(p.legacy)
+			_, successorBody := fetch(p.successor)
+			if legacyBody != successorBody {
+				t.Fatalf("alias body differs from successor:\n--- %s\n%s\n--- %s\n%s",
+					p.legacy, legacyBody, p.successor, successorBody)
+			}
+			if dep := legacyRec.Header().Get(httpapi.DeprecationHeader); dep != "true" {
+				t.Fatalf("Deprecation = %q", dep)
+			}
+			link := legacyRec.Header().Get("Link")
+			if !strings.Contains(link, p.successor) || !strings.Contains(link, "successor-version") {
+				t.Fatalf("Link = %q", link)
+			}
+			// Canonical paths are never stamped deprecated.
+			succRec, _ := fetch(p.successor)
+			if succRec.Header().Get(httpapi.DeprecationHeader) != "" {
+				t.Fatalf("successor %s carries Deprecation header", p.successor)
+			}
+		})
+	}
+}
+
+// TestIngestMount wires a fake ingest handler and asserts the telemetry
+// server forwards the whole /api/v1/ingest + /api/v1/tenants subtree.
+func TestIngestMount(t *testing.T) {
+	s, _, _ := testServer(t)
+	s.SetIngest(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		httpapi.WriteJSON(w, map[string]string{"path": r.URL.Path})
+	}))
+	for _, path := range []string{"/api/v1/ingest", "/api/v1/tenants", "/api/v1/tenants/acme/quality"} {
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 || !strings.Contains(rec.Body.String(), path) {
+			t.Fatalf("%s: %d %s", path, rec.Code, rec.Body.String())
+		}
+	}
+}

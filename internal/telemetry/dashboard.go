@@ -15,7 +15,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
 // dashboardHTML is the whole dashboard. Panels are driven by the PANELS
 // table at the top of the script; each polls one range query every ~2 s
 // and draws a canvas sparkline. The alert timeline seeds itself from
-// /alerts/history, then appends live events from the SSE stream.
+// /api/v1/alerts/history, then appends live events from the SSE stream.
 const dashboardHTML = `<!doctype html>
 <html lang="en">
 <head>
@@ -153,7 +153,7 @@ function addEvent(e) {
 
 async function seedTimeline() {
   try {
-    const r = await fetch("/alerts/history");
+    const r = await fetch("/api/v1/alerts/history");
     if (!r.ok) return;
     const h = await r.json();
     for (const e of h.events || []) addEvent(e);

@@ -180,8 +180,8 @@ func TestReadyzGate(t *testing.T) {
 func TestSSEKeepAlive(t *testing.T) {
 	reg := obs.NewRegistry()
 	bus := obs.NewBus()
-	s := New(Config{Registry: reg, Bus: bus, Tracer: obs.NewTracer(),
-		EventBuffer: 8, SSEKeepAlive: 30 * time.Millisecond})
+	s := New(WithRegistry(reg), WithBus(bus), WithTracer(obs.NewTracer()),
+		WithEventBuffer(8), WithSSEKeepAlive(30*time.Millisecond))
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -2,30 +2,43 @@
 // pipeline: an embeddable HTTP server that exposes the obs instruments
 // while a run is in flight instead of only after it exits.
 //
-// Endpoints:
+// The JSON API lives under the versioned /api/v1 prefix; operational
+// probes and streams stay unversioned (see DESIGN.md for the policy):
 //
 //	/            endpoint index (plain text)
 //	/healthz     liveness: "ok" plus uptime (never gated)
 //	/readyz      readiness: 503 until the attached gate reports ready
-//	/buildinfo   module version, VCS revision, Go version (JSON)
 //	/metrics     Prometheus text exposition 0.0.4 of the metrics registry
-//	/manifest    the in-flight run manifest (JSON)
 //	/events      live detection-event stream (NDJSON, or SSE on Accept)
-//	/quality     detection scoreboard: confusion, F1, calibration (JSON)
-//	/drift       per-counter PSI/KS against the train-time baseline (JSON)
-//	/alerts      alert-rule engine state (JSON)
-//	/alerts/history        retained alert/drift/alarm events (JSON)
+//	/dashboard   embedded live dashboard (HTML, zero dependencies)
+//
+//	/api/v1/buildinfo      module version, VCS revision, Go version (JSON)
+//	/api/v1/manifest       the in-flight run manifest (JSON)
+//	/api/v1/quality        detection scoreboard: confusion, F1, calibration (JSON)
+//	/api/v1/drift          per-counter PSI/KS against the train-time baseline (JSON)
+//	/api/v1/alerts         alert-rule engine state (JSON)
+//	/api/v1/alerts/history retained alert/drift/alarm events (JSON)
 //	/api/v1/series         time-series catalog of the embedded tsdb (JSON)
 //	/api/v1/query_range    range query: ?metric=&from=&to=&step=&agg= (JSON)
-//	/dashboard   embedded live dashboard (HTML, zero dependencies)
+//	/api/v1/ingest         fleet window ingest (POST) + service stats (GET)
+//	/api/v1/tenants[...]   per-tenant summaries, quality, drift (JSON)
+//
 //	/debug/flightrecorder  the flight recorder's current rings (JSON)
-//	/debug/pprof CPU/heap/goroutine profiling (net/http/pprof)
+//	/debug/pprof           CPU/heap/goroutine profiling (net/http/pprof)
+//
+// The legacy pre-v1 paths (/quality /drift /alerts /alerts/history
+// /manifest /buildinfo) remain as aliases of their /api/v1 successors:
+// identical bodies, plus a `Deprecation: true` header and an RFC 8288
+// successor-version Link.
+//
+// Every JSON endpoint renders errors as the stable envelope
+// {"error": {"code": ..., "message": ...}} from internal/httpapi.
 //
 // The model-quality endpoints 404 until a source is attached via
-// SetQuality/SetDrift/SetAlerts/SetFlightRecorder — a plain telemetry
-// server (every CLI command's -listen) has no labeled replay to score.
-// Likewise the historical endpoints (/api/v1/*, /alerts/history) 404
-// until SetStore attaches an embedded time-series store.
+// WithQuality/SetQuality (and siblings) — a plain telemetry server
+// (every CLI command's -listen) has no labeled replay to score.
+// Likewise the historical endpoints 404 until a store is attached, and
+// the ingest endpoints answer 503 until an ingest service is mounted.
 //
 // The server is started by the shared -listen flag for the duration of
 // any CLI run, and runs permanently under `hpcmal serve`.
@@ -45,65 +58,103 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/httpapi"
 	"repro/internal/obs"
 	"repro/internal/tsdb"
 )
 
-// Config wires a Server to its observability sources. Zero fields fall
-// back to the process-wide defaults.
-type Config struct {
-	// Registry feeds /metrics. Default obs.DefaultRegistry.
-	Registry *obs.Registry
-	// Tracer feeds the span export. Default obs.DefaultTracer.
-	Tracer *obs.Tracer
-	// Bus feeds /events. Default obs.DefaultBus.
-	Bus *obs.Bus
-	// EventBuffer is the per-stream subscription buffer (default 256);
-	// overflow drops the oldest undelivered events.
-	EventBuffer int
-	// Quality, Drift, Alerts and FlightRecorder feed the model-quality
-	// endpoints: each is a snapshot function whose result is rendered as
-	// JSON (e.g. the quality.Scoreboard's Snapshot). Nil leaves the
-	// endpoint returning 404; the Set* methods attach sources after
-	// construction (serve builds the model once the server is up).
-	Quality        func() any
-	Drift          func() any
-	Alerts         func() any
-	FlightRecorder func() any
-	// Store feeds the historical endpoints (/api/v1/series,
-	// /api/v1/query_range, /alerts/history). Nil leaves them 404 until
-	// SetStore.
-	Store *tsdb.Store
-	// Ready gates /readyz: the endpoint answers 503 with the returned
-	// reason until the gate reports true. Nil means no gate — /readyz
-	// mirrors liveness, the right semantics for one-shot CLI runs that
-	// have nothing to warm up. Attach it in Config (not via SetReady)
-	// when readiness must be correct from the very first request.
-	Ready func() (bool, string)
-	// SSEKeepAlive is the idle-stream heartbeat period for SSE /events
-	// clients (default 15 s): comment frames that keep proxies and
-	// load-balancer idle timeouts from severing a quiet stream. NDJSON
-	// streams are never touched — heartbeats are an SSE comment-frame
-	// concept and would corrupt line-delimited JSON framing.
-	SSEKeepAlive time.Duration
+// config wires a Server to its observability sources; it is built from
+// Options. Zero fields fall back to the process-wide defaults.
+type config struct {
+	registry       *obs.Registry
+	tracer         *obs.Tracer
+	bus            *obs.Bus
+	eventBuffer    int
+	quality        func() any
+	drift          func() any
+	alerts         func() any
+	flightRecorder func() any
+	store          *tsdb.Store
+	ready          func() (bool, string)
+	ingest         http.Handler
+	sseKeepAlive   time.Duration
 }
+
+// Option configures New. All sources wire uniformly through options —
+// construction-time for anything that must hold from the first request
+// (readiness gates especially), with Set* mirrors for sources that only
+// exist after the server is already listening (serve trains its model
+// with the server up).
+type Option func(*config)
+
+// WithRegistry sets the metrics registry behind /metrics
+// (default obs.DefaultRegistry).
+func WithRegistry(r *obs.Registry) Option { return func(c *config) { c.registry = r } }
+
+// WithTracer sets the span tracer (default obs.DefaultTracer).
+func WithTracer(t *obs.Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithBus sets the event bus behind /events (default obs.DefaultBus).
+func WithBus(b *obs.Bus) Option { return func(c *config) { c.bus = b } }
+
+// WithEventBuffer sets the per-stream subscription buffer (default 256);
+// overflow drops the oldest undelivered events.
+func WithEventBuffer(n int) Option { return func(c *config) { c.eventBuffer = n } }
+
+// WithSSEKeepAlive sets the idle-stream heartbeat period for SSE
+// /events clients (default 15 s): comment frames that keep proxies and
+// load-balancer idle timeouts from severing a quiet stream. NDJSON
+// streams are never touched — heartbeats are an SSE comment-frame
+// concept and would corrupt line-delimited JSON framing.
+func WithSSEKeepAlive(d time.Duration) Option { return func(c *config) { c.sseKeepAlive = d } }
+
+// WithQuality attaches the /api/v1/quality snapshot source: a function
+// whose result is rendered as JSON (e.g. a quality.Scoreboard's
+// Snapshot). Nil leaves the endpoint 404.
+func WithQuality(fn func() any) Option { return func(c *config) { c.quality = fn } }
+
+// WithDrift attaches the /api/v1/drift snapshot source.
+func WithDrift(fn func() any) Option { return func(c *config) { c.drift = fn } }
+
+// WithAlerts attaches the /api/v1/alerts snapshot source.
+func WithAlerts(fn func() any) Option { return func(c *config) { c.alerts = fn } }
+
+// WithFlightRecorder attaches the /debug/flightrecorder source.
+func WithFlightRecorder(fn func() any) Option { return func(c *config) { c.flightRecorder = fn } }
+
+// WithStore attaches the embedded time-series store behind
+// /api/v1/series, /api/v1/query_range and /api/v1/alerts/history.
+func WithStore(st *tsdb.Store) Option { return func(c *config) { c.store = st } }
+
+// WithReady gates /readyz: the endpoint answers 503 with the returned
+// reason until the gate reports true. Without it /readyz mirrors
+// liveness — the right semantics for one-shot CLI runs that have
+// nothing to warm up. Use this option (not SetReady) when readiness
+// must be correct from the very first request.
+func WithReady(fn func() (bool, string)) Option { return func(c *config) { c.ready = fn } }
+
+// WithIngest mounts a fleet ingest service (its http.Handler) at
+// /api/v1/ingest and /api/v1/tenants. Until one is mounted those paths
+// answer 503 unavailable.
+func WithIngest(h http.Handler) Option { return func(c *config) { c.ingest = h } }
 
 // Server serves the telemetry endpoints over HTTP.
 type Server struct {
-	cfg      Config
+	cfg      config
 	mux      *http.ServeMux
 	httpSrv  *http.Server
 	ln       net.Listener
 	started  time.Time
 	manifest atomic.Pointer[obs.Manifest]
-	// Late-bound model-quality sources (see Set*): atomic so serve can
-	// attach them after Start without racing in-flight scrapes.
+	// Late-bound sources (see Set*): atomic so serve can attach them
+	// after Start without racing in-flight scrapes.
 	quality atomic.Pointer[snapshotFn]
 	drift   atomic.Pointer[snapshotFn]
 	alerts  atomic.Pointer[snapshotFn]
 	flight  atomic.Pointer[snapshotFn]
 	store   atomic.Pointer[tsdb.Store]
 	ready   atomic.Pointer[readyFn]
+	ingest  atomic.Pointer[http.Handler]
 	// closing is closed on Shutdown so long-lived /events streams end
 	// promptly and let the graceful drain finish.
 	closing      chan struct{}
@@ -113,25 +164,29 @@ type Server struct {
 }
 
 // New builds a server over the given sources without listening yet.
-func New(cfg Config) *Server {
-	if cfg.Registry == nil {
-		cfg.Registry = obs.DefaultRegistry
+func New(opts ...Option) *Server {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
 	}
-	if cfg.Tracer == nil {
-		cfg.Tracer = obs.DefaultTracer
+	if cfg.registry == nil {
+		cfg.registry = obs.DefaultRegistry
 	}
-	if cfg.Bus == nil {
-		cfg.Bus = obs.DefaultBus
+	if cfg.tracer == nil {
+		cfg.tracer = obs.DefaultTracer
 	}
-	if cfg.EventBuffer <= 0 {
-		cfg.EventBuffer = 256
+	if cfg.bus == nil {
+		cfg.bus = obs.DefaultBus
 	}
-	if cfg.SSEKeepAlive <= 0 {
-		cfg.SSEKeepAlive = 15 * time.Second
+	if cfg.eventBuffer <= 0 {
+		cfg.eventBuffer = 256
+	}
+	if cfg.sseKeepAlive <= 0 {
+		cfg.sseKeepAlive = 15 * time.Second
 	}
 	// Mirror the bus's delivery/drop/subscriber accounting into the
 	// registry so /metrics exposes it without hand-written lines.
-	cfg.Bus.AttachMetrics(cfg.Registry)
+	cfg.bus.AttachMetrics(cfg.registry)
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
@@ -139,27 +194,48 @@ func New(cfg Config) *Server {
 		closing:  make(chan struct{}),
 		serveErr: make(chan error, 1),
 	}
-	s.SetQuality(cfg.Quality)
-	s.SetDrift(cfg.Drift)
-	s.SetAlerts(cfg.Alerts)
-	s.SetFlightRecorder(cfg.FlightRecorder)
-	s.SetStore(cfg.Store)
-	s.SetReady(cfg.Ready)
+	s.SetQuality(cfg.quality)
+	s.SetDrift(cfg.drift)
+	s.SetAlerts(cfg.alerts)
+	s.SetFlightRecorder(cfg.flightRecorder)
+	s.SetStore(cfg.store)
+	s.SetReady(cfg.ready)
+	s.SetIngest(cfg.ingest)
+
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.HandleFunc("/api/v1/series", s.handleSeries)
-	s.mux.HandleFunc("/api/v1/query_range", s.handleQueryRange)
-	s.mux.HandleFunc("/alerts/history", s.handleAlertsHistory)
 	s.mux.HandleFunc("/dashboard", s.handleDashboard)
-	s.mux.HandleFunc("/buildinfo", s.handleBuildInfo)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
-	s.mux.HandleFunc("/manifest", s.handleManifest)
 	s.mux.HandleFunc("/events", s.handleEvents)
-	s.mux.HandleFunc("/quality", s.snapshotHandler(&s.quality, "no detection scoreboard attached"))
-	s.mux.HandleFunc("/drift", s.snapshotHandler(&s.drift, "no drift detector attached"))
-	s.mux.HandleFunc("/alerts", s.snapshotHandler(&s.alerts, "no alert engine attached"))
-	s.mux.HandleFunc("/debug/flightrecorder", s.snapshotHandler(&s.flight, "no flight recorder attached"))
+
+	// The versioned JSON API, with the pre-v1 paths aliased to their
+	// successors: identical handler, Deprecation + Link headers on top.
+	canonical := map[string]http.HandlerFunc{
+		"/api/v1/buildinfo":      httpapi.Methods(s.handleBuildInfo, http.MethodGet),
+		"/api/v1/manifest":       httpapi.Methods(s.handleManifest, http.MethodGet),
+		"/api/v1/quality":        httpapi.Methods(s.snapshotHandler(&s.quality, "no detection scoreboard attached"), http.MethodGet),
+		"/api/v1/drift":          httpapi.Methods(s.snapshotHandler(&s.drift, "no drift detector attached"), http.MethodGet),
+		"/api/v1/alerts":         httpapi.Methods(s.snapshotHandler(&s.alerts, "no alert engine attached"), http.MethodGet),
+		"/api/v1/alerts/history": httpapi.Methods(s.handleAlertsHistory, http.MethodGet),
+		"/api/v1/series":         httpapi.Methods(s.handleSeries, http.MethodGet),
+		"/api/v1/query_range":    httpapi.Methods(s.handleQueryRange, http.MethodGet),
+	}
+	for path, h := range canonical {
+		s.mux.HandleFunc(path, h)
+	}
+	for _, legacy := range []string{"/buildinfo", "/manifest", "/quality", "/drift", "/alerts", "/alerts/history"} {
+		successor := "/api/v1" + legacy
+		s.mux.HandleFunc(legacy, httpapi.Alias(successor, canonical[successor]))
+	}
+
+	// The fleet ingest surface mounts as an opaque handler (the ingest
+	// package owns routing under these prefixes).
+	s.mux.HandleFunc("/api/v1/ingest", s.handleIngest)
+	s.mux.HandleFunc("/api/v1/tenants", s.handleIngest)
+	s.mux.HandleFunc("/api/v1/tenants/", s.handleIngest)
+
+	s.mux.HandleFunc("/debug/flightrecorder", httpapi.Methods(s.snapshotHandler(&s.flight, "no flight recorder attached"), http.MethodGet))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -171,7 +247,7 @@ func New(cfg Config) *Server {
 // Handler returns the server's routing handler (useful for tests).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// SetManifest publishes the in-flight run manifest on /manifest.
+// SetManifest publishes the in-flight run manifest on /api/v1/manifest.
 func (s *Server) SetManifest(m *obs.Manifest) { s.manifest.Store(m) }
 
 // snapshotFn produces one JSON-renderable snapshot for a model-quality
@@ -187,13 +263,15 @@ func storeFn(p *atomic.Pointer[snapshotFn], fn func() any) {
 	p.Store(&sf)
 }
 
-// SetQuality attaches (or, with nil, detaches) the /quality source.
+// SetQuality attaches (or, with nil, detaches) the /api/v1/quality
+// source after construction; prefer WithQuality when the source exists
+// up front.
 func (s *Server) SetQuality(fn func() any) { storeFn(&s.quality, fn) }
 
-// SetDrift attaches the /drift source.
+// SetDrift attaches the /api/v1/drift source.
 func (s *Server) SetDrift(fn func() any) { storeFn(&s.drift, fn) }
 
-// SetAlerts attaches the /alerts source.
+// SetAlerts attaches the /api/v1/alerts source.
 func (s *Server) SetAlerts(fn func() any) { storeFn(&s.alerts, fn) }
 
 // SetFlightRecorder attaches the /debug/flightrecorder source.
@@ -203,11 +281,12 @@ func (s *Server) SetFlightRecorder(fn func() any) { storeFn(&s.flight, fn) }
 type readyFn func() (bool, string)
 
 // SetStore attaches (or, with nil, detaches) the embedded time-series
-// store behind /api/v1/series, /api/v1/query_range and /alerts/history.
+// store behind /api/v1/series, /api/v1/query_range and
+// /api/v1/alerts/history.
 func (s *Server) SetStore(st *tsdb.Store) { s.store.Store(st) }
 
 // SetReady attaches the /readyz gate after construction. Prefer
-// Config.Ready when the gate must hold from the first request — a
+// WithReady when the gate must hold from the first request — a
 // late-bound gate leaves a window where /readyz reports default-ready.
 func (s *Server) SetReady(fn func() (bool, string)) {
 	if fn == nil {
@@ -218,19 +297,39 @@ func (s *Server) SetReady(fn func() (bool, string)) {
 	s.ready.Store(&rf)
 }
 
+// SetIngest mounts (or, with nil, unmounts) the fleet ingest service
+// after construction — serve builds it once the detector is trained.
+func (s *Server) SetIngest(h http.Handler) {
+	if h == nil {
+		s.ingest.Store(nil)
+		return
+	}
+	s.ingest.Store(&h)
+}
+
+// handleIngest forwards /api/v1/ingest and /api/v1/tenants* to the
+// mounted ingest service, or answers 503 while none is mounted (serve
+// mounts it after training; plain -listen runs never do).
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	h := s.ingest.Load()
+	if h == nil {
+		httpapi.Error(w, http.StatusServiceUnavailable, httpapi.CodeUnavailable,
+			"no ingest service mounted")
+		return
+	}
+	(*h).ServeHTTP(w, r)
+}
+
 // snapshotHandler serves a late-bound snapshot source as indented JSON,
-// or 404 with a hint while no source is attached.
+// or the 404 envelope with a hint while no source is attached.
 func (s *Server) snapshotHandler(p *atomic.Pointer[snapshotFn], missing string) http.HandlerFunc {
 	return func(w http.ResponseWriter, _ *http.Request) {
 		fn := p.Load()
 		if fn == nil {
-			http.Error(w, missing, http.StatusNotFound)
+			httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound, missing)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		enc.Encode((*fn)())
+		httpapi.WriteJSON(w, (*fn)())
 	}
 }
 
@@ -298,19 +397,23 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `hpcmal telemetry
   /healthz      liveness
   /readyz       readiness (503 until model trained and scraper running)
-  /buildinfo    binary identity (JSON)
   /metrics      Prometheus text exposition
-  /manifest     in-flight run manifest (JSON)
   /events       detection-event stream (NDJSON; SSE with Accept: text/event-stream)
-  /quality      detection scoreboard: confusion, F1, calibration (JSON)
-  /drift        per-counter PSI/KS vs the training baseline (JSON)
-  /alerts       alert-rule engine state (JSON)
-  /alerts/history        retained alert/drift/alarm events (JSON)
+  /dashboard    live dashboard (HTML)
+  /api/v1/buildinfo      binary identity (JSON)
+  /api/v1/manifest       in-flight run manifest (JSON)
+  /api/v1/quality        detection scoreboard: confusion, F1, calibration (JSON)
+  /api/v1/drift          per-counter PSI/KS vs the training baseline (JSON)
+  /api/v1/alerts         alert-rule engine state (JSON)
+  /api/v1/alerts/history retained alert/drift/alarm events (JSON)
   /api/v1/series         time-series catalog (JSON)
   /api/v1/query_range    ?metric=&from=&to=&step=&agg= (JSON)
-  /dashboard    live dashboard (HTML)
+  /api/v1/ingest         fleet window ingest (POST; GET for stats)
+  /api/v1/tenants        per-tenant summaries, /{id}/quality, /{id}/drift (JSON)
   /debug/flightrecorder  flight-recorder rings (JSON)
   /debug/pprof  profiling
+  (legacy /quality /drift /alerts /alerts/history /manifest /buildinfo
+   still answer, with a Deprecation header)
 `)
 }
 
@@ -385,13 +488,11 @@ func parseQueryStep(v string) (int64, error) {
 func (s *Server) handleSeries(w http.ResponseWriter, _ *http.Request) {
 	st := s.store.Load()
 	if st == nil {
-		http.Error(w, "no time-series store attached", http.StatusNotFound)
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound,
+			"no time-series store attached")
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(st.Series())
+	httpapi.WriteJSON(w, st.Series())
 }
 
 // handleQueryRange answers ?metric=&from=&to=&step=&agg= range queries
@@ -400,44 +501,43 @@ func (s *Server) handleSeries(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 	st := s.store.Load()
 	if st == nil {
-		http.Error(w, "no time-series store attached", http.StatusNotFound)
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound,
+			"no time-series store attached")
 		return
 	}
 	q := r.URL.Query()
 	metric := q.Get("metric")
 	if metric == "" {
-		http.Error(w, "missing metric parameter", http.StatusBadRequest)
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+			"missing metric parameter")
 		return
 	}
 	now := time.Now()
 	fromMS, err := parseQueryTime(q.Get("from"), now, now.Add(-5*time.Minute).UnixMilli())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 		return
 	}
 	toMS, err := parseQueryTime(q.Get("to"), now, now.UnixMilli())
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 		return
 	}
 	stepMS, err := parseQueryStep(q.Get("step"))
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 		return
 	}
 	result, err := st.QueryRange(metric, fromMS, toMS, stepMS, q.Get("agg"))
 	if err != nil {
-		code := http.StatusBadRequest
 		if errors.Is(err, tsdb.ErrUnknownMetric) {
-			code = http.StatusNotFound
+			httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound, err.Error())
+			return
 		}
-		http.Error(w, err.Error(), code)
+		httpapi.Error(w, http.StatusBadRequest, httpapi.CodeBadRequest, err.Error())
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(result)
+	httpapi.WriteJSON(w, result)
 }
 
 // handleAlertsHistory serves the store's retained alert/drift/alarm
@@ -445,20 +545,15 @@ func (s *Server) handleQueryRange(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAlertsHistory(w http.ResponseWriter, _ *http.Request) {
 	st := s.store.Load()
 	if st == nil {
-		http.Error(w, "no time-series store attached", http.StatusNotFound)
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound,
+			"no time-series store attached")
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(st.Events())
+	httpapi.WriteJSON(w, st.Events())
 }
 
 func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(obs.Build())
+	httpapi.WriteJSON(w, obs.Build())
 }
 
 // handleMetrics renders the registry as Prometheus text, appending the
@@ -468,7 +563,7 @@ func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
 // AttachMetrics — so they render exactly once.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := obs.WritePrometheus(w, s.cfg.Registry.Snapshot()); err != nil {
+	if err := obs.WritePrometheus(w, s.cfg.registry.Snapshot()); err != nil {
 		return
 	}
 	bi := obs.Build()
@@ -481,13 +576,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {
 	m := s.manifest.Load()
 	if m == nil {
-		http.Error(w, "no run manifest registered", http.StatusNotFound)
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound,
+			"no run manifest registered")
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(m)
+	httpapi.WriteJSON(w, m)
 }
 
 // handleEvents streams bus events for as long as the client stays
@@ -512,7 +605,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	sub := s.cfg.Bus.Subscribe(s.cfg.EventBuffer)
+	sub := s.cfg.bus.Subscribe(s.cfg.eventBuffer)
 	defer sub.Close()
 
 	// SSE streams get periodic comment-frame heartbeats so an idle
@@ -520,7 +613,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// framing is line-delimited JSON only — never heartbeat it.
 	var keepalive <-chan time.Time
 	if sse {
-		t := time.NewTicker(s.cfg.SSEKeepAlive)
+		t := time.NewTicker(s.cfg.sseKeepAlive)
 		defer t.Stop()
 		keepalive = t.C
 	}

@@ -18,7 +18,7 @@ func testServer(t *testing.T) (*Server, *obs.Registry, *obs.Bus) {
 	t.Helper()
 	reg := obs.NewRegistry()
 	bus := obs.NewBus()
-	s := New(Config{Registry: reg, Bus: bus, Tracer: obs.NewTracer(), EventBuffer: 8})
+	s := New(WithRegistry(reg), WithBus(bus), WithTracer(obs.NewTracer()), WithEventBuffer(8))
 	return s, reg, bus
 }
 
