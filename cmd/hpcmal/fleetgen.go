@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -42,6 +43,7 @@ func cmdFleetgen(args []string) error {
 	windows := fs.Int("windows", 64, "HPC windows collected per endpoint workload run")
 	seed := fs.Uint64("seed", 1, "random seed for the simulated workloads")
 	ndjson := fs.Bool("ndjson", false, "send NDJSON streams instead of JSON batches")
+	traceparent := fs.Bool("traceparent", true, "stamp a sampled W3C traceparent on every request so client and server latency join on trace id")
 	dropOldest := fs.Bool("drop-oldest", false, "opt tenants into drop-oldest overflow instead of 429 backpressure")
 	readyTimeout := fs.Duration("ready-timeout", 60*time.Second, "how long to wait for the daemon's /readyz")
 	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "how long to wait for the server to classify everything sent")
@@ -109,6 +111,8 @@ func cmdFleetgen(args []string) error {
 		acceptedTotal atomic.Int64
 		droppedTotal  atomic.Int64
 		retriesTotal  atomic.Int64
+		stampedTotal  atomic.Int64
+		joinedTotal   atomic.Int64 // receipts echoing our stamped trace id
 		mu            sync.Mutex
 		latencies     []float64 // request round-trip, milliseconds
 		firstErr      error
@@ -127,7 +131,7 @@ func cmdFleetgen(args []string) error {
 					ws[i] = ld.windows[next%len(ld.windows)]
 					next++
 				}
-				res, retries, rtt, err := postWindows(ctx, client, base, ld.tenant, overflow, ws, *ndjson)
+				res, retries, rtt, joined, err := postWindows(ctx, client, base, ld.tenant, overflow, ws, *ndjson, *traceparent)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -139,6 +143,12 @@ func cmdFleetgen(args []string) error {
 				acceptedTotal.Add(int64(res.Accepted))
 				droppedTotal.Add(int64(res.Dropped))
 				retriesTotal.Add(int64(retries))
+				if *traceparent {
+					stampedTotal.Add(1)
+					if joined {
+						joinedTotal.Add(1)
+					}
+				}
 				local = append(local, rtt)
 			}
 			mu.Lock()
@@ -169,6 +179,10 @@ func cmdFleetgen(args []string) error {
 		acceptedTotal.Load(), droppedTotal.Load(), sendWall.Seconds(), clientRate, retriesTotal.Load())
 	fmt.Printf("client: request rtt p50 %.2f ms, p99 %.2f ms over %d requests\n",
 		percentile(latencies, 0.50), percentile(latencies, 0.99), len(latencies))
+	if *traceparent {
+		fmt.Printf("client: %d traceparents stamped, %d joined by the server (inspect via /api/v1/traces)\n",
+			stampedTotal.Load(), joinedTotal.Load())
+	}
 	fmt.Printf("server: %d windows classified from %d tenants in %.2fs — %.0f windows/s sustained, verdict latency p50 %.2f ms p99 %.2f ms\n",
 		stats.WindowsProcessed, stats.Tenants, wall.Seconds(),
 		stats.WindowsPerSec, stats.VerdictLatencyP50MS, stats.VerdictLatencyP99MS)
@@ -176,9 +190,10 @@ func cmdFleetgen(args []string) error {
 }
 
 // postWindows sends one batch (retrying on 429 per its Retry-After) and
-// returns the receipt, the retry count, and the final round-trip in ms.
+// returns the receipt, the retry count, the final round-trip in ms, and
+// whether the server's receipt joined the stamped trace id.
 func postWindows(ctx context.Context, client *http.Client, base, tenant, overflow string,
-	ws []ingest.Window, ndjson bool) (ingest.Accepted, int, float64, error) {
+	ws []ingest.Window, ndjson, stamp bool) (ingest.Accepted, int, float64, bool, error) {
 	var body bytes.Buffer
 	var contentType string
 	if ndjson {
@@ -186,24 +201,33 @@ func postWindows(ctx context.Context, client *http.Client, base, tenant, overflo
 		enc := json.NewEncoder(&body)
 		for i := range ws {
 			if err := enc.Encode(&ws[i]); err != nil {
-				return ingest.Accepted{}, 0, 0, err
+				return ingest.Accepted{}, 0, 0, false, err
 			}
 		}
 	} else {
 		contentType = "application/json"
 		if err := json.NewEncoder(&body).Encode(ingest.Batch{Overflow: overflow, Windows: ws}); err != nil {
-			return ingest.Accepted{}, 0, 0, err
+			return ingest.Accepted{}, 0, 0, false, err
 		}
 	}
 	raw := body.Bytes()
+	// One fresh sampled context per batch, held across 429 retries: the
+	// retried request is the same logical trace.
+	var tc obs.TraceContext
+	if stamp {
+		tc = obs.NewTraceContext()
+	}
 	for retries := 0; ; retries++ {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			base+"/api/v1/ingest", bytes.NewReader(raw))
 		if err != nil {
-			return ingest.Accepted{}, retries, 0, err
+			return ingest.Accepted{}, retries, 0, false, err
 		}
 		req.Header.Set("Content-Type", contentType)
 		req.Header.Set(ingest.TenantHeader, tenant)
+		if stamp {
+			req.Header.Set(ingest.TraceparentHeader, tc.Traceparent())
+		}
 		if ndjson && overflow != "" {
 			// NDJSON bodies carry no batch envelope; pass the policy by query.
 			q := req.URL.Query()
@@ -214,20 +238,20 @@ func postWindows(ctx context.Context, client *http.Client, base, tenant, overflo
 		resp, err := client.Do(req)
 		rtt := float64(time.Since(t0).Microseconds()) / 1000
 		if err != nil {
-			return ingest.Accepted{}, retries, rtt, err
+			return ingest.Accepted{}, retries, rtt, false, err
 		}
 		payload, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			return ingest.Accepted{}, retries, rtt, err
+			return ingest.Accepted{}, retries, rtt, false, err
 		}
 		switch resp.StatusCode {
 		case http.StatusAccepted:
 			var res ingest.Accepted
 			if err := json.Unmarshal(payload, &res); err != nil {
-				return ingest.Accepted{}, retries, rtt, err
+				return ingest.Accepted{}, retries, rtt, false, err
 			}
-			return res, retries, rtt, nil
+			return res, retries, rtt, stamp && res.TraceID == tc.TraceID(), nil
 		case http.StatusTooManyRequests:
 			// Explicit backpressure: honor Retry-After and resend.
 			delay := time.Second
@@ -236,11 +260,11 @@ func postWindows(ctx context.Context, client *http.Client, base, tenant, overflo
 			}
 			select {
 			case <-ctx.Done():
-				return ingest.Accepted{}, retries, rtt, ctx.Err()
+				return ingest.Accepted{}, retries, rtt, false, ctx.Err()
 			case <-time.After(delay):
 			}
 		default:
-			return ingest.Accepted{}, retries, rtt,
+			return ingest.Accepted{}, retries, rtt, false,
 				fmt.Errorf("ingest returned %d: %s", resp.StatusCode, bytes.TrimSpace(payload))
 		}
 	}

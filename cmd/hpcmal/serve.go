@@ -73,6 +73,9 @@ func runServe(ctx context.Context, args []string) error {
 	replay := fs.Bool("replay", true, "run the self-generated labeled replay loop (false = pure fleet-ingest server: train, mount /api/v1/ingest, wait for traffic)")
 	ingestQueue := fs.Int("ingest-queue", 16384, "per-tenant ingest queue capacity in windows (full queues answer 429 + Retry-After)")
 	ingestShards := fs.Int("ingest-shards", 0, "detection pipeline shards for the ingest service (0 = the -parallel worker bound)")
+	traceSample := fs.Float64("trace-sample", 0.05, "request-tracing head-sample probability in [0,1] (0 = record only explicitly-sampled traceparents; negative disables tracing)")
+	traceSlow := fs.Duration("trace-slow", 100*time.Millisecond, "tail-keep request traces at least this slow end to end")
+	traceBudget := fs.Int64("trace-budget", 4<<20, "retained request-trace ring budget in `bytes`")
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -118,6 +121,21 @@ func runServe(ctx context.Context, args []string) error {
 	}
 	srv := of.Server()
 
+	// Request tracing: head-sample at ingest entry, tail-keep slow /
+	// errored / alarm-coincident traces in a byte-budgeted ring served by
+	// /api/v1/traces. A nil tracer (negative -trace-sample) threads
+	// through every layer as "off" with zero per-window cost.
+	var reqTracer *obs.ReqTracer
+	if *traceSample >= 0 {
+		reqTracer = obs.NewReqTracer(obs.ReqTracerConfig{
+			HeadRatio:     *traceSample,
+			SlowThreshold: *traceSlow,
+			MaxBytes:      *traceBudget,
+			Registry:      obs.DefaultRegistry,
+		})
+	}
+	srv.SetReqTracer(reqTracer)
+
 	// Embedded time-series store: scrape the registry into bounded rings
 	// for the whole daemon lifetime, feeding the range-query API, the
 	// dashboard, /alerts/history and incident pre-trigger history.
@@ -125,7 +143,7 @@ func runServe(ctx context.Context, args []string) error {
 	storePtr.Store(store)
 	go store.Run(ctx)
 	srv.SetStore(store)
-	fmt.Printf("telemetry on %s (/metrics /events /dashboard /healthz /readyz /api/v1/{ingest,tenants,quality,drift,alerts,alerts/history,series,query_range,manifest,buildinfo} /debug/flightrecorder /debug/pprof)\n", srv.URL())
+	fmt.Printf("telemetry on %s (/metrics /events /dashboard /healthz /readyz /api/v1/{ingest,tenants,traces,quality,drift,alerts,alerts/history,series,query_range,manifest,buildinfo} /debug/flightrecorder /debug/pprof)\n", srv.URL())
 	if serveStarted != nil {
 		serveStarted(srv)
 	}
@@ -169,7 +187,15 @@ func runServe(ctx context.Context, args []string) error {
 	// Incident dumps embed the last five minutes of metric history, so a
 	// dump shows the decay leading up to the trigger, not just its moment.
 	rec := flightrec.New(flightrec.Config{Dir: *incidentDir, Manifest: of.manifest,
-		History: func() any { return store.RecentHistory(5 * time.Minute) }})
+		History: func() any { return store.RecentHistory(5 * time.Minute) },
+		// Incidents embed the most recent tail-kept request trace, tying
+		// the dump to the exact request whose stages led to the trigger.
+		Trace: func() any {
+			if snap, ok := reqTracer.LastKept(""); ok {
+				return snap
+			}
+			return nil
+		}})
 	defer rec.DumpOnPanic()
 	// Alarms trip the recorder via the bus; firing alert rules via the
 	// engine's hook (each dump named after the rule that fired).
@@ -194,6 +220,7 @@ func runServe(ctx context.Context, args []string) error {
 		Baseline:   base,
 		Shards:     *ingestShards,
 		QueueCap:   *ingestQueue,
+		Tracer:     reqTracer,
 	})
 	if err != nil {
 		return err
@@ -250,7 +277,8 @@ loop:
 			results, err := online.MonitorAll(clf, traces,
 				online.WithSamplePeriod(cfg.SamplePeriod),
 				online.WithContext(ctx),
-				online.WithWindowObserver(observer))
+				online.WithWindowObserver(observer),
+				online.WithReqTracer(reqTracer))
 			if err != nil {
 				if ctx.Err() != nil {
 					// Cancelled mid-round by a signal: not a failure.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ingest"
 	"repro/internal/tsdb"
 )
 
@@ -67,6 +68,17 @@ var sparkRunes = []rune("▁▂▃▄▅▆▇█")
 type topClient struct {
 	base string
 	hc   *http.Client
+	// prevTenants holds the previous frame's per-tenant counters so the
+	// tenant panel renders rates from deltas; first frame (and -once)
+	// shows "-" because there is no earlier sample to diff against.
+	prevTenants map[string]tenantPrev
+}
+
+// tenantPrev is one tenant's counters as of the previous frame.
+type tenantPrev struct {
+	processed int64
+	rejected  int64
+	at        time.Time
 }
 
 // getJSON decodes one endpoint into out; non-200s become errors carrying
@@ -162,6 +174,8 @@ func (c *topClient) frame(window time.Duration) (string, error) {
 			p.label, vs[len(vs)-1], spark(vs, 40), res.Tier, p.agg)
 	}
 
+	b.WriteString(c.tenantPanel())
+
 	var hist tsdb.EventHistory
 	if err := c.getJSON("/api/v1/alerts/history", &hist); err == nil {
 		fmt.Fprintf(&b, "\nrecent alerts/drift/alarms (%d total):\n", hist.Total)
@@ -182,4 +196,40 @@ func (c *topClient) frame(window time.Duration) (string, error) {
 		}
 	}
 	return b.String(), nil
+}
+
+// tenantPanel renders the per-tenant ingest table from /api/v1/tenants:
+// windows/s and 429/s as deltas against the previous frame, queue depth
+// against capacity, and lifetime alarms. Daemons without the fleet
+// ingest surface (or with no tenants yet) get no panel rather than an
+// error — top still works against them.
+func (c *topClient) tenantPanel() string {
+	var tl struct {
+		Tenants []ingest.TenantSummary `json:"tenants"`
+	}
+	if err := c.getJSON("/api/v1/tenants", &tl); err != nil || len(tl.Tenants) == 0 {
+		return ""
+	}
+	now := time.Now()
+	var b strings.Builder
+	fmt.Fprintf(&b, "\ningest tenants (%d):\n", len(tl.Tenants))
+	fmt.Fprintf(&b, "  %-16s %10s %13s %8s %8s\n",
+		"tenant", "windows/s", "queue", "429/s", "alarms")
+	if c.prevTenants == nil {
+		c.prevTenants = make(map[string]tenantPrev, len(tl.Tenants))
+	}
+	for _, t := range tl.Tenants {
+		rate, rej := "-", "-"
+		if p, ok := c.prevTenants[t.ID]; ok {
+			if dt := now.Sub(p.at).Seconds(); dt > 0 {
+				rate = fmt.Sprintf("%.0f", float64(t.WindowsProcessed-p.processed)/dt)
+				rej = fmt.Sprintf("%.1f", float64(t.BatchesRejected-p.rejected)/dt)
+			}
+		}
+		c.prevTenants[t.ID] = tenantPrev{processed: t.WindowsProcessed,
+			rejected: t.BatchesRejected, at: now}
+		fmt.Fprintf(&b, "  %-16s %10s %7d/%-5d %8s %8d\n",
+			t.ID, rate, t.Queued, t.QueueCap, rej, t.Alarms)
+	}
+	return b.String()
 }

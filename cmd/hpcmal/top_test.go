@@ -1,9 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"unicode/utf8"
+
+	"repro/internal/ingest"
 )
 
 // TestSpark pins the sparkline renderer: fixed width, self-scaled, flat
@@ -38,5 +44,58 @@ func TestSpark(t *testing.T) {
 	}
 	if got := spark(long, 12); utf8.RuneCountInString(got) != 12 {
 		t.Errorf("resampled spark width = %q", got)
+	}
+}
+
+// TestTopTenantPanel pins the per-tenant ingest panel: the first frame
+// has no deltas so rates print "-", the second frame computes windows/s
+// and 429/s from counter deltas, and a daemon without the tenants
+// endpoint yields no panel at all.
+func TestTopTenantPanel(t *testing.T) {
+	var frame atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/api/v1/tenants" {
+			http.NotFound(w, r)
+			return
+		}
+		// Second frame: counters advanced by 100 windows / 5 rejections.
+		n := frame.Load() * 100
+		json.NewEncoder(w).Encode(map[string]any{
+			"tenants": []ingest.TenantSummary{{
+				ID: "tenant-00", Queued: 7, QueueCap: 64,
+				WindowsProcessed: 500 + n, BatchesRejected: 2 + n/20, Alarms: 3,
+			}},
+		})
+	}))
+	defer ts.Close()
+
+	c := &topClient{base: ts.URL, hc: ts.Client()}
+	first := c.tenantPanel()
+	for _, want := range []string{"ingest tenants (1):", "tenant-00", "7/64", "windows/s", "429/s"} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("first frame missing %q:\n%s", want, first)
+		}
+	}
+	if !strings.Contains(first, "-") {
+		t.Fatalf("first frame should show '-' rates (no prior sample):\n%s", first)
+	}
+
+	frame.Store(1)
+	second := c.tenantPanel()
+	if strings.Contains(second, " - ") {
+		t.Fatalf("second frame still has placeholder rates:\n%s", second)
+	}
+	// 100 windows and 5 rejections over a sub-second gap: both rates are
+	// positive, and the non-rate columns carry through.
+	if !strings.Contains(second, "tenant-00") || !strings.Contains(second, "7/64") {
+		t.Fatalf("second frame = %s", second)
+	}
+
+	// No tenants endpoint (e.g. a bare telemetry server): panel omitted.
+	bare := httptest.NewServer(http.HandlerFunc(http.NotFound))
+	defer bare.Close()
+	cb := &topClient{base: bare.URL, hc: bare.Client()}
+	if got := cb.tenantPanel(); got != "" {
+		t.Fatalf("panel against a daemon without tenants = %q", got)
 	}
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestTracingE2EAcrossServe is the tracing acceptance test: fleetgen
+// ingests with stamped traceparents into a serve daemon tracing every
+// request, a tail-kept trace comes back from /api/v1/traces/{id} with
+// the full enqueue→dequeue→infer→quality waterfall whose summed stage
+// durations bound the ingest-to-verdict latency, and the OpenMetrics
+// scrape carries trace-id exemplars on the ingest latency histogram.
+func TestTracingE2EAcrossServe(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// -trace-slow 1ns: every committed trace is tail-kept as slow, so
+	// the assertion below never races ring eviction.
+	srv, errc := startServe(t, ctx, []string{
+		"-scale", "0.01", "-replay=false", "-quiet",
+		"-trace-sample", "1", "-trace-slow", "1ns"})
+
+	if err := cmdFleetgen([]string{
+		"-addr", srv.Addr(), "-tenants", "2", "-endpoints", "2",
+		"-batch", "8", "-rounds", "2", "-windows", "16"}); err != nil {
+		t.Fatalf("fleetgen: %v", err)
+	}
+
+	getBody := func(path, accept string) (int, string, http.Header) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, srv.URL()+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body), resp.Header
+	}
+
+	// Every fleetgen request was traced and tail-kept.
+	var list struct {
+		Traces []obs.ReqTraceSummary `json:"traces"`
+		Stats  obs.ReqTraceStats     `json:"stats"`
+	}
+	code, body, _ := getBody("/api/v1/traces?tenant=tenant-00", "")
+	if code != http.StatusOK {
+		t.Fatalf("/api/v1/traces = %d %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) == 0 || list.Stats.Started == 0 {
+		t.Fatalf("no traces retained: %s", body)
+	}
+	for _, tr := range list.Traces {
+		// Slow is the floor at -trace-slow 1ns; an alarm inside the batch
+		// outranks it (first-reason-wins), and both pin the trace.
+		if tr.KeepReason != "slow" && tr.KeepReason != "alarm" {
+			t.Fatalf("trace %s keep reason %q, want slow or alarm at -trace-slow 1ns",
+				tr.TraceID, tr.KeepReason)
+		}
+	}
+
+	// One trace's waterfall: every pipeline stage present, staged time
+	// covering the reported ingest-to-verdict duration (small slack for
+	// the handler-return → last-verdict scheduling gap).
+	id := list.Traces[0].TraceID
+	code, body, _ = getBody("/api/v1/traces/"+id, "")
+	if code != http.StatusOK {
+		t.Fatalf("/api/v1/traces/%s = %d %s", id, code, body)
+	}
+	var snap obs.ReqTraceSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ParentSpanID == "" {
+		t.Fatalf("trace %s did not join fleetgen's traceparent: %+v", id, snap)
+	}
+	var stagedUS int64
+	seen := map[string]bool{}
+	for _, sp := range snap.Spans {
+		seen[sp.Name] = true
+		switch sp.Name {
+		case "ingest.accept", "ingest.dequeue", "ingest.infer", "ingest.quality":
+			stagedUS += sp.DurUS
+		}
+	}
+	for _, name := range []string{"ingest.accept", "ingest.enqueue",
+		"ingest.dequeue", "ingest.infer", "ingest.quality"} {
+		if !seen[name] {
+			t.Fatalf("span %s missing from waterfall: %s", name, body)
+		}
+	}
+	if rootUS := int64(snap.DurMS * 1000); stagedUS+10_000 < rootUS {
+		t.Fatalf("stage spans cover %dus of a %dus ingest-to-verdict trace", stagedUS, rootUS)
+	}
+
+	// The OpenMetrics scrape links the latency histogram to the traces.
+	code, om, hdr := getBody("/metrics", "application/openmetrics-text; version=1.0.0")
+	if code != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "application/openmetrics-text") {
+		t.Fatalf("openmetrics scrape: %d %q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(om, "# {trace_id=\"") || !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatalf("openmetrics exposition missing exemplars or terminator")
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("serve exit: %v", err)
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatal("serve did not exit")
+	}
+}

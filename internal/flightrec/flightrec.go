@@ -68,6 +68,10 @@ type Incident struct {
 	// (a tsdb.HistoryDump when serve wires Config.History), so a dump
 	// shows the minutes before the incident, not just its instant.
 	History any `json:"history,omitempty"`
+	// Trace is the request trace coinciding with the trigger (an
+	// obs.ReqTraceSnapshot when serve wires Config.Trace), tying the
+	// incident to the exact request's stage-by-stage timings.
+	Trace any `json:"trace,omitempty"`
 	// Stack is set on panic dumps.
 	Stack string `json:"stack,omitempty"`
 }
@@ -94,6 +98,10 @@ type Config struct {
 	// at dump time and embedded as the incident's pre-trigger history —
 	// serve wires it to the tsdb store's RecentHistory.
 	History func() any
+	// Trace, when set, is called at dump time and embedded as the
+	// triggering request trace — serve wires it to the request tracer's
+	// most recent tail-kept trace (nil results are omitted).
+	Trace func() any
 }
 
 // Recorder is the bounded black-box recorder. All methods are safe for
@@ -208,6 +216,9 @@ func (r *Recorder) Snapshot() Incident {
 	if r.cfg.History != nil {
 		inc.History = r.cfg.History()
 	}
+	if r.cfg.Trace != nil {
+		inc.Trace = r.cfg.Trace()
+	}
 	return inc
 }
 
@@ -239,6 +250,9 @@ func (r *Recorder) Dump(reason string) (string, error) {
 	inc.Metrics = r.cfg.Registry.Snapshot()
 	if r.cfg.History != nil {
 		inc.History = r.cfg.History()
+	}
+	if r.cfg.Trace != nil {
+		inc.Trace = r.cfg.Trace()
 	}
 
 	if err := os.MkdirAll(r.cfg.Dir, 0o755); err != nil {

@@ -10,13 +10,19 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/httpapi"
+	"repro/internal/obs"
 )
 
 // TenantHeader carries the tenant id when it is not in the body or the
 // ?tenant= query parameter.
 const TenantHeader = "X-Tenant-ID"
+
+// TraceparentHeader is the W3C Trace Context header ingest reads from
+// requests and echoes (with this service's span id) on responses.
+const TraceparentHeader = "traceparent"
 
 // maxBodyBytes bounds one ingest request body (64 MiB — far above any
 // sane batch, low enough that a runaway client cannot exhaust memory).
@@ -102,6 +108,10 @@ func (s *Service) handleTenant(w http.ResponseWriter, r *http.Request, rest stri
 // handleIngest accepts POST /api/v1/ingest: a JSON Batch body, or (with
 // Content-Type application/x-ndjson) one Window JSON object per line.
 func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	// A malformed traceparent must never reject the batch: parse failure
+	// degrades to the zero context, which head-samples a fresh root.
+	reqStartNS := time.Now().UnixNano()
+	tc, _ := obs.ParseTraceparent(r.Header.Get(TraceparentHeader))
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	headerTenant := r.Header.Get(TenantHeader)
 	queryTenant := r.URL.Query().Get("tenant")
@@ -207,7 +217,15 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	res, err := s.Enqueue(tenantID, batch.Overflow, batch.Windows)
+	// Head-sampling decision (tenant-aware, so it waits for the decoded
+	// tenant id). The accept span covers decode + validation.
+	at := s.cfg.Tracer.Sample(tc, "ingest", tenantID, reqStartNS)
+	if at != nil {
+		at.AddSpan("ingest.accept", reqStartNS, time.Now().UnixNano(),
+			obs.ReqAttr{Key: "windows", Value: float64(len(batch.Windows))})
+	}
+
+	res, err := s.EnqueueTraced(tenantID, batch.Overflow, batch.Windows, at)
 	if err != nil {
 		var full *QueueFullError
 		var limit *TenantLimitError
@@ -231,10 +249,21 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 			httpapi.Error(w, http.StatusServiceUnavailable, httpapi.CodeUnavailable,
 				err.Error())
 		}
+		// Rejected batches enqueued nothing: the trace ends (and commits)
+		// here, tail-kept by the error rule.
+		at.SetError(err.Error())
+		at.End(time.Now().UnixNano())
 		return
+	}
+	if at != nil {
+		res.TraceID = at.TraceID()
+		w.Header().Set(TraceparentHeader, at.Context().Traceparent())
 	}
 	w.WriteHeader(http.StatusAccepted)
 	httpapi.WriteJSON(w, res)
+	// Release the trace: it commits once every accepted window has its
+	// verdict (immediately, when the shards already drained the batch).
+	at.End(time.Now().UnixNano())
 }
 
 // validateWindow enforces the wire schema: the trained feature

@@ -141,6 +141,12 @@ type Config struct {
 	Registry *obs.Registry
 	// Bus receives ingest_alarm events (default obs.DefaultBus).
 	Bus *obs.Bus
+	// Tracer, when set, records request-scoped traces across the
+	// accept→enqueue→dequeue→infer→quality pipeline: the HTTP layer makes
+	// the head-sampling decision per batch and every stage appends spans.
+	// nil disables tracing entirely; untraced windows carry only a nil
+	// pointer and the hot path stays allocation-free.
+	Tracer *obs.ReqTracer
 }
 
 func (c *Config) fillDefaults() error {
@@ -216,6 +222,10 @@ type queuedWindow struct {
 	label      int8 // -1 = unlabeled
 	enqueuedNS int64
 	values     []float64
+	// trace is the request trace every window of a sampled batch shares
+	// (nil for the vast unsampled majority: carrying the pointer costs
+	// the hot path nothing).
+	trace *obs.ActiveTrace
 }
 
 // endpointState is one endpoint's alarm smoother (owned by the tenant's
@@ -348,6 +358,10 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
+// Tracer returns the request tracer the service records into (nil when
+// tracing is disabled).
+func (s *Service) Tracer() *obs.ReqTracer { return s.cfg.Tracer }
+
 // Program reports the compiled program's name (empty when interpreted).
 func (s *Service) Program() string {
 	if s.prog == nil {
@@ -368,7 +382,7 @@ func (s *Service) Start(ctx context.Context) {
 	go parallel.ForEach(
 		parallel.Options{Name: "ingest.shards", Workers: len(s.shards), Context: ctx},
 		len(s.shards), func(i int) error {
-			s.runShard(ctx, s.shards[i])
+			s.runShard(ctx, i)
 			return nil
 		})
 	obs.Log().Info("ingest service started",
@@ -437,6 +451,9 @@ type Accepted struct {
 	Accepted int    `json:"accepted"`
 	Dropped  int    `json:"dropped"`
 	Queued   int    `json:"queued"`
+	// TraceID echoes the request trace id when the batch was sampled, so
+	// clients can join their observed latency on /api/v1/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Enqueue validates nothing (the HTTP layer does) and queues ws on the
@@ -446,6 +463,15 @@ type Accepted struct {
 // *TenantLimitError for one tenant too many, or ErrStopped after the
 // service's context ended.
 func (s *Service) Enqueue(tenantID, overflow string, ws []Window) (Accepted, error) {
+	return s.EnqueueTraced(tenantID, overflow, ws, nil)
+}
+
+// EnqueueTraced is Enqueue carrying the batch's request trace: every
+// queued window is stamped with at so the drain side can close the
+// dequeue/infer/quality spans, and the trace's pending count grows by the
+// accepted window count before any of them becomes visible to a shard.
+// at == nil (the unsampled fast path) behaves exactly like Enqueue.
+func (s *Service) EnqueueTraced(tenantID, overflow string, ws []Window, at *obs.ActiveTrace) (Accepted, error) {
 	if s.started.Load() && s.ctx.Err() != nil {
 		return Accepted{}, ErrStopped
 	}
@@ -495,10 +521,24 @@ func (s *Service) Enqueue(tenantID, overflow string, ws []Window) (Accepted, err
 				Cap: capN, RetryAfter: s.retryAfter(queued)}
 		}
 		evict := t.n + len(incoming) - capN
+		if s.cfg.Tracer != nil {
+			// Evicted windows may belong to in-flight traces; settle their
+			// pending counts (and mark the loss) or those traces never
+			// commit. Off the untraced path this loop never runs.
+			for i := 0; i < evict; i++ {
+				if tr := t.queue[(t.head+i)%capN].trace; tr != nil {
+					tr.SetError("windows evicted by drop_oldest")
+					tr.FinishPending(1, now)
+				}
+			}
+		}
 		t.head = (t.head + evict) % capN
 		t.n -= evict
 		res.Dropped += evict
 	}
+	// Grow the trace's pending count before any stamped window becomes
+	// visible to a shard worker, so the trace cannot commit mid-batch.
+	at.AddPending(len(incoming))
 	for _, w := range ws[len(ws)-len(incoming):] {
 		label := int8(-1)
 		if w.Label != nil {
@@ -506,13 +546,20 @@ func (s *Service) Enqueue(tenantID, overflow string, ws []Window) (Accepted, err
 		}
 		t.queue[(t.head+t.n)%capN] = queuedWindow{
 			endpoint: w.Endpoint, label: label,
-			enqueuedNS: now, values: w.Values,
+			enqueuedNS: now, values: w.Values, trace: at,
 		}
 		t.n++
 	}
 	res.Accepted = len(incoming)
 	res.Queued = t.n
 	t.mu.Unlock()
+
+	if at != nil {
+		at.AddSpan("ingest.enqueue", now, time.Now().UnixNano(),
+			obs.ReqAttr{Key: "accepted", Value: float64(res.Accepted)},
+			obs.ReqAttr{Key: "dropped", Value: float64(res.Dropped)},
+			obs.ReqAttr{Key: "queued", Value: float64(res.Queued)})
+	}
 
 	t.windowsIngested.Add(int64(res.Accepted))
 	if res.Dropped > 0 {
@@ -567,8 +614,10 @@ const drainChunk = 512
 
 // runShard is one detection worker: it drains the queues of every
 // tenant pinned to its shard, round-robin, until ctx ends.
-func (s *Service) runShard(ctx context.Context, sh *shard) {
+func (s *Service) runShard(ctx context.Context, idx int) {
+	sh := s.shards[idx]
 	scratch := newShardScratch(s, drainChunk)
+	scratch.shard = idx
 	for {
 		worked := true
 		for worked {
@@ -597,6 +646,7 @@ type shardScratch struct {
 	X     [][]float64
 	dst   []int
 	proba [][]float64
+	shard int
 }
 
 func newShardScratch(s *Service, chunk int) *shardScratch {
@@ -625,16 +675,30 @@ func (s *Service) drainTenant(t *tenant, sc *shardScratch) int {
 		t.mu.Unlock()
 		return 0
 	}
+	depth := t.n
 	if n > drainChunk {
 		n = drainChunk
 	}
+	traced := false
 	sc.ws = sc.ws[:0]
 	for i := 0; i < n; i++ {
-		sc.ws = append(sc.ws, t.queue[(t.head+i)%capN])
+		w := t.queue[(t.head+i)%capN]
+		if w.trace != nil {
+			traced = true
+		}
+		sc.ws = append(sc.ws, w)
 	}
 	t.head = (t.head + n) % capN
 	t.n -= n
 	t.mu.Unlock()
+
+	// Timestamps for the per-stage spans are taken only when this chunk
+	// carries at least one sampled window: the unsampled path adds no
+	// clock reads and no branches beyond one nil check per window.
+	var dequeueNS int64
+	if traced {
+		dequeueNS = time.Now().UnixNano()
+	}
 
 	sc.X = sc.X[:0]
 	for i := range sc.ws {
@@ -647,6 +711,15 @@ func (s *Service) drainTenant(t *tenant, sc *shardScratch) int {
 			// A trained program only fails on shape mismatch, which
 			// validation excludes; log and drop the chunk rather than spin.
 			obs.Log().Error("ingest: compiled predict failed", "err", err)
+			if traced {
+				endNS := time.Now().UnixNano()
+				for i := range sc.ws {
+					if tr := sc.ws[i].trace; tr != nil {
+						tr.SetError(err.Error())
+						tr.FinishPending(1, endNS)
+					}
+				}
+			}
 			return n
 		}
 		if sc.proba != nil {
@@ -685,6 +758,10 @@ func (s *Service) drainTenant(t *tenant, sc *shardScratch) int {
 			raised := es.sm.Observe(pred)
 			if raised && !es.alarmed {
 				alarms++
+				// Tail rule: a trace whose window tripped the online alarm
+				// is pinned against ring eviction (nil-safe no-op when the
+				// window is untraced).
+				w.trace.Keep("alarm")
 				s.cfg.Bus.Publish(obs.Event{Type: EventAlarm,
 					Sample: w.endpoint, Class: t.id, Value: score})
 			}
@@ -698,7 +775,15 @@ func (s *Service) drainTenant(t *tenant, sc *shardScratch) int {
 			}
 			t.sinceRotate = 0
 		}
-		s.hLatency.Observe(float64(now-w.enqueuedNS) / float64(time.Second))
+		lat := float64(now-w.enqueuedNS) / float64(time.Second)
+		if w.trace != nil {
+			s.hLatency.ObserveExemplar(lat, w.trace.TraceID(), now/1e6)
+		} else {
+			s.hLatency.Observe(lat)
+		}
+	}
+	if traced {
+		s.emitDrainSpans(sc, n, depth, dequeueNS, now)
 	}
 	t.windowsProcessed.Add(int64(n))
 	s.mProcessed.Add(int64(n))
@@ -715,6 +800,43 @@ func (s *Service) drainTenant(t *tenant, sc *shardScratch) int {
 	}
 	s.gQueued.Set(float64(s.queuedTotal.Add(int64(-n))))
 	return n
+}
+
+// emitDrainSpans closes the drain-side spans for every sampled trace in
+// the chunk: one dequeue/infer/quality span triple per trace (windows of
+// one batch are consecutive in arrival order, so traces group into runs)
+// and the pending-count settlement that commits a trace once its last
+// window has a verdict. Only called for chunks that carry a trace.
+func (s *Service) emitDrainSpans(sc *shardScratch, n, depth int, dequeueNS, inferEndNS int64) {
+	qEndNS := time.Now().UnixNano()
+	var at *obs.ActiveTrace
+	count := 0
+	firstEnq := int64(0)
+	flush := func() {
+		if at == nil || count == 0 {
+			return
+		}
+		at.AddSpan("ingest.dequeue", firstEnq, dequeueNS,
+			obs.ReqAttr{Key: "queue_depth", Value: float64(depth)},
+			obs.ReqAttr{Key: "shard", Value: float64(sc.shard)})
+		at.AddSpan("ingest.infer", dequeueNS, inferEndNS,
+			obs.ReqAttr{Key: "batch", Value: float64(n)},
+			obs.ReqAttr{Key: "shard", Value: float64(sc.shard)})
+		at.AddSpan("ingest.quality", inferEndNS, qEndNS,
+			obs.ReqAttr{Key: "windows", Value: float64(count)})
+		at.FinishPending(count, qEndNS)
+	}
+	for i := 0; i < n; i++ {
+		w := &sc.ws[i]
+		if w.trace != at {
+			flush()
+			at, count, firstEnq = w.trace, 0, w.enqueuedNS
+		}
+		if w.trace != nil {
+			count++
+		}
+	}
+	flush()
 }
 
 // endpoint returns the window's alarm-smoother state, creating it up to

@@ -393,8 +393,9 @@ func TestTenantEndpoints(t *testing.T) {
 }
 
 // streamBatches replays a fixed multi-tenant window stream into a
-// service and returns each tenant's quality JSON after full drain.
-func streamBatches(t *testing.T, shards int) map[string]string {
+// service (optionally under request tracing) and returns each tenant's
+// quality JSON after full drain.
+func streamBatches(t *testing.T, shards int, rt *obs.ReqTracer) map[string]string {
 	t.Helper()
 	base, err := quality.CaptureBaseline([]string{"e0", "e1", "e2", "e3"},
 		[][]float64{{0, 0, 0, 0}, {1, 1, 1, 1}}, 4)
@@ -405,6 +406,7 @@ func streamBatches(t *testing.T, shards int) map[string]string {
 		c.Shards = shards
 		c.Baseline = base
 		c.RotateEvery = 16 // exercise epoch rotation inside the stream
+		c.Tracer = rt
 	}))
 	if err != nil {
 		t.Fatal(err)
@@ -452,8 +454,8 @@ func streamBatches(t *testing.T, shards int) map[string]string {
 // contract at the fleet level: the same per-tenant batch stream yields
 // byte-identical /api/v1/tenants/{id}/quality at 1 shard and 8 shards.
 func TestQualityDeterministicAcrossShards(t *testing.T) {
-	serial := streamBatches(t, 1)
-	sharded := streamBatches(t, 8)
+	serial := streamBatches(t, 1, nil)
+	sharded := streamBatches(t, 8, nil)
 	for id, want := range serial {
 		if got := sharded[id]; got != want {
 			t.Fatalf("tenant %s quality differs between 1 and 8 shards:\n--- 1 shard\n%s\n--- 8 shards\n%s",

@@ -80,6 +80,24 @@ type Histogram struct {
 	sum    float64
 	min    float64
 	max    float64
+	// exemplars holds the most recent trace-linked observation per bucket
+	// (len(bounds)+1); allocated lazily on the first ObserveExemplar so
+	// plain histograms pay nothing.
+	exemplars []Exemplar
+}
+
+// Exemplar links one recorded observation to the trace that produced it,
+// in the OpenMetrics sense: scraping `/metrics` with an OpenMetrics
+// Accept header renders it as `# {trace_id="..."} value timestamp` after
+// the matching bucket line, letting dashboards jump from a latency
+// histogram straight to the trace waterfall.
+type Exemplar struct {
+	// Bucket indexes the histogram bucket the observation landed in
+	// (len(Buckets) = the +Inf overflow bucket).
+	Bucket     int     `json:"bucket"`
+	Value      float64 `json:"value"`
+	TraceID    string  `json:"trace_id"`
+	TimeUnixMS int64   `json:"time_unix_ms"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -107,6 +125,34 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 }
 
+// ObserveExemplar records one value like Observe and additionally stamps
+// it as the bucket's current exemplar, linking the observation to the
+// trace that produced it. nowUnixMS is the observation's wall-clock
+// timestamp (passed in so hot paths reuse an already-taken timestamp).
+// Only call this on traced observations: the exemplar slot table is
+// allocated on first use and each call retains the trace id string.
+func (h *Histogram) ObserveExemplar(v float64, traceID string, nowUnixMS int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	if h.exemplars == nil {
+		h.exemplars = make([]Exemplar, len(h.bounds)+1)
+	}
+	h.exemplars[i] = Exemplar{Bucket: i, Value: v, TraceID: traceID, TimeUnixMS: nowUnixMS}
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -120,7 +166,7 @@ func (h *Histogram) Count() int64 {
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return HistogramSnapshot{
+	s := HistogramSnapshot{
 		Buckets: append([]float64{}, h.bounds...),
 		Counts:  append([]int64{}, h.counts...),
 		Count:   h.count,
@@ -128,6 +174,12 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		Min:     h.min,
 		Max:     h.max,
 	}
+	for _, e := range h.exemplars {
+		if e.TraceID != "" {
+			s.Exemplars = append(s.Exemplars, e)
+		}
+	}
+	return s
 }
 
 // Registry holds named metrics. The zero value is not usable; call
@@ -203,6 +255,7 @@ func (r *Registry) Reset() {
 			h.counts[i] = 0
 		}
 		h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+		h.exemplars = nil
 		h.mu.Unlock()
 	}
 }
@@ -217,6 +270,10 @@ type HistogramSnapshot struct {
 	Sum     float64   `json:"sum"`
 	Min     float64   `json:"min"`
 	Max     float64   `json:"max"`
+	// Exemplars holds at most one trace-linked observation per bucket,
+	// in bucket order; omitted entirely for histograms that never saw
+	// ObserveExemplar, keeping pre-exemplar snapshot JSON byte-stable.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// OpenMetricsContentType is the content type for the OpenMetrics 1.0 text
+// exposition format, negotiated by scrapers via the Accept header.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders a metrics snapshot in the OpenMetrics 1.0 text
+// format. The family layout mirrors WritePrometheus (sorted counters,
+// gauges, then histograms, byte-stable for a frozen snapshot); what
+// OpenMetrics adds is exemplars — bucket lines whose histogram recorded a
+// trace-linked observation carry `# {trace_id="..."} value timestamp`, so
+// a scraper can jump from a latency bucket to the exact trace behind it.
+//
+// The caller owns the terminating `# EOF` line: the telemetry server
+// appends its synthetic build-info/uptime families first, then
+// terminates the exposition.
+func WriteOpenMetrics(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s_total %d\n", pn, pn, s.Counters[n])
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[n]))
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		pn := promName(n)
+		// Index exemplars by bucket for the cumulative walk below.
+		var ex map[int]Exemplar
+		if len(h.Exemplars) > 0 {
+			ex = make(map[int]Exemplar, len(h.Exemplars))
+			for _, e := range h.Exemplars {
+				ex[e.Bucket] = e
+			}
+		}
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i, bound := range h.Buckets {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%s} %d", pn, QuoteLabel(promFloat(bound)), cum)
+			writeExemplar(&b, ex, i)
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d", pn, h.Count)
+		writeExemplar(&b, ex, len(h.Buckets))
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%s_sum %s\n", pn, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", pn, h.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeExemplar appends the OpenMetrics exemplar clause for bucket i when
+// one was recorded: ` # {trace_id="..."} value timestamp-seconds`.
+func writeExemplar(b *strings.Builder, ex map[int]Exemplar, i int) {
+	e, ok := ex[i]
+	if !ok || e.TraceID == "" {
+		return
+	}
+	fmt.Fprintf(b, " # {trace_id=%s} %s %s", QuoteLabel(e.TraceID),
+		promFloat(e.Value), promFloat(float64(e.TimeUnixMS)/1000))
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplar(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ingest.latency", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, "4bf92f3577b34da6a3ce929d0e0e4736", 1700000000500)
+	snap := r.Snapshot().Histograms["ingest.latency"]
+	if len(snap.Exemplars) != 1 {
+		t.Fatalf("exemplars = %+v, want exactly the one trace-linked bucket", snap.Exemplars)
+	}
+	e := snap.Exemplars[0]
+	if e.Bucket != 1 || e.Value != 0.5 || e.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("exemplar = %+v", e)
+	}
+	// A later observation in the same bucket replaces the slot — the
+	// freshest trace wins, bounded memory either way.
+	h.ObserveExemplar(0.7, "aaaa2f3577b34da6a3ce929d0e0e4736", 1700000001000)
+	snap = r.Snapshot().Histograms["ingest.latency"]
+	if len(snap.Exemplars) != 1 || snap.Exemplars[0].TraceID[:4] != "aaaa" {
+		t.Fatalf("exemplar not replaced: %+v", snap.Exemplars)
+	}
+}
+
+// TestHistogramJSONStableWithoutExemplars pins the API-compat contract:
+// histograms that never saw ObserveExemplar marshal exactly as before
+// this field existed (no "exemplars" key).
+func TestHistogramJSONStableWithoutExemplars(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("plain", []float64{1}).Observe(0.5)
+	raw, err := json.Marshal(r.Snapshot().Histograms["plain"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "exemplars") {
+		t.Fatalf("exemplar-free histogram leaks the field: %s", raw)
+	}
+}
+
+func TestWriteOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ingest.windows").Add(7)
+	r.Gauge("ingest.queued").Set(3)
+	h := r.Histogram("ingest.latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, "4bf92f3577b34da6a3ce929d0e0e4736", 1500)
+
+	var b strings.Builder
+	if err := WriteOpenMetrics(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ingest_windows counter\ningest_windows_total 7\n",
+		"# TYPE ingest_queued gauge\ningest_queued 3\n",
+		"# TYPE ingest_latency histogram\n",
+		"ingest_latency_bucket{le=\"0.1\"} 1\n",
+		// The exemplar rides the bucket that recorded it, value then
+		// timestamp in seconds.
+		"ingest_latency_bucket{le=\"1\"} 2 # {trace_id=\"4bf92f3577b34da6a3ce929d0e0e4736\"} 0.5 1.5\n",
+		"ingest_latency_sum 0.55\n",
+		"ingest_latency_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("OpenMetrics output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "# EOF") {
+		t.Fatal("WriteOpenMetrics must not emit # EOF; the handler owns the terminator")
+	}
+
+	// The 0.0.4 exposition stays byte-identical whether or not a
+	// histogram carries exemplars: WritePrometheus ignores them.
+	var p1 strings.Builder
+	if err := WritePrometheus(&p1, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p1.String(), "trace_id") {
+		t.Fatal("WritePrometheus leaked exemplar syntax")
+	}
+}

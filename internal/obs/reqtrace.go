@@ -1,0 +1,561 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric names published by the request tracer.
+const (
+	// ReqTraceStartedMetric counts traces that passed sampling and began
+	// recording spans.
+	ReqTraceStartedMetric = "reqtrace.started"
+	// ReqTraceRetainedMetric counts completed traces committed to the ring.
+	ReqTraceRetainedMetric = "reqtrace.retained"
+	// ReqTraceEvictedMetric counts traces dropped from the ring to stay
+	// inside the byte/count budget.
+	ReqTraceEvictedMetric = "reqtrace.evicted"
+	// ReqTraceBytesMetric gauges the ring's current retained byte estimate.
+	ReqTraceBytesMetric = "reqtrace.bytes"
+)
+
+// ReqAttr is one numeric span attribute (queue depth, batch size, ...).
+// Attributes are numeric only so span storage stays compact and the
+// waterfall JSON stays schema-free.
+type ReqAttr struct {
+	Key   string  `json:"key"`
+	Value float64 `json:"value"`
+}
+
+// ReqSpan is one completed stage of a request trace.
+type ReqSpan struct {
+	Name string `json:"name"`
+	// StartUnixUS is the span's start time, microseconds since the epoch.
+	StartUnixUS int64 `json:"start_us"`
+	// DurUS is the span's duration in microseconds.
+	DurUS int64     `json:"dur_us"`
+	Attrs []ReqAttr `json:"attrs,omitempty"`
+}
+
+// ReqTraceSnapshot is one completed request trace: the root identity plus
+// the flat span waterfall, ordered as recorded.
+type ReqTraceSnapshot struct {
+	// TraceID is the 128-bit W3C trace id as 32 lowercase hex digits.
+	TraceID string `json:"trace_id"`
+	// ParentSpanID is the caller's span id (16 hex digits) when the trace
+	// was joined from an incoming traceparent header; empty for fresh
+	// roots minted by this process.
+	ParentSpanID string `json:"parent_span_id,omitempty"`
+	Name         string `json:"name"`
+	Tenant       string `json:"tenant,omitempty"`
+	StartUnixUS  int64  `json:"start_us"`
+	// DurMS is the root duration in milliseconds: first span start to the
+	// last observed span end (for ingest, the last verdict of the batch).
+	DurMS float64 `json:"dur_ms"`
+	Error string  `json:"error,omitempty"`
+	// KeepReason is why the tail sampler protects this trace from
+	// eviction ("slow", "error", "alarm", ...); empty for traces retained
+	// only by head sampling, which evict first under memory pressure.
+	KeepReason string `json:"keep_reason,omitempty"`
+	// DroppedSpans counts spans discarded past the per-trace cap.
+	DroppedSpans int       `json:"dropped_spans,omitempty"`
+	Spans        []ReqSpan `json:"spans"`
+}
+
+// ReqTraceSummary is the list-endpoint view of a retained trace: identity
+// and headline numbers without the span payload.
+type ReqTraceSummary struct {
+	TraceID     string  `json:"trace_id"`
+	Name        string  `json:"name"`
+	Tenant      string  `json:"tenant,omitempty"`
+	StartUnixUS int64   `json:"start_us"`
+	DurMS       float64 `json:"dur_ms"`
+	Error       string  `json:"error,omitempty"`
+	KeepReason  string  `json:"keep_reason,omitempty"`
+	Spans       int     `json:"spans"`
+}
+
+// ReqTraceFilter selects traces for ReqTracer.List. Zero values match
+// everything.
+type ReqTraceFilter struct {
+	Tenant    string
+	MinDurMS  float64
+	ErrorOnly bool
+	// Limit caps the number of returned summaries (newest first);
+	// <= 0 means no cap.
+	Limit int
+}
+
+// ReqTraceStats summarizes the tracer's lifetime activity and current
+// ring occupancy.
+type ReqTraceStats struct {
+	Started  int64 `json:"started"`
+	Retained int64 `json:"retained"`
+	Evicted  int64 `json:"evicted"`
+	Traces   int   `json:"traces"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
+}
+
+// ReqTracerConfig configures sampling and retention. The zero value is
+// usable: no head sampling (only explicitly-sampled traceparents record),
+// 100 ms slow threshold, 4 MiB ring.
+type ReqTracerConfig struct {
+	// HeadRatio is the default per-request head-sampling probability in
+	// [0,1] for requests that arrive without a sampled traceparent.
+	HeadRatio float64
+	// TenantRatio overrides HeadRatio per tenant id.
+	TenantRatio map[string]float64
+	// SlowThreshold marks a completed trace as tail-kept ("slow") when
+	// its root duration reaches it. 0 means the 100 ms default; negative
+	// disables the slow rule.
+	SlowThreshold time.Duration
+	// MaxBytes bounds the estimated retained bytes (default 4 MiB).
+	MaxBytes int64
+	// MaxTraces bounds the retained trace count (default 1024).
+	MaxTraces int
+	// MaxSpans bounds spans per trace (default 256); excess spans are
+	// counted in DroppedSpans rather than stored.
+	MaxSpans int
+	// Registry receives the reqtrace.* metrics when non-nil.
+	Registry *Registry
+}
+
+// ReqTracer records request-scoped traces into a bounded drop-oldest
+// ring. Sampling is two-layered: a cheap head decision at request entry
+// (explicit W3C sampled flag, else a per-tenant coin flip) picks which
+// requests record spans at all, and tail keep rules — slow, errored, or
+// explicitly kept (alarm-coincident) — decide which completed traces the
+// ring protects when evicting to stay inside its byte budget.
+//
+// All methods are nil-safe: a nil *ReqTracer samples nothing, so callers
+// thread it unconditionally and the untraced hot path stays branch-cheap
+// and allocation-free.
+type ReqTracer struct {
+	slowNS    int64
+	defThresh uint64            // head-sample threshold in [0, MaxUint64]
+	tenThresh map[string]uint64 // per-tenant overrides
+	maxBytes  int64
+	maxTraces int
+	maxSpans  int
+
+	mu    sync.Mutex
+	ring  []*ringEntry // oldest first
+	bytes int64
+
+	started  atomic.Int64
+	retained atomic.Int64
+	evicted  atomic.Int64
+
+	cStarted  *Counter
+	cRetained *Counter
+	cEvicted  *Counter
+	gBytes    *Gauge
+}
+
+type ringEntry struct {
+	snap  ReqTraceSnapshot
+	bytes int64
+	kept  bool
+}
+
+// NewReqTracer builds a tracer from cfg (see ReqTracerConfig for the
+// zero-value defaults).
+func NewReqTracer(cfg ReqTracerConfig) *ReqTracer {
+	rt := &ReqTracer{
+		slowNS:    int64(cfg.SlowThreshold),
+		defThresh: headThreshold(cfg.HeadRatio),
+		maxBytes:  cfg.MaxBytes,
+		maxTraces: cfg.MaxTraces,
+		maxSpans:  cfg.MaxSpans,
+	}
+	if rt.slowNS == 0 {
+		rt.slowNS = int64(100 * time.Millisecond)
+	}
+	if rt.maxBytes <= 0 {
+		rt.maxBytes = 4 << 20
+	}
+	if rt.maxTraces <= 0 {
+		rt.maxTraces = 1024
+	}
+	if rt.maxSpans <= 0 {
+		rt.maxSpans = 256
+	}
+	if len(cfg.TenantRatio) > 0 {
+		rt.tenThresh = make(map[string]uint64, len(cfg.TenantRatio))
+		for t, r := range cfg.TenantRatio {
+			rt.tenThresh[t] = headThreshold(r)
+		}
+	}
+	if cfg.Registry != nil {
+		rt.cStarted = cfg.Registry.Counter(ReqTraceStartedMetric)
+		rt.cRetained = cfg.Registry.Counter(ReqTraceRetainedMetric)
+		rt.cEvicted = cfg.Registry.Counter(ReqTraceEvictedMetric)
+		rt.gBytes = cfg.Registry.Gauge(ReqTraceBytesMetric)
+	}
+	return rt
+}
+
+// headThreshold maps a probability onto the uint64 comparison threshold
+// used against the id generator's uniform output.
+func headThreshold(ratio float64) uint64 {
+	if ratio <= 0 {
+		return 0
+	}
+	if ratio >= 1 {
+		return ^uint64(0)
+	}
+	return uint64(ratio * float64(1<<63) * 2)
+}
+
+// Sample makes the head-sampling decision for one incoming request and,
+// when it records, opens the root trace. tc is the parsed traceparent
+// (zero value when the request carried none): a valid sampled context
+// always records and joins the caller's trace id; otherwise the
+// per-tenant head ratio decides on a fresh root. Returns nil when the
+// request is not recorded — every ActiveTrace method is nil-safe, so the
+// caller threads the pointer through unconditionally.
+func (rt *ReqTracer) Sample(tc TraceContext, name, tenant string, startNS int64) *ActiveTrace {
+	if rt == nil {
+		return nil
+	}
+	join := tc.Valid()
+	record := join && tc.Sampled()
+	if !record {
+		th := rt.defThresh
+		if rt.tenThresh != nil {
+			if t, ok := rt.tenThresh[tenant]; ok {
+				th = t
+			}
+		}
+		record = th != 0 && nextID() <= th
+	}
+	if !record {
+		return nil
+	}
+	at := &ActiveTrace{tracer: rt, name: name, tenant: tenant, startNS: startNS, endNS: startNS}
+	if join {
+		at.tc = TraceContext{TraceHi: tc.TraceHi, TraceLo: tc.TraceLo,
+			Span: nextID(), Flags: tc.Flags | FlagSampled}
+		at.parent = tc.Span
+	} else {
+		at.tc = NewTraceContext()
+	}
+	at.id = at.tc.TraceID()
+	rt.started.Add(1)
+	rt.cStarted.Inc()
+	return at
+}
+
+// Get returns the retained trace with the given 32-hex id.
+func (rt *ReqTracer) Get(id string) (ReqTraceSnapshot, bool) {
+	if rt == nil {
+		return ReqTraceSnapshot{}, false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i := len(rt.ring) - 1; i >= 0; i-- {
+		if rt.ring[i].snap.TraceID == id {
+			return rt.ring[i].snap, true
+		}
+	}
+	return ReqTraceSnapshot{}, false
+}
+
+// List returns summaries of retained traces matching f, newest first.
+func (rt *ReqTracer) List(f ReqTraceFilter) []ReqTraceSummary {
+	if rt == nil {
+		return nil
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]ReqTraceSummary, 0, len(rt.ring))
+	for i := len(rt.ring) - 1; i >= 0; i-- {
+		s := &rt.ring[i].snap
+		if f.Tenant != "" && s.Tenant != f.Tenant {
+			continue
+		}
+		if s.DurMS < f.MinDurMS {
+			continue
+		}
+		if f.ErrorOnly && s.Error == "" {
+			continue
+		}
+		out = append(out, ReqTraceSummary{
+			TraceID:     s.TraceID,
+			Name:        s.Name,
+			Tenant:      s.Tenant,
+			StartUnixUS: s.StartUnixUS,
+			DurMS:       s.DurMS,
+			Error:       s.Error,
+			KeepReason:  s.KeepReason,
+			Spans:       len(s.Spans),
+		})
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// LastKept returns the most recently retained trace whose KeepReason
+// matches reason (any tail-kept trace when reason is empty) — the hook
+// the flight recorder uses to embed the trace that coincided with an
+// alarm in its incident dump.
+func (rt *ReqTracer) LastKept(reason string) (ReqTraceSnapshot, bool) {
+	if rt == nil {
+		return ReqTraceSnapshot{}, false
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for i := len(rt.ring) - 1; i >= 0; i-- {
+		s := &rt.ring[i].snap
+		if s.KeepReason == "" {
+			continue
+		}
+		if reason == "" || s.KeepReason == reason {
+			return *s, true
+		}
+	}
+	return ReqTraceSnapshot{}, false
+}
+
+// Stats reports lifetime counters and current ring occupancy.
+func (rt *ReqTracer) Stats() ReqTraceStats {
+	if rt == nil {
+		return ReqTraceStats{}
+	}
+	rt.mu.Lock()
+	traces, bytes := len(rt.ring), rt.bytes
+	rt.mu.Unlock()
+	return ReqTraceStats{
+		Started:  rt.started.Load(),
+		Retained: rt.retained.Load(),
+		Evicted:  rt.evicted.Load(),
+		Traces:   traces,
+		Bytes:    bytes,
+		MaxBytes: rt.maxBytes,
+	}
+}
+
+// retain commits one completed trace, evicting oldest traces — non-kept
+// before tail-kept — until the ring fits its count and byte budgets.
+func (rt *ReqTracer) retain(snap ReqTraceSnapshot, kept bool) {
+	e := &ringEntry{snap: snap, kept: kept, bytes: estimateTraceBytes(&snap)}
+	rt.mu.Lock()
+	rt.ring = append(rt.ring, e)
+	rt.bytes += e.bytes
+	var evicted int64
+	for len(rt.ring) > 1 && (rt.bytes > rt.maxBytes || len(rt.ring) > rt.maxTraces) {
+		drop := -1
+		for i, r := range rt.ring {
+			if !r.kept {
+				drop = i
+				break
+			}
+		}
+		if drop < 0 {
+			drop = 0 // every retained trace is tail-kept: sacrifice the oldest
+		}
+		rt.bytes -= rt.ring[drop].bytes
+		rt.ring = append(rt.ring[:drop], rt.ring[drop+1:]...)
+		evicted++
+	}
+	bytes := rt.bytes
+	rt.mu.Unlock()
+	rt.retained.Add(1)
+	rt.cRetained.Inc()
+	if evicted > 0 {
+		rt.evicted.Add(evicted)
+		rt.cEvicted.Add(evicted)
+	}
+	rt.gBytes.Set(float64(bytes))
+}
+
+// estimateTraceBytes approximates a snapshot's retained footprint for the
+// ring budget: struct headers plus string payloads.
+func estimateTraceBytes(s *ReqTraceSnapshot) int64 {
+	n := 160 + len(s.TraceID) + len(s.ParentSpanID) + len(s.Name) +
+		len(s.Tenant) + len(s.Error) + len(s.KeepReason)
+	for i := range s.Spans {
+		n += 56 + len(s.Spans[i].Name)
+		for j := range s.Spans[i].Attrs {
+			n += 32 + len(s.Spans[i].Attrs[j].Key)
+		}
+	}
+	return int64(n)
+}
+
+// ActiveTrace is one in-flight request trace. The HTTP layer creates it
+// via ReqTracer.Sample, stages append spans as they complete, and the
+// trace commits to the ring once both the request handler has released it
+// (End) and every enqueued window has reported its verdict
+// (FinishPending). All methods are safe for concurrent use from the
+// accept and drain goroutines and are nil-safe, so untraced requests pay
+// only a nil check.
+type ActiveTrace struct {
+	tracer *ReqTracer
+	tc     TraceContext
+	parent uint64
+	id     string
+
+	mu           sync.Mutex
+	name         string
+	tenant       string
+	startNS      int64
+	endNS        int64 // max span end observed
+	pending      int64
+	released     bool
+	committed    bool
+	errMsg       string
+	keep         string
+	spans        []ReqSpan
+	droppedSpans int
+}
+
+// Context returns the trace's outgoing context (fresh root span id, same
+// trace id as the caller when joined) for response headers.
+func (at *ActiveTrace) Context() TraceContext {
+	if at == nil {
+		return TraceContext{}
+	}
+	return at.tc
+}
+
+// TraceID returns the 32-hex trace id ("" for nil).
+func (at *ActiveTrace) TraceID() string {
+	if at == nil {
+		return ""
+	}
+	return at.id
+}
+
+// AddSpan records one completed stage [startNS, endNS] (unix nanos) with
+// optional attributes. Spans past the per-trace cap are counted, not
+// stored.
+func (at *ActiveTrace) AddSpan(name string, startNS, endNS int64, attrs ...ReqAttr) {
+	if at == nil {
+		return
+	}
+	at.mu.Lock()
+	if endNS > at.endNS {
+		at.endNS = endNS
+	}
+	if len(at.spans) >= at.tracer.maxSpans {
+		at.droppedSpans++
+		at.mu.Unlock()
+		return
+	}
+	at.spans = append(at.spans, ReqSpan{
+		Name:        name,
+		StartUnixUS: startNS / 1e3,
+		DurUS:       (endNS - startNS) / 1e3,
+		Attrs:       attrs,
+	})
+	at.mu.Unlock()
+}
+
+// SetError marks the trace errored (tail rule: errored traces are kept).
+// The first message wins.
+func (at *ActiveTrace) SetError(msg string) {
+	if at == nil {
+		return
+	}
+	at.mu.Lock()
+	if at.errMsg == "" {
+		at.errMsg = msg
+	}
+	at.mu.Unlock()
+}
+
+// Keep pins the trace against eviction with the given reason (e.g.
+// "alarm" when a verdict inside it tripped the online detector). The
+// first reason wins; later slow/error rules do not override it.
+func (at *ActiveTrace) Keep(reason string) {
+	if at == nil {
+		return
+	}
+	at.mu.Lock()
+	if at.keep == "" {
+		at.keep = reason
+	}
+	at.mu.Unlock()
+}
+
+// AddPending registers n asynchronous completions (enqueued windows) the
+// trace must wait for before committing.
+func (at *ActiveTrace) AddPending(n int) {
+	if at == nil || n <= 0 {
+		return
+	}
+	at.mu.Lock()
+	at.pending += int64(n)
+	at.mu.Unlock()
+}
+
+// FinishPending reports n completions observed at endNS (unix nanos). The
+// trace commits when the handler has released it and the pending count
+// reaches zero.
+func (at *ActiveTrace) FinishPending(n int, endNS int64) {
+	if at == nil || n <= 0 {
+		return
+	}
+	at.mu.Lock()
+	at.pending -= int64(n)
+	if endNS > at.endNS {
+		at.endNS = endNS
+	}
+	at.commitLocked()
+	at.mu.Unlock()
+}
+
+// End releases the trace from the request handler at endNS (unix nanos).
+// With no pending windows it commits immediately; otherwise the last
+// FinishPending commits.
+func (at *ActiveTrace) End(endNS int64) {
+	if at == nil {
+		return
+	}
+	at.mu.Lock()
+	at.released = true
+	if endNS > at.endNS {
+		at.endNS = endNS
+	}
+	at.commitLocked()
+	at.mu.Unlock()
+}
+
+// commitLocked freezes and retains the trace once released with nothing
+// pending. Caller holds at.mu.
+func (at *ActiveTrace) commitLocked() {
+	if at.committed || !at.released || at.pending > 0 {
+		return
+	}
+	at.committed = true
+	durNS := at.endNS - at.startNS
+	keep := at.keep
+	if keep == "" && at.errMsg != "" {
+		keep = "error"
+	}
+	if keep == "" && at.tracer.slowNS > 0 && durNS >= at.tracer.slowNS {
+		keep = "slow"
+	}
+	snap := ReqTraceSnapshot{
+		TraceID:      at.id,
+		Name:         at.name,
+		Tenant:       at.tenant,
+		StartUnixUS:  at.startNS / 1e3,
+		DurMS:        roundMS(time.Duration(durNS)),
+		Error:        at.errMsg,
+		KeepReason:   keep,
+		DroppedSpans: at.droppedSpans,
+		Spans:        at.spans,
+	}
+	if at.parent != 0 {
+		var b [16]byte
+		putHex(b[:], at.parent)
+		snap.ParentSpanID = string(b[:])
+	}
+	at.tracer.retain(snap, keep != "")
+}

@@ -17,15 +17,112 @@ import (
 // spans must use Span.Child, which attaches to an explicit parent and
 // never touches the shared stack, making it safe to call from any
 // goroutine.
+// Retention: the tracer keeps at most a bounded number of spans
+// (DefaultSpanLimit unless SetLimit overrides it). When a new span would
+// exceed the cap, whole ended root subtrees are dropped oldest-first and
+// counted — long-running daemons like `hpcmal serve` trace every replay
+// round for the life of the process, and unbounded retention was a slow
+// leak. Active (un-ended) spans are never dropped.
 type Tracer struct {
-	mu     sync.Mutex
-	roots  []*Span
-	stack  []*Span
-	lastID uint64
+	mu      sync.Mutex
+	roots   []*Span
+	stack   []*Span
+	lastID  uint64
+	size    int // spans currently retained (all subtrees)
+	limit   int // 0 = DefaultSpanLimit, <0 = unbounded
+	dropped int64
+	mDrops  *Counter // optional registry mirror, set via AttachMetrics
 }
+
+// DefaultSpanLimit is the default cap on retained spans per tracer.
+const DefaultSpanLimit = 8192
+
+// SpansDroppedMetric counts spans evicted from a tracer's retention cap
+// (mirrored into a registry by AttachMetrics).
+const SpansDroppedMetric = "obs.spans_dropped"
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
+
+// SetLimit caps the number of retained spans; n < 0 removes the cap and
+// n == 0 restores DefaultSpanLimit.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.evictLocked()
+	t.mu.Unlock()
+}
+
+// Dropped returns the number of spans evicted so far.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// AttachMetrics mirrors the tracer's eviction count into r as the
+// obs.spans_dropped counter.
+func (t *Tracer) AttachMetrics(r *Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	c := r.Counter(SpansDroppedMetric)
+	t.mu.Lock()
+	t.mDrops = c
+	t.mu.Unlock()
+	c.Add(t.Dropped())
+}
+
+// evictLocked drops the oldest fully-ended root subtrees until the span
+// count fits the limit. Roots still running (or with running children on
+// the active stack) are skipped: dropping them would orphan live spans.
+func (t *Tracer) evictLocked() {
+	limit := t.limit
+	if limit == 0 {
+		limit = DefaultSpanLimit
+	}
+	if limit < 0 {
+		return
+	}
+	i := 0
+	for t.size > limit && i < len(t.roots) {
+		if !subtreeEnded(t.roots[i]) {
+			i++
+			continue
+		}
+		n := subtreeSize(t.roots[i])
+		t.roots = append(t.roots[:i], t.roots[i+1:]...)
+		t.size -= n
+		t.dropped += int64(n)
+		t.mDrops.Add(int64(n))
+	}
+}
+
+func subtreeEnded(s *Span) bool {
+	if !s.ended {
+		return false
+	}
+	for _, c := range s.child {
+		if !subtreeEnded(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func subtreeSize(s *Span) int {
+	n := 1
+	for _, c := range s.child {
+		n += subtreeSize(c)
+	}
+	return n
+}
 
 // Span is one timed region of a run. End it exactly once; End is
 // idempotent and nil-safe.
@@ -65,6 +162,8 @@ func (t *Tracer) Start(name string) *Span {
 		t.roots = append(t.roots, sp)
 	}
 	t.stack = append(t.stack, sp)
+	t.size++
+	t.evictLocked()
 	return sp
 }
 
@@ -83,6 +182,8 @@ func (s *Span) Child(name string) *Span {
 	t.lastID++
 	sp := &Span{name: name, id: t.lastID, parent: s.id, start: time.Now(), tracer: t}
 	s.child = append(s.child, sp)
+	t.size++
+	t.evictLocked()
 	return sp
 }
 
@@ -108,6 +209,7 @@ func (s *Span) End() time.Duration {
 			break
 		}
 	}
+	t.evictLocked()
 	return s.dur
 }
 
@@ -164,7 +266,7 @@ func (t *Tracer) Reset() {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.roots, t.stack, t.lastID = nil, nil, 0
+	t.roots, t.stack, t.lastID, t.size = nil, nil, 0, 0
 }
 
 // roundMS converts a duration to milliseconds with microsecond precision,

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"sync/atomic"
+)
+
+// TraceContext is the propagatable identity of one request-scoped trace:
+// a 128-bit trace id shared by every span of the request across process
+// boundaries, the 64-bit id of the caller's span, and the W3C trace
+// flags. It parses from and formats to the W3C Trace Context
+// `traceparent` header (version 00), so fleet endpoints, load generators
+// and the ingest service join their latency observations on one id.
+type TraceContext struct {
+	// TraceHi and TraceLo are the high and low halves of the 128-bit
+	// trace id. A zero trace id is invalid per the W3C spec.
+	TraceHi, TraceLo uint64
+	// Span is the caller's 64-bit span id (the parent of the first span
+	// the receiver opens). Zero is invalid.
+	Span uint64
+	// Flags carries the W3C trace flags; bit 0 is "sampled".
+	Flags uint8
+}
+
+// FlagSampled is the W3C sampled trace flag: the caller recorded this
+// trace and asks downstream services to record it too.
+const FlagSampled uint8 = 0x01
+
+// Valid reports whether the context carries a usable (non-zero) trace
+// and span id.
+func (tc TraceContext) Valid() bool {
+	return (tc.TraceHi != 0 || tc.TraceLo != 0) && tc.Span != 0
+}
+
+// Sampled reports the sampled flag.
+func (tc TraceContext) Sampled() bool { return tc.Flags&FlagSampled != 0 }
+
+// TraceID renders the 128-bit trace id as 32 lowercase hex digits.
+func (tc TraceContext) TraceID() string {
+	var b [32]byte
+	putHex(b[:16], tc.TraceHi)
+	putHex(b[16:], tc.TraceLo)
+	return string(b[:])
+}
+
+// Traceparent renders the context in the W3C traceparent header format:
+// version 00, `00-<32 hex trace id>-<16 hex span id>-<2 hex flags>`.
+func (tc TraceContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	putHex(b[3:19], tc.TraceHi)
+	putHex(b[19:35], tc.TraceLo)
+	b[35] = '-'
+	putHex(b[36:52], tc.Span)
+	b[52] = '-'
+	const hexdigits = "0123456789abcdef"
+	b[53] = hexdigits[tc.Flags>>4]
+	b[54] = hexdigits[tc.Flags&0xf]
+	return string(b[:])
+}
+
+// ParseTraceparent parses a W3C traceparent header. It returns ok=false
+// for anything malformed — wrong length, bad separators, non-lowercase
+// hex, the forbidden version ff, or all-zero trace/span ids — so callers
+// fall back to a fresh root trace instead of rejecting the request: a
+// broken tracing header must never 400 an otherwise valid ingest.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	// version-format: 2 hex version, 32 hex trace id, 16 hex span id,
+	// 2 hex flags, dash-separated. Exactly 55 bytes for version 00;
+	// future versions may append fields after another dash.
+	if len(h) < 55 {
+		return TraceContext{}, false
+	}
+	ver, ok := parseHex(h[0:2])
+	if !ok || ver == 0xff {
+		return TraceContext{}, false
+	}
+	if len(h) > 55 {
+		// Version 00 is exactly 55 bytes; higher versions may be longer
+		// only when the extra data starts with a separator.
+		if ver == 0 || h[55] != '-' {
+			return TraceContext{}, false
+		}
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	hi, ok1 := parseHex(h[3:19])
+	lo, ok2 := parseHex(h[19:35])
+	span, ok3 := parseHex(h[36:52])
+	flags, ok4 := parseHex(h[53:55])
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceHi: hi, TraceLo: lo, Span: span, Flags: uint8(flags)}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// NewTraceContext mints a fresh sampled root context with random trace
+// and span ids — what a client (fleetgen) stamps on outbound requests.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceHi: nextID(), TraceLo: nextID(),
+		Span: nextID(), Flags: FlagSampled}
+}
+
+// idState seeds the lock-free id generator from the OS entropy pool once
+// at process start; ids then advance by atomic increment + mixing, so
+// minting an id never allocates and never blocks on entropy.
+var idState = func() *atomic.Uint64 {
+	var seed [8]byte
+	var s atomic.Uint64
+	if _, err := crand.Read(seed[:]); err == nil {
+		s.Store(binary.LittleEndian.Uint64(seed[:]))
+	} else {
+		s.Store(0x9e3779b97f4a7c15)
+	}
+	return &s
+}()
+
+// nextID returns a non-zero pseudo-random 64-bit id (splitmix64 over an
+// atomic counter: unique per process, well-mixed, allocation-free).
+func nextID() uint64 {
+	for {
+		x := idState.Add(0x9e3779b97f4a7c15)
+		x ^= x >> 30
+		x *= 0xbf58476d1ce4e5b9
+		x ^= x >> 27
+		x *= 0x94d049bb133111eb
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// putHex writes v as len(dst) lowercase hex digits (dst is 16 bytes for
+// a full uint64).
+func putHex(dst []byte, v uint64) {
+	const hexdigits = "0123456789abcdef"
+	for i := len(dst) - 1; i >= 0; i-- {
+		dst[i] = hexdigits[v&0xf]
+		v >>= 4
+	}
+}
+
+// parseHex parses strictly lowercase hex (the W3C grammar) into a
+// uint64. At most 16 digits.
+func parseHex(s string) (uint64, bool) {
+	if len(s) == 0 || len(s) > 16 {
+		return 0, false
+	}
+	var v uint64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		default:
+			return 0, false
+		}
+		v = v<<4 | d
+	}
+	return v, true
+}

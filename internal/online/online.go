@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/infer"
 	"repro/internal/ml"
@@ -189,6 +190,7 @@ type options struct {
 	parallelism  int
 	ctx          context.Context
 	observer     func(WindowObservation)
+	reqTracer    *obs.ReqTracer
 }
 
 // Option configures Monitor and MonitorAll.
@@ -222,6 +224,15 @@ func WithParallelism(n int) Option {
 // without one costs nothing extra.
 func WithWindowObserver(fn func(WindowObservation)) Option {
 	return func(o *options) { o.observer = fn }
+}
+
+// WithReqTracer records one request trace per monitored program replay
+// (head-sampled by the tracer's default ratio): a "replay.monitor" root
+// whose span carries the window and alarm counts, tail-kept when the
+// replay raised an alarm. nil (the default) traces nothing and adds no
+// per-window work.
+func WithReqTracer(rt *obs.ReqTracer) Option {
+	return func(o *options) { o.reqTracer = rt }
 }
 
 // WithContext cancels MonitorAll early when ctx is done: traces not yet
@@ -334,6 +345,17 @@ func monitor(clf ml.Classifier, prog *infer.Program, tr *trace.Trace, o options)
 	mMonitors.Inc()
 	bus := obs.DefaultBus
 	res := &Result{Window: -1}
+	// Head-sample one request trace per replayed program: the whole
+	// replay becomes a root with a single classification span, so slow or
+	// alarm-raising replays show up on /api/v1/traces next to ingest
+	// traffic. Without a tracer this path adds nothing, not even a clock
+	// read.
+	var at *obs.ActiveTrace
+	var monStartNS int64
+	if o.reqTracer != nil {
+		monStartNS = time.Now().UnixNano()
+		at = o.reqTracer.Sample(obs.TraceContext{}, "replay", tr.SampleName, monStartNS)
+	}
 	// One feature buffer per trace, refilled in place each window,
 	// instead of a fresh Values() slice per 10 ms sample.
 	var vals []float64
@@ -396,12 +418,26 @@ func monitor(clf ml.Classifier, prog *infer.Program, tr *trace.Trace, o options)
 	if res.Detected {
 		mAlarms.Inc()
 		mAlarmLatency.Observe(float64(res.Window + 1))
+		// An alarm-coincident trace is tail-kept: it survives ring
+		// eviction for forensic replay of the verdict.
+		at.Keep("alarm")
 		bus.Publish(obs.Event{Type: EventAlarm, Sample: tr.SampleName,
 			Class: tr.Class.String(), Window: res.Window,
 			Value: res.LatencySeconds})
 		obs.Log().Debug("alarm raised", "sample", tr.SampleName,
 			"class", tr.Class.String(), "window", res.Window,
 			"latency_s", res.LatencySeconds)
+	}
+	if at != nil {
+		endNS := time.Now().UnixNano()
+		detected := 0.0
+		if res.Detected {
+			detected = 1
+		}
+		at.AddSpan("replay.classify", monStartNS, endNS,
+			obs.ReqAttr{Key: "windows", Value: float64(len(tr.Records))},
+			obs.ReqAttr{Key: "detected", Value: detected})
+		at.End(endNS)
 	}
 	return res, nil
 }

@@ -48,6 +48,15 @@ const dashboardHTML = `<!doctype html>
   .ev.drift .ty { color:var(--warn); }
   .ev.alert_resolved .ty, .ev.drift_resolved .ty { color:var(--ok); }
   .nodata { color:var(--dim); }
+  #traces { margin:0 16px 16px; background:var(--panel);
+            border:1px solid #30363d; border-radius:6px; padding:10px 12px; }
+  #traces h2 { font-size:13px; color:var(--dim); margin:0 0 6px; }
+  #tr-rows { max-height:220px; overflow-y:auto; }
+  .tr { display:flex; gap:10px; padding:2px 0; font-size:12px; }
+  .tr a { color:var(--line); text-decoration:none; }
+  .tr .dur { min-width:90px; text-align:right; }
+  .tr .keep { min-width:60px; color:var(--warn); }
+  .tr.error .keep { color:var(--bad); }
 </style>
 </head>
 <body>
@@ -59,6 +68,10 @@ const dashboardHTML = `<!doctype html>
 <div id="timeline">
   <h2>alert / drift / alarm timeline</h2>
   <div id="tl-rows"><span class="nodata">no events yet</span></div>
+</div>
+<div id="traces">
+  <h2>recent request traces (slow / errored / alarm-kept first to survive eviction)</h2>
+  <div id="tr-rows"><span class="nodata">no traces yet — enable with serve -trace-sample</span></div>
 </div>
 <script>
 "use strict";
@@ -173,10 +186,46 @@ function follow() {
   es.onerror = () => { es.close(); setTimeout(follow, 3000); };
 }
 
+// Recent traces: newest-first summaries from the tail-sampled ring.
+// Each trace id links to its span-waterfall JSON — the same id the
+// /metrics exemplars carry, so a slow histogram bucket is one click
+// from the request that landed in it.
+const trRows = document.getElementById("tr-rows");
+async function pollTraces() {
+  try {
+    const r = await fetch("/api/v1/traces?limit=12");
+    if (!r.ok) return; // 404: no tracer attached — leave the hint row
+    const body = await r.json();
+    const ts = body.traces || [];
+    if (!ts.length) return;
+    trRows.textContent = "";
+    for (const t of ts) {
+      const row = document.createElement("div");
+      row.className = "tr" + (t.error ? " error" : "");
+      const a = document.createElement("a");
+      a.href = "/api/v1/traces/" + t.trace_id;
+      a.textContent = t.trace_id;
+      const when = document.createElement("span"); when.className = "t";
+      when.textContent = new Date(t.start_us / 1000).toLocaleTimeString();
+      const dur = document.createElement("span"); dur.className = "dur";
+      dur.textContent = t.dur_ms.toFixed(2) + " ms";
+      const keep = document.createElement("span"); keep.className = "keep";
+      keep.textContent = t.error ? "error" : (t.keep_reason || "");
+      const who = document.createElement("span");
+      who.textContent = (t.tenant ? t.tenant + " · " : "") + t.name +
+                        " · " + t.spans + " spans";
+      row.append(when, a, dur, keep, who);
+      trRows.appendChild(row);
+    }
+  } catch (_) {}
+}
+
 seedTimeline();
 follow();
 poll();
+pollTraces();
 setInterval(poll, 2000);
+setInterval(pollTraces, 3000);
 </script>
 </body>
 </html>

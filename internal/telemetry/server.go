@@ -22,6 +22,8 @@
 //	/api/v1/query_range    range query: ?metric=&from=&to=&step=&agg= (JSON)
 //	/api/v1/ingest         fleet window ingest (POST) + service stats (GET)
 //	/api/v1/tenants[...]   per-tenant summaries, quality, drift (JSON)
+//	/api/v1/traces         retained request traces (JSON; ?tenant= &min_duration= &error=)
+//	/api/v1/traces/{id}    one trace's span waterfall (JSON)
 //
 //	/debug/flightrecorder  the flight recorder's current rings (JSON)
 //	/debug/pprof           CPU/heap/goroutine profiling (net/http/pprof)
@@ -78,6 +80,7 @@ type config struct {
 	ready          func() (bool, string)
 	ingest         http.Handler
 	sseKeepAlive   time.Duration
+	reqTracer      *obs.ReqTracer
 }
 
 // Option configures New. All sources wire uniformly through options —
@@ -138,6 +141,10 @@ func WithReady(fn func() (bool, string)) Option { return func(c *config) { c.rea
 // answer 503 unavailable.
 func WithIngest(h http.Handler) Option { return func(c *config) { c.ingest = h } }
 
+// WithReqTracer attaches the request-trace store behind /api/v1/traces.
+// Nil leaves the endpoints 404.
+func WithReqTracer(rt *obs.ReqTracer) Option { return func(c *config) { c.reqTracer = rt } }
+
 // Server serves the telemetry endpoints over HTTP.
 type Server struct {
 	cfg      config
@@ -152,9 +159,10 @@ type Server struct {
 	drift   atomic.Pointer[snapshotFn]
 	alerts  atomic.Pointer[snapshotFn]
 	flight  atomic.Pointer[snapshotFn]
-	store   atomic.Pointer[tsdb.Store]
-	ready   atomic.Pointer[readyFn]
-	ingest  atomic.Pointer[http.Handler]
+	store     atomic.Pointer[tsdb.Store]
+	ready     atomic.Pointer[readyFn]
+	ingest    atomic.Pointer[http.Handler]
+	reqTracer atomic.Pointer[obs.ReqTracer]
 	// closing is closed on Shutdown so long-lived /events streams end
 	// promptly and let the graceful drain finish.
 	closing      chan struct{}
@@ -185,8 +193,10 @@ func New(opts ...Option) *Server {
 		cfg.sseKeepAlive = 15 * time.Second
 	}
 	// Mirror the bus's delivery/drop/subscriber accounting into the
-	// registry so /metrics exposes it without hand-written lines.
+	// registry so /metrics exposes it without hand-written lines; same
+	// for the span tracer's retention-cap eviction count.
 	cfg.bus.AttachMetrics(cfg.registry)
+	cfg.tracer.AttachMetrics(cfg.registry)
 	s := &Server{
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
@@ -201,6 +211,7 @@ func New(opts ...Option) *Server {
 	s.SetStore(cfg.store)
 	s.SetReady(cfg.ready)
 	s.SetIngest(cfg.ingest)
+	s.SetReqTracer(cfg.reqTracer)
 
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -234,6 +245,10 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("/api/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/api/v1/tenants", s.handleIngest)
 	s.mux.HandleFunc("/api/v1/tenants/", s.handleIngest)
+
+	// The request-trace query surface: retained trace list + waterfalls.
+	s.mux.HandleFunc("/api/v1/traces", httpapi.Methods(s.handleTraces, http.MethodGet))
+	s.mux.HandleFunc("/api/v1/traces/", httpapi.Methods(s.handleTraces, http.MethodGet))
 
 	s.mux.HandleFunc("/debug/flightrecorder", httpapi.Methods(s.snapshotHandler(&s.flight, "no flight recorder attached"), http.MethodGet))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -305,6 +320,70 @@ func (s *Server) SetIngest(h http.Handler) {
 		return
 	}
 	s.ingest.Store(&h)
+}
+
+// SetReqTracer attaches (or, with nil, detaches) the request-trace
+// store behind /api/v1/traces after construction.
+func (s *Server) SetReqTracer(rt *obs.ReqTracer) { s.reqTracer.Store(rt) }
+
+// handleTraces serves the request-trace query surface:
+//
+//	GET /api/v1/traces        retained trace summaries, newest first,
+//	                          filterable by ?tenant=, ?min_duration=
+//	                          (Go duration or milliseconds), ?error=1,
+//	                          ?limit=N; plus tracer stats
+//	GET /api/v1/traces/{id}   one trace's full span waterfall
+//
+// 404 until a tracer is attached (tracing is opt-in via serve flags).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	rt := s.reqTracer.Load()
+	if rt == nil {
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound,
+			"no request tracer attached (enable tracing with serve -trace-sample)")
+		return
+	}
+	if id := strings.TrimPrefix(strings.TrimSuffix(r.URL.Path, "/"), "/api/v1/traces"); id != "" {
+		id = strings.TrimPrefix(id, "/")
+		snap, ok := rt.Get(id)
+		if !ok {
+			httpapi.Errorf(w, http.StatusNotFound, httpapi.CodeNotFound,
+				"unknown trace id %q (traces are retained in a bounded ring; it may have been evicted)", id)
+			return
+		}
+		httpapi.WriteJSON(w, snap)
+		return
+	}
+	q := r.URL.Query()
+	var f obs.ReqTraceFilter
+	f.Tenant = q.Get("tenant")
+	if v := q.Get("min_duration"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			f.MinDurMS = float64(d) / float64(time.Millisecond)
+		} else if ms, err := strconv.ParseFloat(v, 64); err == nil {
+			f.MinDurMS = ms
+		} else {
+			httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				"bad min_duration %q (want a duration like 100ms or milliseconds)", v)
+			return
+		}
+	}
+	if v := q.Get("error"); v == "1" || v == "true" {
+		f.ErrorOnly = true
+	}
+	f.Limit = 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest,
+				"bad limit %q", v)
+			return
+		}
+		f.Limit = n
+	}
+	httpapi.WriteJSON(w, map[string]any{
+		"traces": rt.List(f),
+		"stats":  rt.Stats(),
+	})
 }
 
 // handleIngest forwards /api/v1/ingest and /api/v1/tenants* to the
@@ -410,6 +489,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /api/v1/query_range    ?metric=&from=&to=&step=&agg= (JSON)
   /api/v1/ingest         fleet window ingest (POST; GET for stats)
   /api/v1/tenants        per-tenant summaries, /{id}/quality, /{id}/drift (JSON)
+  /api/v1/traces         retained request traces (?tenant= &min_duration= &error= &limit=)
+  /api/v1/traces/{id}    one trace's span waterfall (JSON)
   /debug/flightrecorder  flight-recorder rings (JSON)
   /debug/pprof  profiling
   (legacy /quality /drift /alerts /alerts/history /manifest /buildinfo
@@ -561,7 +642,26 @@ func (s *Server) handleBuildInfo(w http.ResponseWriter, _ *http.Request) {
 // serving binary's identity too. The event bus's delivery/drop totals
 // arrive through the registry itself — New mirrors the bus into it via
 // AttachMetrics — so they render exactly once.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+//
+// Scrapers that accept application/openmetrics-text get the OpenMetrics
+// 1.0 rendering instead: same families plus trace-id exemplars on
+// histogram buckets and the mandatory `# EOF` terminator. The default
+// 0.0.4 output is byte-for-byte what it was before exemplars existed —
+// the exposition golden tests pin it.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+		if err := obs.WriteOpenMetrics(w, s.cfg.registry.Snapshot()); err != nil {
+			return
+		}
+		bi := obs.Build()
+		fmt.Fprintf(w, "# TYPE hpcmal_build_info gauge\nhpcmal_build_info{version=%s,revision=%s,go=%s} 1\n",
+			obs.QuoteLabel(bi.Version), obs.QuoteLabel(bi.Revision), obs.QuoteLabel(bi.GoVersion))
+		fmt.Fprintf(w, "# TYPE hpcmal_uptime_seconds gauge\nhpcmal_uptime_seconds %g\n",
+			time.Since(s.started).Seconds())
+		fmt.Fprint(w, "# EOF\n")
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.WritePrometheus(w, s.cfg.registry.Snapshot()); err != nil {
 		return

@@ -48,12 +48,15 @@ func TestMetricsEndpoint(t *testing.T) {
 	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
 		t.Errorf("content type = %q", ct)
 	}
-	// The bus mirror (AttachMetrics in New) puts the event-bus counters in
-	// the registry itself, so they render once, in sorted order, at zero.
+	// The bus and span-tracer mirrors (AttachMetrics in New) put the
+	// event-bus counters and the span-eviction counter in the registry
+	// itself, so they render once, in sorted order, at zero.
 	want := `# TYPE obs_events_dropped_total counter
 obs_events_dropped_total 0
 # TYPE obs_events_published_total counter
 obs_events_published_total 0
+# TYPE obs_spans_dropped_total counter
+obs_spans_dropped_total 0
 # TYPE online_alarms_total counter
 online_alarms_total 2
 # TYPE obs_events_subscribers gauge
