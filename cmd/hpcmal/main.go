@@ -10,6 +10,7 @@
 //	hpcmal train  -classifier JRip [-binary] [-features a,b,c] [-scale 0.05]
 //	hpcmal pca    [-scale 0.05] [-k 8]
 //	hpcmal hwcost [-scale 0.05]
+//	hpcmal quant  [-precision int8 -cv 5 -scale 0.05]
 //	hpcmal repro  [all|ablations|table1|table2|fig6|pcaplots|fig13|...|fig19]
 //	hpcmal serve  -listen :9090 [-scale 0.05 -classifier J48] [-replay=false]
 //	hpcmal fleetgen -addr 127.0.0.1:9090 [-tenants 4 -endpoints 8 -rounds 10]
@@ -60,6 +61,8 @@ func main() {
 		err = cmdEmit(os.Args[2:])
 	case "repro":
 		err = cmdRepro(os.Args[2:])
+	case "quant":
+		err = cmdQuant(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "fleetgen":
@@ -95,6 +98,9 @@ commands:
   merge  [-dir -out]           merge text files into one CSV (paper pipeline)
   emit   [-classifier -out -scale -seed]  train and emit synthesizable
                                Verilog for a rule/tree detector
+  quant  [-precision -cv -scale -classifier -json]   cross-validate quantized
+                               fixed-point programs against float64 and
+                               report label agreement + macro-F1 delta
   repro  <id|all|ablations|extensions>   regenerate the paper's evaluation
   serve  [-listen -scale -classifier -rounds -replay=false]   run the online
                                detector as a long-lived daemon with live

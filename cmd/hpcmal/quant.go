@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/infer"
+	"repro/internal/ml"
+	"repro/internal/ml/eval"
+	"repro/internal/workload"
+)
+
+// cmdQuant runs `hpcmal quant`: for every registry classifier, it cross
+// validates the quantized fixed-point program against its float64 twin
+// and prints the agreement / macro-F1 delta table. This is the
+// command-line face of eval.CrossValidateQuant — the out-of-sample
+// counterpart of the compile-time agreement number /api/v1/models
+// reports.
+func cmdQuant(args []string) error {
+	fs := flag.NewFlagSet("quant", flag.ExitOnError)
+	scale := fs.Float64("scale", 0.05, "dataset scale")
+	seed := fs.Uint64("seed", 1, "random seed")
+	folds := fs.Int("cv", 5, "stratified CV folds")
+	binary := fs.Bool("binary", true, "malware-vs-benign (false = 6-class)")
+	precision := fs.String("precision", "int8", "quantized precision: int8 or int16")
+	name := fs.String("classifier", "", "single classifier instead of the full registry")
+	jsonOut := fs.Bool("json", false, "emit the reports as a JSON array")
+	of := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := of.setup(); err != nil {
+		return err
+	}
+	prec, err := infer.ParsePrecision(*precision)
+	if err != nil {
+		return fmt.Errorf("quant: %w", err)
+	}
+	if prec == infer.Float64 {
+		return fmt.Errorf("quant: -precision must be int8 or int16")
+	}
+	tbl, err := core.GenerateDataset(core.DatasetConfig{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	rows := make([][]float64, len(tbl.Instances))
+	for i := range tbl.Instances {
+		rows[i] = tbl.Instances[i].Features
+	}
+	labels, numClasses := tbl.BinaryLabels(), 2
+	if !*binary {
+		labels, numClasses = tbl.ClassLabels(), workload.NumClasses
+	}
+	names := core.ClassifierNames()
+	if *name != "" {
+		if _, err := core.NewClassifier(*name, *seed); err != nil {
+			return err
+		}
+		names = []string{*name}
+	}
+	var reports []*eval.QuantReport
+	if !*jsonOut {
+		fmt.Printf("%d-fold CV, %d rows, %s vs float64\n", *folds, len(rows), prec)
+		fmt.Printf("%-12s %10s %10s %10s %9s\n",
+			"classifier", "agreement", "float-F1", "quant-F1", "delta-F1")
+	}
+	for _, n := range names {
+		factory := func() ml.Classifier {
+			c, _ := core.NewClassifier(n, *seed)
+			return c
+		}
+		rep, err := eval.CrossValidateQuant(
+			factory, rows, labels, numClasses, *folds, *seed, prec)
+		if err != nil {
+			if strings.Contains(err.Error(), "quantize") ||
+				strings.Contains(err.Error(), "capacity") {
+				fmt.Fprintf(os.Stderr, "quant: skipping %s: %v\n", n, err)
+				continue
+			}
+			return err
+		}
+		reports = append(reports, rep)
+		if !*jsonOut {
+			fmt.Printf("%-12s %10.4f %10.4f %10.4f %+9.4f\n",
+				rep.Classifier, rep.Agreement,
+				rep.FloatMacroF1, rep.QuantMacroF1, rep.DeltaF1)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	}
+	of.manifest.Config["precision"] = prec.String()
+	of.manifest.Config["cv_folds"] = fmt.Sprint(*folds)
+	if err := of.writeManifest("", *seed, *scale, nil,
+		tbl.NumInstances(), 0); err != nil {
+		return err
+	}
+	return of.finish()
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestCmdQuant(t *testing.T) {
+	if err := cmdQuant([]string{"-scale", "0.01", "-cv", "3",
+		"-classifier", "J48"}); err != nil {
+		t.Fatal(err)
+	}
+	// JSON output over the full registry at int16.
+	if err := cmdQuant([]string{"-scale", "0.01", "-cv", "2",
+		"-classifier", "Logistic", "-precision", "int16", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuant([]string{"-precision", "float64"}); err == nil {
+		t.Fatal("accepted float64 precision")
+	}
+	if err := cmdQuant([]string{"-precision", "int4"}); err == nil {
+		t.Fatal("accepted unknown precision")
+	}
+	if err := cmdQuant([]string{"-classifier", "RandomForest",
+		"-scale", "0.01"}); err == nil {
+		t.Fatal("accepted unknown classifier")
+	}
+}

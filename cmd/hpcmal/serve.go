@@ -13,6 +13,7 @@ import (
 	"repro/internal/alert"
 	"repro/internal/core"
 	"repro/internal/flightrec"
+	"repro/internal/infer"
 	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/online"
@@ -60,6 +61,7 @@ func cmdServe(args []string) error {
 func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	classifier := fs.String("classifier", "J48", "detector classifier (see `hpcmal list`)")
+	precision := fs.String("precision", "float64", "inference numeric domain: float64, int16, or int8 (fixed-point quantized programs mirroring the hw datapath widths)")
 	scale := fs.Float64("scale", 0.05, "training dataset scale")
 	seed := fs.Uint64("seed", 1, "random seed")
 	perClass := fs.Int("perclass", 2, "fresh traces to monitor per class per round")
@@ -79,6 +81,10 @@ func runServe(ctx context.Context, args []string) error {
 	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	prec, err := infer.ParsePrecision(*precision)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 	var rules []alert.Rule
 	if *rulesPath != "" {
@@ -215,21 +221,33 @@ func runServe(ctx context.Context, args []string) error {
 	// versioned API. Remote endpoints POST window batches; the replay loop
 	// below stays the self-generated labeled traffic source.
 	svc, err := ingest.New(ingest.Config{
-		Classifier: clf,
-		Events:     tbl.Attributes,
-		Baseline:   base,
-		Shards:     *ingestShards,
-		QueueCap:   *ingestQueue,
-		Tracer:     reqTracer,
+		Classifier:  clf,
+		Events:      tbl.Attributes,
+		Baseline:    base,
+		Shards:      *ingestShards,
+		QueueCap:    *ingestQueue,
+		Tracer:      reqTracer,
+		Precision:   prec,
+		Calibration: rows,
 	})
 	if err != nil {
 		return err
 	}
 	svc.Start(ctx)
 	srv.SetIngest(svc.Handler())
+	// The deployed-program catalog: /api/v1/models serves the ingest
+	// program's spec (precision, widths, scale table, agreement) and the
+	// dashboard's models panel links to it.
+	srv.SetModels(func() []telemetry.ModelInfo {
+		spec, ok := svc.ProgramSpec()
+		if !ok {
+			return nil
+		}
+		return []telemetry.ModelInfo{{Name: spec.Classifier, Spec: spec}}
+	})
 	ingestUp.Store(true)
 	obs.Log().Info("fleet ingest mounted", "shards", svc.Stats().Shards,
-		"queue_cap", *ingestQueue, "program", svc.Program())
+		"queue_cap", *ingestQueue, "program", svc.Program(), "precision", prec.String())
 	if serveReady != nil {
 		serveReady(srv)
 	}
@@ -317,6 +335,7 @@ loop:
 		round, alarms, ist.WindowsProcessed, ist.Tenants, ist.WindowsPerSec, ist.VerdictLatencyP99MS)
 
 	of.manifest.Config["classifier"] = *classifier
+	of.manifest.Config["precision"] = prec.String()
 	of.manifest.Config["rounds"] = fmt.Sprint(round)
 	of.manifest.Config["ingest_windows"] = fmt.Sprint(ist.WindowsProcessed)
 	of.manifest.Config["ingest_tenants"] = fmt.Sprint(ist.Tenants)

@@ -1,0 +1,37 @@
+package hw
+
+// Quantized datapath widths shared between the hardware lowering and the
+// software quantized-inference programs (internal/infer). The FPGA
+// datapaths this package emits carry features as signed fixed-point words
+// (FixedShift), weights at WeightShift fractional bits, and scores on a
+// 64-bit spine; the quantized software programs mirror the same widths so
+// their label decisions predict what a synthesized detector would compute:
+// an int8 program accumulates into 32-bit registers, an int16 program into
+// the same 64-bit score width the netlist evaluator uses.
+const (
+	// ScoreBits is the comparison/score spine width of the emitted
+	// datapaths (see netlist.go: scores and folded biases ride int64).
+	ScoreBits = 64
+
+	// Int8 profile: 8-bit activations and weights, 32-bit accumulators.
+	// dim·(2^7)·(2^7) products stay far inside 32 bits for any feature
+	// count this system meets, matching a DSP-free 32-bit adder tree.
+	Int8WeightBits = 8
+	Int8ActBits    = 8
+	Int8AccumBits  = 32
+
+	// Int16 profile: 16-bit activations and weights, 64-bit accumulators —
+	// the product grid 2^15·2^15 forces accumulation onto the ScoreBits
+	// spine, exactly where the netlist's MulConst results land.
+	Int16WeightBits = 16
+	Int16ActBits    = 16
+	Int16AccumBits  = 64
+)
+
+// QuantHalf returns the symmetric signed range limit of a bits-wide
+// quantized lane: codes occupy [-QuantHalf, +QuantHalf], e.g. ±127 for
+// int8. The symmetric grid (rather than the full two's-complement range)
+// keeps negation closed, which the folded-weight kernels rely on.
+func QuantHalf(bits int) int64 {
+	return 1<<(bits-1) - 1
+}

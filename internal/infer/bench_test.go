@@ -93,6 +93,19 @@ func benchInterpreted(b *testing.B, name string) {
 	}
 }
 
+// reportWindowsPerCore emits the headline throughput metric: windows
+// classified per second on one core. The benches run single-goroutine,
+// so op time divided into rows-per-op is exactly per-core throughput;
+// benchjson carries unknown units into BENCH_baseline.json as custom
+// metrics, where bench-diff records them alongside ns/op.
+func reportWindowsPerCore(b *testing.B, rows int) {
+	if b.Elapsed() <= 0 {
+		return
+	}
+	total := float64(rows) * float64(b.N)
+	b.ReportMetric(total/b.Elapsed().Seconds(), "windows/s/core")
+}
+
 // benchCompiled is the same batch-window stream through the compiled
 // program.
 func benchCompiled(b *testing.B, name string) {
@@ -108,6 +121,30 @@ func benchCompiled(b *testing.B, name string) {
 	for i := 0; i < b.N; i++ {
 		sweep(b, p.Predict, dst, x)
 	}
+	reportWindowsPerCore(b, len(x)/benchRows*benchRows)
+}
+
+// benchQuant streams the same windows through the int8 fixed-point
+// program (training set as calibration). The models are the
+// hardware-capped registry shapes from quant_test.go — the
+// configurations serve/ingest actually deploy, and the only ones with a
+// fixed-point realization (an uncapped OneR's threshold table overflows
+// any 8-bit grid).
+func benchQuant(b *testing.B, name string) {
+	quantSetup(b)
+	c, x := quantBench.models[name], quantBench.x
+	p, err := Compile(c, WithPrecision(Int8), WithCalibration(x))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]int, benchRows)
+	sweep(b, p.Predict, dst, x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sweep(b, p.Predict, dst, x)
+	}
+	reportWindowsPerCore(b, len(x)/benchRows*benchRows)
 }
 
 func BenchmarkInterpretedBatchOneR(b *testing.B)     { benchInterpreted(b, "OneR") }
@@ -126,6 +163,15 @@ func BenchmarkInterpretedBatchSVM(b *testing.B)      { benchInterpreted(b, "SVM"
 func BenchmarkCompiledBatchSVM(b *testing.B)         { benchCompiled(b, "SVM") }
 func BenchmarkInterpretedBatchMLP(b *testing.B)      { benchInterpreted(b, "MLP") }
 func BenchmarkCompiledBatchMLP(b *testing.B)         { benchCompiled(b, "MLP") }
+
+func BenchmarkQuantInt8BatchOneR(b *testing.B)     { benchQuant(b, "OneR") }
+func BenchmarkQuantInt8BatchJRip(b *testing.B)     { benchQuant(b, "JRip") }
+func BenchmarkQuantInt8BatchJ48(b *testing.B)      { benchQuant(b, "J48") }
+func BenchmarkQuantInt8BatchREPTree(b *testing.B)  { benchQuant(b, "REPTree") }
+func BenchmarkQuantInt8BatchNB(b *testing.B)       { benchQuant(b, "NaiveBayes") }
+func BenchmarkQuantInt8BatchLogistic(b *testing.B) { benchQuant(b, "Logistic") }
+func BenchmarkQuantInt8BatchSVM(b *testing.B)      { benchQuant(b, "SVM") }
+func BenchmarkQuantInt8BatchMLP(b *testing.B)      { benchQuant(b, "MLP") }
 
 // BenchmarkCompiledPredictOne measures the single-window entry point
 // online.Monitor uses per 10 ms sample.

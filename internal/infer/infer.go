@@ -64,8 +64,12 @@ type probaKernel interface {
 }
 
 // scratch is the per-batch working memory drawn from the program's pool.
+// Float kernels use z/h; quantized kernels use the qi/qh integer views,
+// which alias one arena allocation (see Compile) so a scratch costs a
+// single backing array however many views a kernel needs.
 type scratch struct {
 	z, h   []float64
+	qi, qh []int32
 	oneDst [1]int
 	oneX   [1][]float64
 }
@@ -83,36 +87,22 @@ type Program struct {
 	pool    chan *scratch
 	newS    func() *scratch
 	rows    *obs.Counter
+	spec    ProgramSpec
 }
 
-// Compile lowers a trained classifier into a Program. It returns
-// ml.ErrNotTrained for an untrained model and ErrNotCompilable for
-// classifier types without a kernel (use ml.Batch for those).
-func Compile(c ml.Classifier) (p *Program, err error) {
-	// Introspection accessors panic ml.ErrNotTrained on untrained
-	// models; the compile API surfaces that as a returned error.
-	defer func() {
-		if r := recover(); r != nil {
-			if e, ok := r.(error); ok && errors.Is(e, ml.ErrNotTrained) {
-				p, err = nil, ml.ErrNotTrained
-				return
-			}
-			panic(r)
-		}
-	}()
-	start := time.Now()
-	var zLen, hLen int
-	var k kernel
+// buildKernel lowers a trained classifier into its exact float64 kernel
+// and reports the scratch buffer lengths it needs.
+func buildKernel(c ml.Classifier) (k kernel, zLen, hLen int, err error) {
 	switch m := c.(type) {
 	case *oner.OneR:
 		k = compileOneR(m)
 	case *tree.J48:
 		if k, err = compileTree(m.Export()); err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 	case *tree.REPTree:
 		if k, err = compileTree(m.Export()); err != nil {
-			return nil, err
+			return nil, 0, 0, err
 		}
 	case *rules.JRip:
 		k = compileJRip(m)
@@ -133,7 +123,42 @@ func Compile(c ml.Classifier) (p *Program, err error) {
 		zLen = 4 * m.Dim()
 		hLen = 4 * km.hidden
 	default:
-		return nil, fmt.Errorf("%w: %T", ErrNotCompilable, c)
+		return nil, 0, 0, fmt.Errorf("%w: %T", ErrNotCompilable, c)
+	}
+	return k, zLen, hLen, nil
+}
+
+// Compile lowers a trained classifier into a Program. With no options
+// (or WithPrecision(Float64)) the program is the exact float64 lowering,
+// bit-identical to the interpreted classifier. WithPrecision(Int8) or
+// WithPrecision(Int16) builds fixed-point quantized kernels instead —
+// label-only, mirroring the internal/hw datapath widths; the MAC-kernel
+// classifiers additionally require WithCalibration rows.
+//
+// Compile returns ml.ErrNotTrained for an untrained model and
+// ErrNotCompilable for classifier types without a kernel (use ml.Batch
+// for those); quantized compiles may also return ErrNoCalibration or
+// ErrQuantCapacity.
+func Compile(c ml.Classifier, opts ...Option) (p *Program, err error) {
+	// Introspection accessors panic ml.ErrNotTrained on untrained
+	// models; the compile API surfaces that as a returned error.
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, ml.ErrNotTrained) {
+				p, err = nil, ml.ErrNotTrained
+				return
+			}
+			panic(r)
+		}
+	}()
+	var o compileOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	start := time.Now()
+	k, zLen, hLen, err := buildKernel(c)
+	if err != nil {
+		return nil, err
 	}
 	mm, ok := c.(ml.Model)
 	if !ok {
@@ -150,9 +175,43 @@ func Compile(c ml.Classifier) (p *Program, err error) {
 	if dk, ok := k.(*denseKernel); ok && !dk.hasProba() {
 		p.pk = nil // SVM margins are not probabilities
 	}
-	p.newS = func() *scratch {
-		return &scratch{z: make([]float64, zLen), h: make([]float64, hLen)}
+	p.spec = ProgramSpec{
+		Classifier: p.name,
+		Precision:  Float64,
+		Features:   p.dim,
+		Classes:    p.classes,
+		Proba:      p.pk != nil,
+		WeightBits: Float64.weightBits(),
+		AccumBits:  Float64.accumBits(),
+		Agreement:  1,
 	}
+	qiLen, qhLen := 0, 0
+	if o.precision != Float64 {
+		for _, r := range o.calib {
+			if len(r) != p.dim {
+				return nil, fmt.Errorf("infer: %s: calibration rows have %d features, want %d",
+					p.name, len(r), p.dim)
+			}
+		}
+		qk, qi, qh, quantizer, scale, qerr := buildQuantKernel(c, o.precision, o.calib, p.dim)
+		if qerr != nil {
+			return nil, qerr
+		}
+		qiLen, qhLen = qi, qh
+		p.spec.Precision = o.precision
+		p.spec.Proba = false
+		p.spec.WeightBits = o.precision.weightBits()
+		p.spec.AccumBits = o.precision.accumBits()
+		p.spec.Quantizer = quantizer
+		p.spec.Scale = scale
+		p.spec.CalibrationRows = len(o.calib)
+		p.spec.Agreement = measureAgreement(k, qk,
+			&scratch{z: make([]float64, zLen), h: make([]float64, hLen)},
+			newArenaScratch(zLen, hLen, qiLen, qhLen), o.calib)
+		p.k, p.pk = qk, nil // quantized programs are label-only
+		zLen, hLen = 0, 0   // float scratch unused on the quantized path
+	}
+	p.newS = func() *scratch { return newArenaScratch(zLen, hLen, qiLen, qhLen) }
 	// A small fixed-capacity free list instead of sync.Pool: Pool's
 	// per-P caches can miss under goroutine migration, and a miss here
 	// would cost an allocation on the hot path this package exists to
@@ -161,6 +220,22 @@ func Compile(c ml.Classifier) (p *Program, err error) {
 	mCompiled.Inc()
 	mCompileSeconds.Observe(time.Since(start).Seconds())
 	return p, nil
+}
+
+// newArenaScratch carves all of a scratch's buffers out of as few
+// backing allocations as possible: one float64 arena for z/h and one
+// int32 arena for qi/qh.
+func newArenaScratch(zLen, hLen, qiLen, qhLen int) *scratch {
+	s := &scratch{}
+	if zLen+hLen > 0 {
+		f := make([]float64, zLen+hLen)
+		s.z, s.h = f[:zLen:zLen], f[zLen:]
+	}
+	if qiLen+qhLen > 0 {
+		q := make([]int32, qiLen+qhLen)
+		s.qi, s.qh = q[:qiLen:qiLen], q[qiLen:]
+	}
+	return s
 }
 
 // Compilable reports whether Compile has a kernel for this classifier
@@ -185,8 +260,23 @@ func (p *Program) Dim() int { return p.dim }
 func (p *Program) NumClasses() int { return p.classes }
 
 // HasProba reports whether Proba is supported (the source classifier is
-// a ml.ProbClassifier).
+// a ml.ProbClassifier and the program is not quantized).
+//
+// Deprecated: use Spec().Proba, which carries the full introspection
+// surface (precision, widths, scale table, agreement) alongside it.
 func (p *Program) HasProba() bool { return p.pk != nil }
+
+// Spec returns the program's introspection record: source classifier,
+// numeric precision, datapath widths, quantizer kind and scale table,
+// and the measured float-agreement rate. The returned value is a copy;
+// mutating it does not affect the program.
+func (p *Program) Spec() ProgramSpec {
+	spec := p.spec
+	if spec.Scale != nil {
+		spec.Scale = append([]FeatureScale(nil), spec.Scale...)
+	}
+	return spec
+}
 
 func (p *Program) getScratch() *scratch {
 	select {

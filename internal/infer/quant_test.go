@@ -1,0 +1,318 @@
+package infer
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/bayes"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/mlp"
+	"repro/internal/ml/mltest"
+	"repro/internal/ml/oner"
+	"repro/internal/ml/rules"
+	"repro/internal/ml/tree"
+)
+
+// quantFactories builds the hardware-capped model set — the exact
+// configurations the core registry deploys (OneR interval cap, JRip rule
+// cap, tree depth/leaf caps, NB log transform). The caps are what make
+// the models representable in fixed-point: an uncapped OneR memorizing
+// thousands of thresholds has no hardware (or int8) realization.
+func quantFactories() map[string]func() ml.Classifier {
+	return map[string]func() ml.Classifier{
+		"OneR": func() ml.Classifier { o := oner.New(); o.MaxIntervals = 16; return o },
+		"JRip": func() ml.Classifier { j := rules.New(); j.Seed = 1; j.MaxRulesPerClass = 8; return j },
+		"J48":  func() ml.Classifier { j := tree.NewJ48(); j.MinLeaf = 50; j.MaxDepth = 12; return j },
+		"REPTree": func() ml.Classifier {
+			r := tree.NewREPTree()
+			r.Seed = 1
+			r.MinLeaf = 50
+			r.MaxDepth = 12
+			return r
+		},
+		"NaiveBayes": func() ml.Classifier { nb := bayes.New(); nb.LogTransform = true; return nb },
+		"Logistic":   func() ml.Classifier { lg := linear.NewLogistic(); lg.Seed = 1; return lg },
+		"SVM":        func() ml.Classifier { s := linear.NewSVM(); s.Seed = 1; return s },
+		"MLP":        func() ml.Classifier { m := mlp.New(); m.Seed = 1; return m },
+	}
+}
+
+// quantBench holds the 30k-row six-class workload (the bench workload)
+// with every capped model trained once, shared across the quant tests.
+var quantBench struct {
+	once   sync.Once
+	x      [][]float64
+	y      []int
+	models map[string]ml.Classifier
+}
+
+func quantSetup(t testing.TB) {
+	t.Helper()
+	quantBench.once.Do(func() {
+		centers := [][]float64{
+			{0, 0, 0, 0, 1, 2, 0, 1},
+			{2, 1, 0, 1, 0, 0, 2, 0},
+			{0, 2, 2, 0, 1, 0, 1, 2},
+			{1, 0, 1, 2, 2, 1, 0, 0},
+			{2, 2, 1, 1, 0, 2, 2, 1},
+			{1, 1, 2, 0, 2, 0, 1, 2},
+		}
+		quantBench.x, quantBench.y = mltest.Blobs(1, centers, 5000, 2.0)
+		quantBench.models = map[string]ml.Classifier{}
+		for n, mk := range quantFactories() {
+			c := mk()
+			if err := c.Train(quantBench.x, quantBench.y, 6); err != nil {
+				panic(err)
+			}
+			quantBench.models[n] = c
+		}
+	})
+}
+
+// TestQuantAgreement pins the headline acceptance bar: every classifier,
+// quantized at int8 and int16 with the training set as calibration,
+// agrees with its float64 program on at least 99% of the 30k-row bench
+// workload. The rank-coded comparison kernels must agree exactly.
+func TestQuantAgreement(t *testing.T) {
+	quantSetup(t)
+	exact := map[string]bool{"OneR": true, "JRip": true, "J48": true, "REPTree": true}
+	for _, prec := range []Precision{Int8, Int16} {
+		for name, c := range quantBench.models {
+			t.Run(prec.String()+"/"+name, func(t *testing.T) {
+				fp, err := Compile(c)
+				if err != nil {
+					t.Fatalf("float compile: %v", err)
+				}
+				qp, err := Compile(c, WithPrecision(prec), WithCalibration(quantBench.x))
+				if err != nil {
+					t.Fatalf("quant compile: %v", err)
+				}
+				fDst := make([]int, len(quantBench.x))
+				qDst := make([]int, len(quantBench.x))
+				if err := fp.Predict(fDst, quantBench.x); err != nil {
+					t.Fatal(err)
+				}
+				if err := qp.Predict(qDst, quantBench.x); err != nil {
+					t.Fatal(err)
+				}
+				agree := 0
+				for i := range fDst {
+					if fDst[i] == qDst[i] {
+						agree++
+					}
+				}
+				rate := float64(agree) / float64(len(fDst))
+				if rate < 0.99 {
+					t.Fatalf("agreement %.4f < 0.99", rate)
+				}
+				if exact[name] && rate != 1 {
+					t.Fatalf("rank-coded %s agreement %.6f, want exactly 1", name, rate)
+				}
+				// The compile-time measured agreement saw the same rows.
+				if got := qp.Spec().Agreement; math.Abs(got-rate) > 1e-12 {
+					t.Fatalf("Spec().Agreement = %.6f, measured %.6f", got, rate)
+				}
+				// PredictOne rides the same kernel and scratch arena.
+				for i := 0; i < 64; i++ {
+					one, err := qp.PredictOne(quantBench.x[i*97%len(quantBench.x)])
+					if err != nil {
+						t.Fatal(err)
+					}
+					if one != qDst[i*97%len(quantBench.x)] {
+						t.Fatalf("PredictOne row %d disagrees with batch", i*97%len(quantBench.x))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQuantRoundTrip is the satellite property test: for every feature,
+// quantize→dequantize lands exactly on the affine grid (an integer
+// multiple of step from zero, within 1 ULP), and re-quantizing the
+// dequantized value returns the same code — the grid is a fixed point of
+// the round trip.
+func TestQuantRoundTrip(t *testing.T) {
+	quantSetup(t)
+	for _, prec := range []Precision{Int8, Int16} {
+		half := prec.half()
+		q, err := calibrateAffine(quantBench.x, len(quantBench.x[0]), half, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range quantBench.x[:2000] {
+			for j, v := range row {
+				code := q.quantize(j, v)
+				if int64(code) > half || int64(code) < -half {
+					t.Fatalf("feature %d: code %d outside ±%d", j, code, half)
+				}
+				back := q.dequantize(j, code)
+				// back must sit on the grid: zero + code*step, within 1 ULP.
+				grid := q.zero[j] + float64(code)*q.step[j]
+				ulp := math.Nextafter(math.Abs(grid), math.Inf(1)) - math.Abs(grid)
+				if diff := math.Abs(back - grid); diff > ulp {
+					t.Fatalf("feature %d: dequantized %.17g off grid point %.17g", j, back, grid)
+				}
+				if again := q.quantize(j, back); again != code {
+					t.Fatalf("feature %d: requantized code %d != %d", j, again, code)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantErrors covers the failure surface: MAC kernels without
+// calibration rows, comparison models overflowing the rank-code
+// capacity, and label-only Proba.
+func TestQuantErrors(t *testing.T) {
+	quantSetup(t)
+	t.Run("no-calibration", func(t *testing.T) {
+		_, err := Compile(quantBench.models["Logistic"], WithPrecision(Int8))
+		if !errors.Is(err, ErrNoCalibration) {
+			t.Fatalf("err = %v, want ErrNoCalibration", err)
+		}
+	})
+	t.Run("capacity", func(t *testing.T) {
+		// An uncapped OneR on the overlapped workload memorizes far more
+		// than 254 thresholds — unrepresentable in 8-bit codes.
+		o := oner.New()
+		if err := o.Train(quantBench.x, quantBench.y, 6); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Compile(o, WithPrecision(Int8))
+		if !errors.Is(err, ErrQuantCapacity) {
+			t.Fatalf("err = %v, want ErrQuantCapacity", err)
+		}
+	})
+	t.Run("bad-calibration-width", func(t *testing.T) {
+		_, err := Compile(quantBench.models["Logistic"],
+			WithPrecision(Int8), WithCalibration([][]float64{{1, 2}}))
+		if err == nil {
+			t.Fatal("want error for mis-sized calibration rows")
+		}
+	})
+	t.Run("label-only", func(t *testing.T) {
+		qp, err := Compile(quantBench.models["Logistic"],
+			WithPrecision(Int8), WithCalibration(quantBench.x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qp.HasProba() || qp.Spec().Proba {
+			t.Fatal("quantized program claims probabilities")
+		}
+		dst := [][]float64{make([]float64, 6)}
+		if err := qp.Proba(dst, quantBench.x[:1]); !errors.Is(err, ErrNoProba) {
+			t.Fatalf("Proba err = %v, want ErrNoProba", err)
+		}
+	})
+}
+
+// TestQuantSpec checks the introspection record end to end, and that the
+// zero-option Compile is unchanged (Float64 spec, exact agreement).
+func TestQuantSpec(t *testing.T) {
+	quantSetup(t)
+	fp, err := Compile(quantBench.models["Logistic"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := fp.Spec()
+	if fs.Precision != Float64 || fs.WeightBits != 64 || fs.AccumBits != 64 ||
+		fs.Agreement != 1 || fs.Quantizer != "" || fs.Scale != nil || !fs.Proba {
+		t.Fatalf("float64 spec = %+v", fs)
+	}
+	// WithPrecision(Float64) must be byte-equal to the zero-option call.
+	fp2, err := Compile(quantBench.models["Logistic"], WithPrecision(Float64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fp2.Spec(); got.Precision != Float64 || got.WeightBits != 64 ||
+		got.Quantizer != "" || got.Scale != nil || !got.Proba {
+		t.Fatalf("WithPrecision(Float64) spec differs: %+v vs %+v", got, fp.Spec())
+	}
+	qp, err := Compile(quantBench.models["Logistic"],
+		WithPrecision(Int8), WithCalibration(quantBench.x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := qp.Spec()
+	if qs.Classifier != "Logistic" || qs.Precision != Int8 ||
+		qs.Features != 8 || qs.Classes != 6 ||
+		qs.WeightBits != 8 || qs.AccumBits != 32 ||
+		qs.Quantizer != "affine" || len(qs.Scale) != 8 ||
+		qs.CalibrationRows != len(quantBench.x) {
+		t.Fatalf("int8 spec = %+v", qs)
+	}
+	for j, sc := range qs.Scale {
+		if sc.Feature != j || sc.Step <= 0 {
+			t.Fatalf("scale[%d] = %+v", j, sc)
+		}
+	}
+	// Spec returns a copy: mutating it must not touch the program.
+	qs.Scale[0].Step = -1
+	if qp.Spec().Scale[0].Step == -1 {
+		t.Fatal("Spec() aliases internal scale table")
+	}
+	// Rank-coded programs report the rank quantizer, no scale table, and
+	// the int16 width pair.
+	tp, err := Compile(quantBench.models["J48"], WithPrecision(Int16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tp.Spec()
+	if ts.Quantizer != "rank" || ts.Scale != nil || ts.WeightBits != 16 || ts.AccumBits != 64 {
+		t.Fatalf("int16 tree spec = %+v", ts)
+	}
+	if ts.Agreement != 1 {
+		t.Fatalf("rank-coded agreement %v, want 1 (exact)", ts.Agreement)
+	}
+	// Precision round-trips through its text form.
+	for _, p := range []Precision{Float64, Int16, Int8} {
+		b, err := p.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Precision
+		if err := back.UnmarshalText(b); err != nil || back != p {
+			t.Fatalf("text round trip %v -> %s -> %v (%v)", p, b, back, err)
+		}
+	}
+	if _, err := ParsePrecision("int4"); err == nil {
+		t.Fatal("ParsePrecision accepted int4")
+	}
+}
+
+// TestQuantZeroAlloc pins the arena guarantee on the quantized path:
+// after warm-up, batch and single-row prediction allocate nothing.
+func TestQuantZeroAlloc(t *testing.T) {
+	quantSetup(t)
+	for name, c := range quantBench.models {
+		t.Run(name, func(t *testing.T) {
+			p, err := Compile(c, WithPrecision(Int8), WithCalibration(quantBench.x))
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := make([]int, 256)
+			batch := quantBench.x[:256]
+			if err := p.Predict(dst, batch); err != nil {
+				t.Fatal(err) // warm the scratch pool
+			}
+			if avg := testing.AllocsPerRun(20, func() {
+				if err := p.Predict(dst, batch); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Fatalf("Predict allocates %.1f per batch", avg)
+			}
+			if avg := testing.AllocsPerRun(20, func() {
+				if _, err := p.PredictOne(batch[0]); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Fatalf("PredictOne allocates %.1f per call", avg)
+			}
+		})
+	}
+}

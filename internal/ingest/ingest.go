@@ -147,6 +147,15 @@ type Config struct {
 	// nil disables tracing entirely; untraced windows carry only a nil
 	// pointer and the hot path stays allocation-free.
 	Tracer *obs.ReqTracer
+	// Precision selects the detection shards' numeric domain. The zero
+	// value (infer.Float64) keeps today's exact compiled path. Int8/Int16
+	// deploy fixed-point quantized programs (Calibration required for MAC
+	// kernels); a quantized request on a classifier with no compiled
+	// kernel is an error — there is no interpreted fixed-point fallback.
+	Precision infer.Precision
+	// Calibration supplies the rows (typically the training set) that
+	// place the quantized input grid. Ignored at Float64.
+	Calibration [][]float64
 }
 
 func (c *Config) fillDefaults() error {
@@ -328,14 +337,26 @@ func New(cfg Config) (*Service, error) {
 		tenantReg: obs.NewRegistry(),
 		tenantBus: obs.NewBus(),
 	}
-	prog, err := infer.Compile(cfg.Classifier)
-	switch {
-	case err == nil:
+	if cfg.Precision != infer.Float64 {
+		// Quantized deployment is explicit: no interpreted fallback, and
+		// compile failures (no kernel, no calibration, capacity) surface.
+		prog, err := infer.Compile(cfg.Classifier,
+			infer.WithPrecision(cfg.Precision), infer.WithCalibration(cfg.Calibration))
+		if err != nil {
+			return nil, fmt.Errorf("ingest: compiling %s at %s: %w",
+				cfg.Classifier.Name(), cfg.Precision, err)
+		}
 		s.prog = prog
-	case errors.Is(err, infer.ErrNotCompilable):
-		// Interpreted fallback.
-	default:
-		return nil, fmt.Errorf("ingest: compiling %s: %w", cfg.Classifier.Name(), err)
+	} else {
+		prog, err := infer.Compile(cfg.Classifier)
+		switch {
+		case err == nil:
+			s.prog = prog
+		case errors.Is(err, infer.ErrNotCompilable):
+			// Interpreted fallback.
+		default:
+			return nil, fmt.Errorf("ingest: compiling %s: %w", cfg.Classifier.Name(), err)
+		}
 	}
 	if s.prog != nil && s.prog.Dim() != s.dim {
 		return nil, fmt.Errorf("ingest: classifier dim %d != %d events",
@@ -368,6 +389,16 @@ func (s *Service) Program() string {
 		return ""
 	}
 	return s.prog.Name()
+}
+
+// ProgramSpec returns the deployed program's introspection record
+// (precision, widths, scale table, agreement). ok is false on the
+// interpreted fallback, which has no compiled spec.
+func (s *Service) ProgramSpec() (spec infer.ProgramSpec, ok bool) {
+	if s.prog == nil {
+		return infer.ProgramSpec{}, false
+	}
+	return s.prog.Spec(), true
 }
 
 // Start launches the shard workers on the parallel engine and returns
@@ -957,6 +988,7 @@ func (s *Service) TenantDrift(id string) (snap quality.DriftSnapshot, ok, armed 
 type Stats struct {
 	Started          bool    `json:"started"`
 	Program          string  `json:"program,omitempty"`
+	Precision        string  `json:"precision,omitempty"`
 	Shards           int     `json:"shards"`
 	QueueCap         int     `json:"queue_cap"`
 	Tenants          int     `json:"tenants"`
@@ -995,6 +1027,9 @@ func (s *Service) Stats() Stats {
 		BatchesRejected:  s.rejectedTotal.Load(),
 		MalwareWindows:   s.malwareTotal.Load(),
 		Alarms:           s.alarmsTotal.Load(),
+	}
+	if spec, ok := s.ProgramSpec(); ok {
+		st.Precision = spec.Precision.String()
 	}
 	if start := s.startNS.Load(); start > 0 {
 		st.UptimeSeconds = float64(time.Now().UnixNano()-start) / float64(time.Second)

@@ -1,0 +1,90 @@
+package ingest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/ml/mltest"
+	"repro/internal/ml/tree"
+	"repro/internal/obs"
+)
+
+// TestQuantizedIngest deploys an int8 fixed-point program behind the
+// ingest shards end to end: windows classify through the quantized
+// kernel, the stats surface reports the precision, and ProgramSpec
+// exposes the introspection record /api/v1/models serves.
+func TestQuantizedIngest(t *testing.T) {
+	x, y := mltest.TwoBlobs(3, 400)
+	j := tree.NewJ48()
+	j.MinLeaf = 20
+	j.MaxDepth = 8
+	if err := j.Train(x, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Classifier:  j,
+		Events:      []string{"e0", "e1"},
+		Registry:    obs.NewRegistry(),
+		Bus:         obs.NewBus(),
+		Precision:   infer.Int8,
+		Calibration: x,
+		Shards:      2,
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, ok := s.ProgramSpec()
+	if !ok || spec.Precision != infer.Int8 || spec.Quantizer != "rank" {
+		t.Fatalf("spec = %+v ok=%v", spec, ok)
+	}
+	if spec.Agreement != 1 {
+		t.Fatalf("rank-coded tree agreement %v, want 1", spec.Agreement)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+	var wins []Window
+	for i := 0; i < 64; i++ {
+		lbl := y[i]
+		wins = append(wins, Window{Endpoint: "ep", Label: &lbl, Values: x[i]})
+	}
+	rec := postBatch(t, s.Handler(), "acme", Batch{Windows: wins})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("ingest = %d: %s", rec.Code, rec.Body.String())
+	}
+	waitDrained(t, s)
+	// The quantized tree is exact, so every window classifies as the
+	// float64 model would.
+	st := s.Stats()
+	if st.WindowsProcessed != 64 || st.Precision != "int8" || st.Program == "" {
+		t.Fatalf("stats = %+v", st)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/api/v1/ingest", nil)
+	rr := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rr, req)
+	var body map[string]any
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["precision"] != "int8" {
+		t.Fatalf("stats JSON precision = %v", body["precision"])
+	}
+}
+
+// TestQuantizedIngestErrors pins the no-fallback contract: a quantized
+// precision on a classifier without a compiled kernel (or without
+// calibration for a MAC kernel) fails construction instead of silently
+// deploying float64.
+func TestQuantizedIngestErrors(t *testing.T) {
+	cfg := testConfig(t, func(c *Config) { c.Precision = infer.Int8 })
+	if _, err := New(cfg); err == nil ||
+		!strings.Contains(err.Error(), "int8") {
+		t.Fatalf("uncompilable quantized New err = %v", err)
+	}
+}

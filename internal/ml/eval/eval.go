@@ -294,19 +294,7 @@ func CrossValidate(factory func() ml.Classifier, x [][]float64, y []int,
 		return nil, fmt.Errorf("eval: bad shape for %d-fold CV over %d rows", folds, len(x))
 	}
 	// Stratified fold assignment, fixed before any fold trains.
-	byClass := make(map[int][]int)
-	for i, label := range y {
-		byClass[label] = append(byClass[label], i)
-	}
-	src := rng.New(seed)
-	fold := make([]int, len(x))
-	for label := 0; label < numClasses; label++ {
-		rows := byClass[label]
-		src.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
-		for i, r := range rows {
-			fold[r] = i % folds
-		}
-	}
+	fold := stratifiedFolds(y, numClasses, folds, seed)
 	// Fold scratch — split slices, prediction buffer, and a per-fold
 	// confusion matrix — is pooled so concurrent workers each hold one
 	// set and successive folds on the same worker reuse it instead of
@@ -365,6 +353,28 @@ func CrossValidate(factory func() ml.Classifier, x [][]float64, y []int,
 		return nil, err
 	}
 	return &Result{Classifier: name, Confusion: conf}, nil
+}
+
+// stratifiedFolds assigns every row a fold index, shuffling within each
+// class so fold class balance mirrors the dataset. The assignment is a
+// pure function of (y, numClasses, folds, seed), so CrossValidate and
+// CrossValidateQuant running the same parameters split identically —
+// which is what makes their F1 numbers comparable fold for fold.
+func stratifiedFolds(y []int, numClasses, folds int, seed uint64) []int {
+	byClass := make(map[int][]int)
+	for i, label := range y {
+		byClass[label] = append(byClass[label], i)
+	}
+	src := rng.New(seed)
+	fold := make([]int, len(y))
+	for label := 0; label < numClasses; label++ {
+		rows := byClass[label]
+		src.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		for i, r := range rows {
+			fold[r] = i % folds
+		}
+	}
+	return fold
 }
 
 // foldScratch is one CV worker's reusable buffers.

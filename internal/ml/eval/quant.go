@@ -1,0 +1,136 @@
+// Quantization accuracy evaluation: the eval-CV counterpart of
+// internal/infer's compile-time agreement measurement. Where the
+// compile-time number scores a quantized program against its float twin
+// on the calibration rows it was built from, CrossValidateQuant runs the
+// full stratified k-fold protocol — per fold, calibrate on the training
+// split only, then score both programs on the held-out split — so the
+// reported agreement and ΔF1 are out-of-sample, the way the paper's
+// hardware accuracy deltas would be measured.
+package eval
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/infer"
+	"repro/internal/ml"
+	"repro/internal/parallel"
+)
+
+// QuantReport compares a classifier's float64 compiled program against
+// its quantized twin under cross validation.
+type QuantReport struct {
+	Classifier string          `json:"classifier"`
+	Precision  infer.Precision `json:"precision"`
+	// Agreement is the fraction of held-out rows where the quantized
+	// program emits the same label as the float64 program.
+	Agreement float64 `json:"agreement"`
+	// FloatMacroF1/QuantMacroF1 score each program against ground truth;
+	// DeltaF1 = QuantMacroF1 - FloatMacroF1 (negative = quantization
+	// cost).
+	FloatMacroF1 float64 `json:"float_macro_f1"`
+	QuantMacroF1 float64 `json:"quant_macro_f1"`
+	DeltaF1      float64 `json:"delta_f1"`
+	Rows         int     `json:"rows"`
+}
+
+// CrossValidateQuant runs stratified k-fold CV twice over the same fold
+// assignment — once through the float64 compiled program, once through
+// the quantized program calibrated on each fold's training split — and
+// reports label agreement plus the macro-F1 delta. The factory must
+// return a fresh classifier per call; fold assignment matches
+// CrossValidate for the same (y, numClasses, folds, seed).
+func CrossValidateQuant(factory func() ml.Classifier, x [][]float64, y []int,
+	numClasses, folds int, seed uint64, prec infer.Precision,
+	opts ...CVOption) (*QuantReport, error) {
+	var o cvOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if folds < 2 {
+		return nil, fmt.Errorf("eval: folds %d < 2", folds)
+	}
+	if len(x) != len(y) || len(x) < folds {
+		return nil, fmt.Errorf("eval: bad shape for %d-fold CV over %d rows", folds, len(x))
+	}
+	if prec == infer.Float64 {
+		return nil, fmt.Errorf("eval: CrossValidateQuant needs a quantized precision, got %s", prec)
+	}
+	fold := stratifiedFolds(y, numClasses, folds, seed)
+	fConf := NewConfusion(numClasses)
+	qConf := NewConfusion(numClasses)
+	name := ""
+	agree, total := 0, 0
+	var mu sync.Mutex
+	err := parallel.ForEach(
+		parallel.Options{Name: "eval.cv_quant", Workers: o.workers},
+		folds, func(f int) error {
+			var xtr, xte [][]float64
+			var ytr, yte []int
+			for i := range x {
+				if fold[i] == f {
+					xte = append(xte, x[i])
+					yte = append(yte, y[i])
+				} else {
+					xtr = append(xtr, x[i])
+					ytr = append(ytr, y[i])
+				}
+			}
+			c := factory()
+			foldStart := time.Now()
+			if err := c.Train(xtr, ytr, numClasses); err != nil {
+				return fmt.Errorf("eval: quant CV fold %d: %w", f, err)
+			}
+			mFoldsTrained.Inc()
+			mFoldSeconds.Observe(time.Since(foldStart).Seconds())
+			fp, err := infer.Compile(c)
+			if err != nil {
+				return fmt.Errorf("eval: quant CV fold %d: float compile: %w", f, err)
+			}
+			qp, err := infer.Compile(c,
+				infer.WithPrecision(prec), infer.WithCalibration(xtr))
+			if err != nil {
+				return fmt.Errorf("eval: quant CV fold %d: %s compile: %w", f, prec, err)
+			}
+			fPred := make([]int, len(xte))
+			qPred := make([]int, len(xte))
+			if err := fp.Predict(fPred, xte); err != nil {
+				return fmt.Errorf("eval: quant CV fold %d: %w", f, err)
+			}
+			if err := qp.Predict(qPred, xte); err != nil {
+				return fmt.Errorf("eval: quant CV fold %d: %w", f, err)
+			}
+			a := 0
+			for i := range fPred {
+				if fPred[i] == qPred[i] {
+					a++
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			name = c.Name()
+			agree += a
+			total += len(xte)
+			for i := range fPred {
+				fConf.Observe(yte[i], fPred[i])
+				qConf.Observe(yte[i], qPred[i])
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	r := &QuantReport{
+		Classifier:   name,
+		Precision:    prec,
+		FloatMacroF1: fConf.MacroF1(),
+		QuantMacroF1: qConf.MacroF1(),
+		Rows:         total,
+	}
+	r.DeltaF1 = r.QuantMacroF1 - r.FloatMacroF1
+	if total > 0 {
+		r.Agreement = float64(agree) / float64(total)
+	}
+	return r, nil
+}

@@ -1,0 +1,67 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/infer"
+	"repro/internal/ml"
+	"repro/internal/ml/linear"
+	"repro/internal/ml/mltest"
+)
+
+func TestStratifiedFoldsDeterministic(t *testing.T) {
+	y := make([]int, 100)
+	for i := range y {
+		y[i] = i % 3
+	}
+	a := stratifiedFolds(y, 3, 5, 42)
+	b := stratifiedFolds(y, 3, 5, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fold assignment not deterministic at row %d", i)
+		}
+	}
+	// Stratification: each class spreads evenly across folds.
+	counts := map[[2]int]int{}
+	for i, f := range a {
+		counts[[2]int{y[i], f}]++
+	}
+	for cls := 0; cls < 3; cls++ {
+		for f := 0; f < 5; f++ {
+			if n := counts[[2]int{cls, f}]; n < 6 || n > 7 {
+				t.Fatalf("class %d fold %d has %d rows, want 6-7", cls, f, n)
+			}
+		}
+	}
+}
+
+func TestCrossValidateQuant(t *testing.T) {
+	x, y := mltest.ThreeBlobs(5, 200)
+	factory := func() ml.Classifier { lg := linear.NewLogistic(); lg.Seed = 1; return lg }
+	r, err := CrossValidateQuant(factory, x, y, 3, 5, 9, infer.Int8, CVWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Classifier == "" || r.Precision != infer.Int8 || r.Rows != len(x) {
+		t.Fatalf("report header %+v", r)
+	}
+	if r.Agreement < 0.95 {
+		t.Fatalf("agreement %.4f too low for well-separated blobs", r.Agreement)
+	}
+	if r.DeltaF1 != r.QuantMacroF1-r.FloatMacroF1 {
+		t.Fatalf("delta mismatch: %+v", r)
+	}
+	// The float leg of the report must match plain CrossValidate on the
+	// same folds.
+	cv, err := CrossValidate(factory, x, y, 3, 5, 9, CVWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cv.Confusion.MacroF1(); got != r.FloatMacroF1 {
+		t.Fatalf("float macro-F1 %.6f, CrossValidate %.6f", r.FloatMacroF1, got)
+	}
+	// Float64 is not a quantized precision.
+	if _, err := CrossValidateQuant(factory, x, y, 3, 5, 9, infer.Float64); err == nil {
+		t.Fatal("want error for Float64 precision")
+	}
+}

@@ -57,6 +57,14 @@ const dashboardHTML = `<!doctype html>
   .tr .dur { min-width:90px; text-align:right; }
   .tr .keep { min-width:60px; color:var(--warn); }
   .tr.error .keep { color:var(--bad); }
+  #models { margin:0 16px 16px; background:var(--panel);
+            border:1px solid #30363d; border-radius:6px; padding:10px 12px; }
+  #models h2 { font-size:13px; color:var(--dim); margin:0 0 6px; }
+  .mdl { display:flex; gap:10px; padding:2px 0; font-size:12px; }
+  .mdl a { color:var(--line); text-decoration:none; }
+  .mdl .prec { min-width:70px; }
+  .mdl .agree { min-width:110px; }
+  .mdl .agree.low { color:var(--warn); }
 </style>
 </head>
 <body>
@@ -72,6 +80,10 @@ const dashboardHTML = `<!doctype html>
 <div id="traces">
   <h2>recent request traces (slow / errored / alarm-kept first to survive eviction)</h2>
   <div id="tr-rows"><span class="nodata">no traces yet — enable with serve -trace-sample</span></div>
+</div>
+<div id="models">
+  <h2>deployed models (<a href="/api/v1/models">/api/v1/models</a>)</h2>
+  <div id="mdl-rows"><span class="nodata">no compiled programs deployed</span></div>
 </div>
 <script>
 "use strict";
@@ -220,12 +232,50 @@ async function pollTraces() {
   } catch (_) {}
 }
 
+// Deployed-program catalog: precision, datapath widths, and the
+// float-agreement rate of each compiled model; names link to the full
+// spec (including the quantization scale table).
+const mdlRows = document.getElementById("mdl-rows");
+async function pollModels() {
+  try {
+    const r = await fetch("/api/v1/models");
+    if (!r.ok) return; // 404: nothing deployed — leave the hint row
+    const body = await r.json();
+    const ms = body.models || [];
+    if (!ms.length) return;
+    mdlRows.textContent = "";
+    for (const m of ms) {
+      const s = m.spec || {};
+      const row = document.createElement("div");
+      row.className = "mdl";
+      const a = document.createElement("a");
+      a.href = "/api/v1/models/" + encodeURIComponent(m.name);
+      a.textContent = m.name;
+      const prec = document.createElement("span"); prec.className = "prec";
+      prec.textContent = s.precision || "?";
+      const agree = document.createElement("span"); agree.className = "agree";
+      if (s.agreement !== undefined) {
+        agree.textContent = "agree " + (s.agreement * 100).toFixed(2) + "%";
+        if (s.agreement < 0.99) agree.classList.add("low");
+      }
+      const det = document.createElement("span");
+      det.textContent = s.features + " features · " + s.classes + " classes · w" +
+                        s.weight_bits + "/acc" + s.accum_bits +
+                        (s.quantizer ? " · " + s.quantizer : "");
+      row.append(a, prec, agree, det);
+      mdlRows.appendChild(row);
+    }
+  } catch (_) {}
+}
+
 seedTimeline();
 follow();
 poll();
 pollTraces();
+pollModels();
 setInterval(poll, 2000);
 setInterval(pollTraces, 3000);
+setInterval(pollModels, 10000);
 </script>
 </body>
 </html>

@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestModelsEndpoints pins the /api/v1/models surface: 404 until a
+// source attaches, list + per-name lookup (case-insensitive) after, the
+// httpapi envelope on unknown names, and detach restoring 404.
+func TestModelsEndpoints(t *testing.T) {
+	s, _, _ := testServer(t)
+	if code, body, _ := get(t, s.Handler(), "/api/v1/models"); code != 404 ||
+		!strings.Contains(body, `"error"`) {
+		t.Fatalf("before attach = %d %q, want 404 envelope", code, body)
+	}
+	s.SetModels(func() []ModelInfo {
+		return []ModelInfo{{
+			Name: "J48",
+			Spec: map[string]any{"precision": "int8", "agreement": 1.0},
+		}}
+	})
+	code, body, hdr := get(t, s.Handler(), "/api/v1/models")
+	if code != 200 || hdr.Get("Content-Type") != "application/json" {
+		t.Fatalf("list = %d %q", code, hdr.Get("Content-Type"))
+	}
+	if !strings.Contains(body, `"models"`) || !strings.Contains(body, `"J48"`) ||
+		!strings.Contains(body, `"int8"`) {
+		t.Fatalf("list body = %q", body)
+	}
+	for _, path := range []string{"/api/v1/models/J48", "/api/v1/models/j48", "/api/v1/models/j48/"} {
+		code, body, _ = get(t, s.Handler(), path)
+		if code != 200 || !strings.Contains(body, `"agreement"`) {
+			t.Fatalf("%s = %d %q", path, code, body)
+		}
+	}
+	code, body, _ = get(t, s.Handler(), "/api/v1/models/nope")
+	if code != 404 || !strings.Contains(body, "unknown model") || !strings.Contains(body, "J48") {
+		t.Fatalf("unknown = %d %q", code, body)
+	}
+	req := httptest.NewRequest("POST", "/api/v1/models", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 405 {
+		t.Fatalf("POST = %d, want 405", rec.Code)
+	}
+	s.SetModels(nil)
+	if code, _, _ := get(t, s.Handler(), "/api/v1/models"); code != 404 {
+		t.Fatalf("after detach = %d, want 404", code)
+	}
+}

@@ -24,6 +24,9 @@
 //	/api/v1/tenants[...]   per-tenant summaries, quality, drift (JSON)
 //	/api/v1/traces         retained request traces (JSON; ?tenant= &min_duration= &error=)
 //	/api/v1/traces/{id}    one trace's span waterfall (JSON)
+//	/api/v1/models         compiled inference programs: classifier, precision,
+//	                       widths, scale table, agreement (JSON)
+//	/api/v1/models/{name}  one program's full spec (JSON)
 //
 //	/debug/flightrecorder  the flight recorder's current rings (JSON)
 //	/debug/pprof           CPU/heap/goroutine profiling (net/http/pprof)
@@ -81,6 +84,16 @@ type config struct {
 	ingest         http.Handler
 	sseKeepAlive   time.Duration
 	reqTracer      *obs.ReqTracer
+	models         func() []ModelInfo
+}
+
+// ModelInfo is one deployed inference program as served by
+// /api/v1/models: the name it answers to plus its introspection spec
+// (an infer.ProgramSpec, held as any to keep telemetry's dependency
+// surface flat).
+type ModelInfo struct {
+	Name string `json:"name"`
+	Spec any    `json:"spec"`
 }
 
 // Option configures New. All sources wire uniformly through options —
@@ -145,6 +158,11 @@ func WithIngest(h http.Handler) Option { return func(c *config) { c.ingest = h }
 // Nil leaves the endpoints 404.
 func WithReqTracer(rt *obs.ReqTracer) Option { return func(c *config) { c.reqTracer = rt } }
 
+// WithModels attaches the /api/v1/models source: a function returning
+// the currently deployed inference programs (name + spec). Nil leaves
+// the endpoints 404 — a plain -listen run deploys no compiled programs.
+func WithModels(fn func() []ModelInfo) Option { return func(c *config) { c.models = fn } }
+
 // Server serves the telemetry endpoints over HTTP.
 type Server struct {
 	cfg      config
@@ -163,6 +181,7 @@ type Server struct {
 	ready     atomic.Pointer[readyFn]
 	ingest    atomic.Pointer[http.Handler]
 	reqTracer atomic.Pointer[obs.ReqTracer]
+	models    atomic.Pointer[modelsFn]
 	// closing is closed on Shutdown so long-lived /events streams end
 	// promptly and let the graceful drain finish.
 	closing      chan struct{}
@@ -212,6 +231,7 @@ func New(opts ...Option) *Server {
 	s.SetReady(cfg.ready)
 	s.SetIngest(cfg.ingest)
 	s.SetReqTracer(cfg.reqTracer)
+	s.SetModels(cfg.models)
 
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -249,6 +269,10 @@ func New(opts ...Option) *Server {
 	// The request-trace query surface: retained trace list + waterfalls.
 	s.mux.HandleFunc("/api/v1/traces", httpapi.Methods(s.handleTraces, http.MethodGet))
 	s.mux.HandleFunc("/api/v1/traces/", httpapi.Methods(s.handleTraces, http.MethodGet))
+
+	// The compiled-program catalog: deployed models and their specs.
+	s.mux.HandleFunc("/api/v1/models", httpapi.Methods(s.handleModels, http.MethodGet))
+	s.mux.HandleFunc("/api/v1/models/", httpapi.Methods(s.handleModels, http.MethodGet))
 
 	s.mux.HandleFunc("/debug/flightrecorder", httpapi.Methods(s.snapshotHandler(&s.flight, "no flight recorder attached"), http.MethodGet))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -325,6 +349,56 @@ func (s *Server) SetIngest(h http.Handler) {
 // SetReqTracer attaches (or, with nil, detaches) the request-trace
 // store behind /api/v1/traces after construction.
 func (s *Server) SetReqTracer(rt *obs.ReqTracer) { s.reqTracer.Store(rt) }
+
+// modelsFn produces the current deployed-program catalog.
+type modelsFn func() []ModelInfo
+
+// SetModels attaches (or, with nil, detaches) the /api/v1/models source
+// after construction — serve attaches it once the detector is trained
+// and compiled.
+func (s *Server) SetModels(fn func() []ModelInfo) {
+	if fn == nil {
+		s.models.Store(nil)
+		return
+	}
+	mf := modelsFn(fn)
+	s.models.Store(&mf)
+}
+
+// handleModels serves the compiled-program catalog:
+//
+//	GET /api/v1/models         every deployed program: name + spec
+//	GET /api/v1/models/{name}  one program's spec (name match is
+//	                           case-insensitive)
+//
+// 404 until a source is attached (plain -listen runs deploy none).
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	fn := s.models.Load()
+	if fn == nil {
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound,
+			"no compiled programs deployed")
+		return
+	}
+	models := (*fn)()
+	name := strings.TrimPrefix(strings.TrimSuffix(r.URL.Path, "/"), "/api/v1/models")
+	name = strings.TrimPrefix(name, "/")
+	if name == "" {
+		httpapi.WriteJSON(w, map[string]any{"models": models})
+		return
+	}
+	for _, m := range models {
+		if strings.EqualFold(m.Name, name) {
+			httpapi.WriteJSON(w, m)
+			return
+		}
+	}
+	have := make([]string, len(models))
+	for i, m := range models {
+		have[i] = m.Name
+	}
+	httpapi.Errorf(w, http.StatusNotFound, httpapi.CodeNotFound,
+		"unknown model %q (deployed: %s)", name, strings.Join(have, ", "))
+}
 
 // handleTraces serves the request-trace query surface:
 //
@@ -491,6 +565,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /api/v1/tenants        per-tenant summaries, /{id}/quality, /{id}/drift (JSON)
   /api/v1/traces         retained request traces (?tenant= &min_duration= &error= &limit=)
   /api/v1/traces/{id}    one trace's span waterfall (JSON)
+  /api/v1/models         deployed inference programs: precision, widths, agreement (JSON)
+  /api/v1/models/{name}  one program's full spec incl. scale table (JSON)
   /debug/flightrecorder  flight-recorder rings (JSON)
   /debug/pprof  profiling
   (legacy /quality /drift /alerts /alerts/history /manifest /buildinfo
