@@ -17,6 +17,7 @@ import (
 	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/online"
+	"repro/internal/profile"
 	"repro/internal/quality"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -144,12 +145,17 @@ func runServe(ctx context.Context, args []string) error {
 
 	// Embedded time-series store: scrape the registry into bounded rings
 	// for the whole daemon lifetime, feeding the range-query API, the
-	// dashboard, /alerts/history and incident pre-trigger history.
-	store := tsdb.New(tsdb.Config{Interval: *scrapeInterval})
+	// dashboard, /alerts/history and incident pre-trigger history. The
+	// profiler's runtime/metrics collector rides the scrape as a
+	// PreScrape hook, so GC pause / goroutine / sched-latency gauges are
+	// refreshed at scrape cadence and become range-queryable, alertable
+	// series like everything else.
+	store := tsdb.New(tsdb.Config{Interval: *scrapeInterval,
+		PreScrape: of.RuntimeCollector().Update})
 	storePtr.Store(store)
 	go store.Run(ctx)
 	srv.SetStore(store)
-	fmt.Printf("telemetry on %s (/metrics /events /dashboard /healthz /readyz /api/v1/{ingest,tenants,traces,quality,drift,alerts,alerts/history,series,query_range,manifest,buildinfo} /debug/flightrecorder /debug/pprof)\n", srv.URL())
+	fmt.Printf("telemetry on %s (/metrics /events /dashboard /healthz /readyz /api/v1/{ingest,tenants,traces,profiles,quality,drift,alerts,alerts/history,series,query_range,manifest,models,buildinfo} /debug/flightrecorder /debug/pprof)\n", srv.URL())
 	if serveStarted != nil {
 		serveStarted(srv)
 	}
@@ -199,6 +205,15 @@ func runServe(ctx context.Context, args []string) error {
 		Trace: func() any {
 			if snap, ok := reqTracer.LastKept(""); ok {
 				return snap
+			}
+			return nil
+		},
+		// And the CPU profile nearest the trigger (the profiler pins
+		// alert/alarm-triggered captures), so the dump names the
+		// functions that were hot when the incident began.
+		Profile: func() any {
+			if info, ok := of.Profiler().Latest(profile.TypeCPU); ok {
+				return info
 			}
 			return nil
 		}})

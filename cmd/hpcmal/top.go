@@ -60,6 +60,11 @@ var topPanels = []struct {
 	{"drifting", "drift.features_drifting", "max"},
 	{"bus drops/s", "obs.events_dropped", "rate"},
 	{"scrape p99 ms", "tsdb.scrape_ms:p99", "avg"},
+	// Runtime self-observability rows, fed by the runtime/metrics
+	// collector riding the tsdb scrape.
+	{"goroutines", "runtime.goroutines", "avg"},
+	{"GC p99 ms", "runtime.gc_pause_p99_ms", "max"},
+	{"heap bytes", "runtime.heap_objects_bytes", "avg"},
 }
 
 // sparkRunes render a sparkline, lowest to highest.

@@ -72,6 +72,11 @@ type Incident struct {
 	// obs.ReqTraceSnapshot when serve wires Config.Trace), tying the
 	// incident to the exact request's stage-by-stage timings.
 	Trace any `json:"trace,omitempty"`
+	// Profile is the CPU profile nearest the trigger (a
+	// profile.CaptureInfo with its top-N summary when serve wires
+	// Config.Profile), so a dump names the functions that were hot
+	// when the incident began.
+	Profile any `json:"profile,omitempty"`
 	// Stack is set on panic dumps.
 	Stack string `json:"stack,omitempty"`
 }
@@ -102,6 +107,10 @@ type Config struct {
 	// triggering request trace — serve wires it to the request tracer's
 	// most recent tail-kept trace (nil results are omitted).
 	Trace func() any
+	// Profile, when set, is called at dump time and embedded as the
+	// triggering profile — serve wires it to the continuous profiler's
+	// latest CPU capture summary (nil results are omitted).
+	Profile func() any
 }
 
 // Recorder is the bounded black-box recorder. All methods are safe for
@@ -219,6 +228,9 @@ func (r *Recorder) Snapshot() Incident {
 	if r.cfg.Trace != nil {
 		inc.Trace = r.cfg.Trace()
 	}
+	if r.cfg.Profile != nil {
+		inc.Profile = r.cfg.Profile()
+	}
 	return inc
 }
 
@@ -253,6 +265,9 @@ func (r *Recorder) Dump(reason string) (string, error) {
 	}
 	if r.cfg.Trace != nil {
 		inc.Trace = r.cfg.Trace()
+	}
+	if r.cfg.Profile != nil {
+		inc.Profile = r.cfg.Profile()
 	}
 
 	if err := os.MkdirAll(r.cfg.Dir, 0o755); err != nil {

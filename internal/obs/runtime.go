@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"strings"
+)
+
+// RuntimeCollector samples the Go runtime's own instrumentation
+// (runtime/metrics) into registry gauges, so GC pauses, scheduler
+// latency, heap levels, and goroutine counts become time series like
+// any detector metric: scraped into the tsdb every second, rendered on
+// /metrics, range-queryable at /api/v1/query_range, and usable in alert
+// rules ("page when runtime.gc_pause_p99_ms > 50").
+//
+// Update is allocation-free after construction: the sample slice is
+// preallocated, gauges are resolved once, and histogram quantiles are
+// computed in place from runtime/metrics' bucket counts (the runtime
+// reuses the Float64Histogram buffers it hands back). That matters
+// because the tsdb scraper calls Update at 1 Hz from the hot path of a
+// daemon whose whole point is near-zero observer overhead.
+type RuntimeCollector struct {
+	samples []metrics.Sample
+	entries []runtimeEntry
+}
+
+// runtimeEntry maps one runtime/metrics sample to its gauge(s).
+type runtimeEntry struct {
+	idx   int
+	scale float64
+	g     *Gauge // scalar kinds
+	gP50  *Gauge // histogram kinds
+	gP99  *Gauge
+}
+
+// runtimeMetrics is the fixed table of runtime/metrics keys exported as
+// gauges. Keys missing from the running toolchain are skipped at
+// construction (metrics.Read reports them as KindBad), so the collector
+// degrades gracefully across Go versions.
+var runtimeMetrics = []struct {
+	key   string
+	name  string  // gauge name; histograms get _p50/_p99 suffixes
+	scale float64 // multiplier applied to the sampled value
+}{
+	{"/sched/goroutines:goroutines", "runtime.goroutines", 1},
+	{"/sched/latencies:seconds", "runtime.sched_latency", 1e3}, // -> ms
+	{"/gc/pauses:seconds", "runtime.gc_pause", 1e3},            // -> ms
+	{"/gc/cycles/total:gc-cycles", "runtime.gc_cycles", 1},
+	{"/gc/heap/allocs:bytes", "runtime.heap_allocs_bytes", 1},
+	{"/gc/heap/goal:bytes", "runtime.gc_heap_goal_bytes", 1},
+	{"/memory/classes/heap/objects:bytes", "runtime.heap_objects_bytes", 1},
+	{"/memory/classes/total:bytes", "runtime.mem_total_bytes", 1},
+	{"/sync/mutex/wait/total:seconds", "runtime.mutex_wait_seconds", 1},
+}
+
+// NewRuntimeCollector builds a collector publishing into r (nil: the
+// default registry) and takes one warm-up read so the runtime's
+// histogram buffers are allocated before the first hot-path Update.
+func NewRuntimeCollector(r *Registry) *RuntimeCollector {
+	if r == nil {
+		r = DefaultRegistry
+	}
+	rc := &RuntimeCollector{}
+	probe := make([]metrics.Sample, len(runtimeMetrics))
+	for i, m := range runtimeMetrics {
+		probe[i].Name = m.key
+	}
+	metrics.Read(probe)
+	for i, m := range runtimeMetrics {
+		switch probe[i].Value.Kind() {
+		case metrics.KindBad:
+			continue
+		case metrics.KindFloat64Histogram:
+			rc.entries = append(rc.entries, runtimeEntry{
+				idx:   len(rc.samples),
+				scale: m.scale,
+				gP50:  r.Gauge(m.name + "_p50_ms"),
+				gP99:  r.Gauge(m.name + "_p99_ms"),
+			})
+		default:
+			rc.entries = append(rc.entries, runtimeEntry{
+				idx:   len(rc.samples),
+				scale: m.scale,
+				g:     r.Gauge(m.name),
+			})
+		}
+		rc.samples = append(rc.samples, metrics.Sample{Name: m.key})
+	}
+	// Warm up: the first Read into the kept slice allocates histogram
+	// value buffers; subsequent Updates reuse them.
+	metrics.Read(rc.samples)
+	return rc
+}
+
+// Update re-reads every tracked runtime metric into its gauge. Safe on
+// a nil receiver; not safe for concurrent use with itself (the tsdb
+// scraper and profiler both call it, but gauge writes are atomic and
+// the sample buffer tolerates interleaved reads of identical keys).
+func (rc *RuntimeCollector) Update() {
+	if rc == nil {
+		return
+	}
+	metrics.Read(rc.samples)
+	for _, e := range rc.entries {
+		v := rc.samples[e.idx].Value
+		switch v.Kind() {
+		case metrics.KindUint64:
+			e.g.Set(float64(v.Uint64()) * e.scale)
+		case metrics.KindFloat64:
+			e.g.Set(v.Float64() * e.scale)
+		case metrics.KindFloat64Histogram:
+			h := v.Float64Histogram()
+			e.gP50.Set(histQuantile(h, 0.5) * e.scale)
+			e.gP99.Set(histQuantile(h, 0.99) * e.scale)
+		}
+	}
+}
+
+// MetricNames returns the gauge names this collector publishes, sorted
+// as registered — used by docs and tests, not hot paths.
+func (rc *RuntimeCollector) MetricNames() []string {
+	if rc == nil {
+		return nil
+	}
+	var names []string
+	for _, m := range runtimeMetrics {
+		if strings.HasSuffix(m.key, ":seconds") && m.scale == 1e3 {
+			names = append(names, m.name+"_p50_ms", m.name+"_p99_ms")
+		} else {
+			names = append(names, m.name)
+		}
+	}
+	return names
+}
+
+// histQuantile estimates the q-quantile of a runtime/metrics histogram.
+// Counts[i] counts observations in [Buckets[i], Buckets[i+1]); the
+// outermost buckets may be infinite, in which case the finite edge is
+// used. Returns 0 for an empty histogram.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			if math.IsInf(lo, -1) {
+				lo = hi
+			}
+			if math.IsInf(hi, 1) {
+				hi = lo
+			}
+			// Midpoint of the winning bucket: stable, and avoids
+			// over-reporting tails from sparse wide buckets.
+			return (lo + hi) / 2
+		}
+	}
+	return 0
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestRuntimeCollectorPopulatesGauges: after one Update, the headline
+// runtime gauges hold live values — a running Go program always has
+// goroutines and heap bytes.
+func TestRuntimeCollectorPopulatesGauges(t *testing.T) {
+	r := NewRegistry()
+	rc := NewRuntimeCollector(r)
+	rc.Update()
+
+	if g := r.Gauge("runtime.goroutines").Value(); g < 1 {
+		t.Fatalf("runtime.goroutines = %v, want >= 1", g)
+	}
+	if v := r.Gauge("runtime.heap_objects_bytes").Value(); v <= 0 {
+		t.Fatalf("runtime.heap_objects_bytes = %v, want > 0", v)
+	}
+	if v := r.Gauge("runtime.mem_total_bytes").Value(); v <= 0 {
+		t.Fatalf("runtime.mem_total_bytes = %v, want > 0", v)
+	}
+	// Force a GC so pause/cycle metrics are non-trivially populated, then
+	// confirm a second Update moves the cycle counter.
+	before := r.Gauge("runtime.gc_cycles").Value()
+	runtime.GC()
+	rc.Update()
+	if after := r.Gauge("runtime.gc_cycles").Value(); after <= before {
+		t.Fatalf("runtime.gc_cycles %v -> %v, want increase after runtime.GC()", before, after)
+	}
+	if p99 := r.Gauge("runtime.gc_pause_p99_ms").Value(); p99 < 0 {
+		t.Fatalf("runtime.gc_pause_p99_ms = %v, want >= 0", p99)
+	}
+}
+
+// TestRuntimeCollectorMetricNames: the advertised names match what the
+// collector registers, and the histogram kinds carry quantile suffixes.
+func TestRuntimeCollectorMetricNames(t *testing.T) {
+	rc := NewRuntimeCollector(NewRegistry())
+	names := map[string]bool{}
+	for _, n := range rc.MetricNames() {
+		names[n] = true
+	}
+	for _, want := range []string{
+		"runtime.goroutines",
+		"runtime.sched_latency_p50_ms", "runtime.sched_latency_p99_ms",
+		"runtime.gc_pause_p50_ms", "runtime.gc_pause_p99_ms",
+		"runtime.gc_cycles", "runtime.heap_objects_bytes",
+	} {
+		if !names[want] {
+			t.Fatalf("MetricNames missing %s: %v", want, rc.MetricNames())
+		}
+	}
+}
+
+// TestRuntimeCollectorNilSafe: commands wire rc.Update as a tsdb
+// PreScrape hook unconditionally; a nil collector must be a no-op.
+func TestRuntimeCollectorNilSafe(t *testing.T) {
+	var rc *RuntimeCollector
+	rc.Update()
+	if rc.MetricNames() != nil {
+		t.Fatal("nil MetricNames != nil")
+	}
+}
+
+// TestRuntimeScrapeZeroAlloc is the hot-path gate: Update runs at 1 Hz
+// inside the tsdb scrape and must not allocate after construction.
+func TestRuntimeScrapeZeroAlloc(t *testing.T) {
+	rc := NewRuntimeCollector(NewRegistry())
+	rc.Update() // settle histogram buffers
+	if avg := testing.AllocsPerRun(100, rc.Update); avg != 0 {
+		t.Fatalf("Update allocates %.1f per run, want 0", avg)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/profile"
 	"repro/internal/telemetry"
 )
 
@@ -36,6 +37,13 @@ type Flags struct {
 	Listen     string
 	Workers    int
 
+	// Continuous-profiler knobs. The profiler runs with any -listen
+	// server (it is the service's always-on self-observation);
+	// ProfileInterval 0 disables it.
+	ProfileInterval time.Duration
+	ProfileDuty     time.Duration
+	ProfileBudget   int64
+
 	// ReadyFn, when set before Setup, gates the telemetry server's
 	// /readyz endpoint from its very first request (Setup starts the
 	// listener, so attaching later would leave a default-ready window).
@@ -48,8 +56,11 @@ type Flags struct {
 	// construction instead of via post-hoc setters.
 	TelemetryOpts []telemetry.Option
 
-	server  *telemetry.Server
-	cpuFile *os.File
+	server      *telemetry.Server
+	cpuFile     *os.File
+	profiler    *profile.Profiler
+	stopProfile func()
+	runtimeCol  *obs.RuntimeCollector
 }
 
 // Add registers the shared observability flags on fs.
@@ -65,6 +76,9 @@ func Add(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to `file` at exit")
 	fs.StringVar(&f.Listen, "listen", "", "serve live telemetry (/metrics, /events, /debug/pprof) on `addr` for the run's duration")
 	fs.IntVar(&f.Workers, "parallel", 0, "max `workers` for parallel stages (1 = serial; 0 = all CPUs); output is identical at any value")
+	fs.DurationVar(&f.ProfileInterval, "profile-interval", 60*time.Second, "continuous profiler: spacing between capture cycles under -listen (0 disables)")
+	fs.DurationVar(&f.ProfileDuty, "profile-duty", 10*time.Second, "continuous profiler: CPU-profile duty window per cycle")
+	fs.Int64Var(&f.ProfileBudget, "profile-budget", 8<<20, "continuous profiler: capture-ring byte budget")
 	return f
 }
 
@@ -95,7 +109,12 @@ func (f *Flags) Setup() error {
 		if err != nil {
 			return err
 		}
+		// Claim the process-wide CPU-profile slot for the run's
+		// duration so the continuous profiler and /debug/pprof/profile
+		// skip/409 instead of racing runtime/pprof's error path.
+		profile.TryAcquireCPU()
 		if err := pprof.StartCPUProfile(cf); err != nil {
+			profile.ReleaseCPU()
 			cf.Close()
 			return fmt.Errorf("start cpu profile: %w", err)
 		}
@@ -103,15 +122,38 @@ func (f *Flags) Setup() error {
 	}
 	if f.Listen != "" {
 		opts := []telemetry.Option{telemetry.WithReady(f.ReadyFn)}
+		if f.ProfileInterval > 0 {
+			f.runtimeCol = obs.NewRuntimeCollector(obs.DefaultRegistry)
+			f.profiler = profile.New(profile.Config{
+				Interval: f.ProfileInterval,
+				Duty:     f.ProfileDuty,
+				Budget:   f.ProfileBudget,
+				Runtime:  f.runtimeCol,
+			})
+			opts = append(opts, telemetry.WithProfiler(f.profiler))
+		}
 		opts = append(opts, f.TelemetryOpts...)
 		f.server = telemetry.New(opts...)
 		if err := f.server.Start(f.Listen); err != nil {
 			f.stopCPUProfile()
+			f.profiler, f.runtimeCol = nil, nil
 			return err
 		}
+		f.stopProfile = f.profiler.Start()
 	}
 	return nil
 }
+
+// Profiler returns the continuous profiler started by Setup (nil when
+// disabled or without -listen) — serve wires it into the flight
+// recorder's incident embed.
+func (f *Flags) Profiler() *profile.Profiler { return f.profiler }
+
+// RuntimeCollector returns the runtime/metrics collector backing the
+// profiler's runtime gauges (nil when the profiler is disabled) —
+// serve re-uses it as the tsdb's PreScrape hook so runtime series are
+// refreshed at scrape cadence, not just once per profile cycle.
+func (f *Flags) RuntimeCollector() *obs.RuntimeCollector { return f.runtimeCol }
 
 // Server returns the telemetry server started by -listen (nil without
 // the flag).
@@ -130,6 +172,7 @@ func (f *Flags) stopCPUProfile() {
 		return
 	}
 	pprof.StopCPUProfile()
+	profile.ReleaseCPU()
 	f.cpuFile.Close()
 	f.cpuFile = nil
 }
@@ -139,6 +182,10 @@ func (f *Flags) stopCPUProfile() {
 // and drains the telemetry server. Call it once, after the command's
 // work succeeded.
 func (f *Flags) Finish() error {
+	if f.stopProfile != nil {
+		f.stopProfile()
+		f.stopProfile = nil
+	}
 	f.stopCPUProfile()
 	if f.MemProfile != "" {
 		mf, err := os.Create(f.MemProfile)

@@ -1,0 +1,92 @@
+// bench_test.go quantifies the cost of leaving the continuous profiler
+// on in production: the same ingest→detect load is measured with the
+// sampler absent and with it cycling at the default production duty
+// ratio (10 s per 60 s, compressed to 10 ms per 60 ms so short
+// benchtimes still overlap duty windows). make bench-diff gates the
+// windows/s delta between the Off and On variants.
+package profile_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/profile"
+)
+
+func benchService(b *testing.B) (*ingest.Service, []ingest.Window) {
+	b.Helper()
+	svc, err := ingest.New(ingest.Config{
+		Classifier: thresholdClf{},
+		Events:     []string{"e0", "e1", "e2", "e3"},
+		QueueCap:   1 << 17,
+		Registry:   obs.NewRegistry(),
+		Bus:        obs.NewBus(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	b.Cleanup(cancel)
+	svc.Start(ctx)
+
+	pool := make([]ingest.Window, 512)
+	for i := range pool {
+		lbl := i % 2
+		v := 0.1 + 0.8*float64(lbl)
+		pool[i] = ingest.Window{
+			Endpoint: fmt.Sprintf("ep-%02d", i%16),
+			Label:    &lbl,
+			Values:   []float64{v, 0.2, 0.3, 0.4},
+		}
+	}
+	return svc, pool
+}
+
+func benchProfilerOverhead(b *testing.B, withProfiler bool) {
+	const batch, tenants = 512, 4
+	svc, pool := benchService(b)
+	if withProfiler {
+		p := profile.New(profile.Config{
+			// Production duty ratio (1/6), compressed 1000x.
+			Interval: 60 * time.Millisecond,
+			Duty:     10 * time.Millisecond,
+			Registry: obs.NewRegistry(),
+			Bus:      obs.NewBus(),
+		})
+		stop := p.Start()
+		b.Cleanup(stop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for t := 0; t < tenants; t++ {
+			for {
+				if _, err := svc.Enqueue(fmt.Sprintf("tenant-%02d", t), "", pool); err == nil {
+					break
+				} else {
+					var qf *ingest.QueueFullError
+					if !errors.As(err, &qf) {
+						b.Fatal(err)
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for !svc.Drained() {
+		if time.Now().After(deadline) {
+			b.Fatal("ingest did not drain")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*batch*tenants)/b.Elapsed().Seconds(), "windows/s")
+}
+
+func BenchmarkProfilerOverheadOff(b *testing.B) { benchProfilerOverhead(b, false) }
+func BenchmarkProfilerOverheadOn(b *testing.B)  { benchProfilerOverhead(b, true) }

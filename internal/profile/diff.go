@@ -1,0 +1,60 @@
+// diff.go compares consecutive profile summaries and flags functions
+// whose flat share of the profile grew past a threshold — the
+// continuous-profiling analogue of the alert engine's metric rules. A
+// regression here is a *relative* statement ("this function went from
+// 3% to 18% of CPU between two interval captures"), which survives load
+// changes better than absolute nanosecond deltas: if traffic doubles,
+// every function's absolute cost doubles but the shares stay put.
+package profile
+
+import "fmt"
+
+// Regression is one function whose profile share grew past the
+// configured threshold between two consecutive captures of a type.
+type Regression struct {
+	// Type is the profile type the regression was seen in ("cpu", "heap").
+	Type string `json:"type"`
+	// Function is the regressed function's fully qualified name.
+	Function string `json:"function"`
+	// PrevPct / CurPct are the flat shares (percent of profile total) in
+	// the previous and current capture.
+	PrevPct float64 `json:"prev_pct"`
+	CurPct  float64 `json:"cur_pct"`
+	// CaptureID names the capture the regression was detected in.
+	CaptureID string `json:"capture_id"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s profile: %s flat %.1f%% -> %.1f%%",
+		r.Type, r.Function, r.PrevPct, r.CurPct)
+}
+
+// diffSummaries returns the functions in cur whose flat share grew by
+// at least minPts percentage points over prev. Functions absent from
+// prev's top-N count as 0% there — a function storming into the top of
+// the profile is the regression shape we most want to catch. Empty or
+// nil summaries produce no regressions: a capture that parsed to
+// nothing (e.g. an idle CPU window with zero samples) must not make
+// every function of the next busy capture look like a regression.
+func diffSummaries(typ string, prev, cur *Summary, minPts float64) []Regression {
+	if prev == nil || cur == nil || prev.Total <= 0 || cur.Total <= 0 {
+		return nil
+	}
+	prevPct := make(map[string]float64, len(prev.Functions))
+	for _, f := range prev.Functions {
+		prevPct[f.Name] = f.FlatPct
+	}
+	var out []Regression
+	for _, f := range cur.Functions {
+		was := prevPct[f.Name]
+		if f.FlatPct-was >= minPts {
+			out = append(out, Regression{
+				Type:     typ,
+				Function: f.Name,
+				PrevPct:  was,
+				CurPct:   f.FlatPct,
+			})
+		}
+	}
+	return out
+}

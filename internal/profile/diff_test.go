@@ -1,0 +1,75 @@
+package profile
+
+import "testing"
+
+func synthSummary(total int64, fns map[string]int64) *Summary {
+	s := &Summary{SampleType: "cpu", Unit: "nanoseconds", Total: total}
+	for name, flat := range fns {
+		s.Functions = append(s.Functions, FuncStat{
+			Name: name, Flat: flat,
+			FlatPct: 100 * float64(flat) / float64(total),
+		})
+	}
+	return s
+}
+
+// TestDiffDetectsRegression: a function growing from 5% to 30% of the
+// profile crosses a 10-point threshold; stable functions don't.
+func TestDiffDetectsRegression(t *testing.T) {
+	prev := synthSummary(1000, map[string]int64{"hot": 50, "steady": 400})
+	cur := synthSummary(1000, map[string]int64{"hot": 300, "steady": 410})
+	regs := diffSummaries(TypeCPU, prev, cur, 10)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %+v, want exactly the hot function", regs)
+	}
+	r := regs[0]
+	if r.Function != "hot" || r.Type != TypeCPU {
+		t.Fatalf("regression = %+v", r)
+	}
+	if r.PrevPct != 5 || r.CurPct != 30 {
+		t.Fatalf("pcts = %.1f -> %.1f, want 5 -> 30", r.PrevPct, r.CurPct)
+	}
+}
+
+// TestDiffNewFunctionCountsFromZero: a function absent from the
+// previous top-N is treated as 0% there — storming into the profile is
+// the regression shape that matters most.
+func TestDiffNewFunctionCountsFromZero(t *testing.T) {
+	prev := synthSummary(1000, map[string]int64{"steady": 500})
+	cur := synthSummary(1000, map[string]int64{"steady": 500, "newcomer": 200})
+	regs := diffSummaries(TypeHeap, prev, cur, 10)
+	if len(regs) != 1 || regs[0].Function != "newcomer" || regs[0].PrevPct != 0 {
+		t.Fatalf("regressions = %+v, want newcomer from 0%%", regs)
+	}
+}
+
+// TestDiffBelowThresholdQuiet: growth under the threshold produces no
+// regressions.
+func TestDiffBelowThresholdQuiet(t *testing.T) {
+	prev := synthSummary(1000, map[string]int64{"f": 100})
+	cur := synthSummary(1000, map[string]int64{"f": 190})
+	if regs := diffSummaries(TypeCPU, prev, cur, 10); len(regs) != 0 {
+		t.Fatalf("regressions = %+v, want none for a 9-point move", regs)
+	}
+}
+
+// TestDiffEmptyProfilesQuiet: nil or zero-total summaries (an idle CPU
+// window) must never flag regressions — otherwise the first busy
+// capture after an idle one would flag every function.
+func TestDiffEmptyProfilesQuiet(t *testing.T) {
+	busy := synthSummary(1000, map[string]int64{"f": 900})
+	empty := &Summary{SampleType: "cpu"}
+	for _, tc := range []struct {
+		name      string
+		prev, cur *Summary
+	}{
+		{"nil prev", nil, busy},
+		{"nil cur", busy, nil},
+		{"empty prev", empty, busy},
+		{"empty cur", busy, empty},
+	} {
+		if regs := diffSummaries(TypeCPU, tc.prev, tc.cur, 10); len(regs) != 0 {
+			t.Fatalf("%s: regressions = %+v, want none", tc.name, regs)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// pprofparse.go is a minimal reader for the gzipped protobuf profiles
+// that runtime/pprof emits. The profiler stores every capture as the raw
+// blob (so `go tool pprof` keeps working on downloads) but also needs a
+// cheap in-process view — top-N functions by flat and cumulative value —
+// for the API's ?summary=1 responses, the dashboard panel, and the
+// regression diff engine. Pulling in github.com/google/pprof for that
+// would add a dependency tree for what is ~five message types of
+// proto2-compatible wire format, so this file decodes just the fields
+// the summary needs: sample types, samples (location stacks + values),
+// locations, lines, functions, and the string table.
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Summary is the parsed top-N view of one capture: per-function flat
+// (self) and cumulative values for the profile's primary sample type.
+type Summary struct {
+	// SampleType / Unit name the value column the summary ranks by
+	// (e.g. "cpu"/"nanoseconds", "inuse_space"/"bytes").
+	SampleType string `json:"sample_type"`
+	Unit       string `json:"unit"`
+	// Total is the sum of the ranked value over all samples.
+	Total int64 `json:"total"`
+	// Samples is the number of sample records in the profile.
+	Samples int `json:"samples"`
+	// DurationMS is the profile's self-declared duration, when present.
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	// Functions holds the top-N functions ordered by flat desc.
+	Functions []FuncStat `json:"functions,omitempty"`
+}
+
+// FuncStat is one function's share of a profile.
+type FuncStat struct {
+	Name    string  `json:"name"`
+	Flat    int64   `json:"flat"`
+	FlatPct float64 `json:"flat_pct"`
+	Cum     int64   `json:"cum"`
+	CumPct  float64 `json:"cum_pct"`
+}
+
+// parsed is the decoded subset of a pprof profile.
+type parsed struct {
+	sampleTypes []valueType
+	samples     []sample
+	locFunc     map[uint64]int64 // location id -> leaf function name (string idx)
+	locStack    map[uint64][]int64
+	funcName    map[uint64]int64 // function id -> name string idx
+	strings     []string
+	durationNS  int64
+}
+
+type valueType struct{ typ, unit int64 } // string table indices
+
+type sample struct {
+	locs   []uint64
+	values []int64
+}
+
+// ParseSummary decodes a pprof blob (gzipped or raw protobuf) and
+// returns its top-N summary. The value column is chosen by preference:
+// "cpu", then "inuse_space", then "delay", falling back to the last
+// sample type (pprof convention for the default).
+func ParseSummary(blob []byte, topN int) (*Summary, error) {
+	p, err := parseProfile(blob)
+	if err != nil {
+		return nil, err
+	}
+	return p.summarize(topN), nil
+}
+
+func parseProfile(blob []byte) (*parsed, error) {
+	data := blob
+	if len(blob) >= 2 && blob[0] == 0x1f && blob[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("profile gunzip: %w", err)
+		}
+		data, err = io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("profile gunzip: %w", err)
+		}
+	}
+	p := &parsed{
+		locFunc:  map[uint64]int64{},
+		locStack: map[uint64][]int64{},
+		funcName: map[uint64]int64{},
+	}
+	err := eachField(data, func(field int, wire int, v uint64, msg []byte) error {
+		switch field {
+		case 1: // sample_type: ValueType
+			vt, err := parseValueType(msg)
+			if err != nil {
+				return err
+			}
+			p.sampleTypes = append(p.sampleTypes, vt)
+		case 2: // sample
+			s, err := parseSample(msg)
+			if err != nil {
+				return err
+			}
+			p.samples = append(p.samples, s)
+		case 4: // location
+			return p.parseLocation(msg)
+		case 5: // function
+			return p.parseFunction(msg)
+		case 6: // string_table
+			p.strings = append(p.strings, string(msg))
+		case 10: // duration_nanos
+			p.durationNS = int64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Resolve each location to its leaf (innermost) function's name
+	// index: the first Line entry holds the finest frame.
+	for id, fns := range p.locStack {
+		if len(fns) > 0 {
+			p.locFunc[id] = p.funcName[uint64(fns[0])]
+		}
+	}
+	return p, nil
+}
+
+func parseValueType(msg []byte) (valueType, error) {
+	var vt valueType
+	err := eachField(msg, func(field, wire int, v uint64, _ []byte) error {
+		switch field {
+		case 1:
+			vt.typ = int64(v)
+		case 2:
+			vt.unit = int64(v)
+		}
+		return nil
+	})
+	return vt, err
+}
+
+func parseSample(msg []byte) (sample, error) {
+	var s sample
+	err := eachField(msg, func(field, wire int, v uint64, sub []byte) error {
+		switch field {
+		case 1: // location_id, usually packed
+			if wire == wireBytes {
+				return eachPacked(sub, func(u uint64) {
+					s.locs = append(s.locs, u)
+				})
+			}
+			s.locs = append(s.locs, v)
+		case 2: // value, usually packed
+			if wire == wireBytes {
+				return eachPacked(sub, func(u uint64) {
+					s.values = append(s.values, int64(u))
+				})
+			}
+			s.values = append(s.values, int64(v))
+		}
+		return nil
+	})
+	return s, err
+}
+
+func (p *parsed) parseLocation(msg []byte) error {
+	var id uint64
+	var fns []int64
+	err := eachField(msg, func(field, wire int, v uint64, sub []byte) error {
+		switch field {
+		case 1:
+			id = v
+		case 4: // Line { function_id = 1 }
+			var fnID uint64
+			if err := eachField(sub, func(f, _ int, lv uint64, _ []byte) error {
+				if f == 1 {
+					fnID = lv
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if fnID != 0 {
+				fns = append(fns, int64(fnID))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	stack := make([]int64, len(fns))
+	copy(stack, fns)
+	p.locStack[id] = stack
+	return nil
+}
+
+func (p *parsed) parseFunction(msg []byte) error {
+	var id uint64
+	var name int64
+	err := eachField(msg, func(field, wire int, v uint64, _ []byte) error {
+		switch field {
+		case 1:
+			id = v
+		case 2:
+			name = int64(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	p.funcName[id] = name
+	return nil
+}
+
+func (p *parsed) str(i int64) string {
+	if i < 0 || int(i) >= len(p.strings) {
+		return ""
+	}
+	return p.strings[i]
+}
+
+// valueIndex picks the value column the summary ranks by.
+func (p *parsed) valueIndex() int {
+	for _, want := range []string{"cpu", "inuse_space", "delay"} {
+		for i, vt := range p.sampleTypes {
+			if p.str(vt.typ) == want {
+				return i
+			}
+		}
+	}
+	if n := len(p.sampleTypes); n > 0 {
+		return n - 1
+	}
+	return 0
+}
+
+func (p *parsed) summarize(topN int) *Summary {
+	if topN <= 0 {
+		topN = 10
+	}
+	vi := p.valueIndex()
+	s := &Summary{Samples: len(p.samples)}
+	if vi < len(p.sampleTypes) {
+		s.SampleType = p.str(p.sampleTypes[vi].typ)
+		s.Unit = p.str(p.sampleTypes[vi].unit)
+	}
+	if p.durationNS > 0 {
+		s.DurationMS = float64(p.durationNS) / 1e6
+	}
+	flat := map[string]int64{}
+	cum := map[string]int64{}
+	var onStack map[string]bool
+	for _, sm := range p.samples {
+		if vi >= len(sm.values) {
+			continue
+		}
+		v := sm.values[vi]
+		s.Total += v
+		if v == 0 || len(sm.locs) == 0 {
+			continue
+		}
+		// Flat: the leaf function of the innermost location. locs[0] is
+		// the leaf in pprof's stack ordering.
+		if nameIdx, ok := p.locFunc[sm.locs[0]]; ok {
+			flat[p.str(nameIdx)] += v
+		}
+		// Cum: every distinct function anywhere on the stack (dedup so
+		// recursion doesn't multi-count).
+		if onStack == nil {
+			onStack = map[string]bool{}
+		} else {
+			clear(onStack)
+		}
+		for _, loc := range sm.locs {
+			for _, fnIdx := range p.locStack[loc] {
+				name := p.str(p.funcName[uint64(fnIdx)])
+				if name != "" && !onStack[name] {
+					onStack[name] = true
+					cum[name] += v
+				}
+			}
+		}
+	}
+	names := make([]string, 0, len(cum))
+	for name := range cum {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		fi, fj := flat[names[i]], flat[names[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		ci, cj := cum[names[i]], cum[names[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > topN {
+		names = names[:topN]
+	}
+	for _, name := range names {
+		fs := FuncStat{Name: name, Flat: flat[name], Cum: cum[name]}
+		if s.Total > 0 {
+			fs.FlatPct = 100 * float64(fs.Flat) / float64(s.Total)
+			fs.CumPct = 100 * float64(fs.Cum) / float64(s.Total)
+		}
+		s.Functions = append(s.Functions, fs)
+	}
+	return s
+}
+
+// --- protobuf wire format ---
+
+const (
+	wireVarint = 0
+	wireI64    = 1
+	wireBytes  = 2
+	wireI32    = 5
+)
+
+// eachField walks one message's fields. For varint/fixed fields v holds
+// the value; for length-delimited fields msg holds the payload.
+func eachField(data []byte, fn func(field, wire int, v uint64, msg []byte) error) error {
+	for len(data) > 0 {
+		key, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("profile proto: bad field key")
+		}
+		data = data[n:]
+		field := int(key >> 3)
+		wire := int(key & 7)
+		switch wire {
+		case wireVarint:
+			v, n := uvarint(data)
+			if n <= 0 {
+				return fmt.Errorf("profile proto: bad varint in field %d", field)
+			}
+			data = data[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case wireI64:
+			if len(data) < 8 {
+				return fmt.Errorf("profile proto: short i64 in field %d", field)
+			}
+			data = data[8:]
+		case wireI32:
+			if len(data) < 4 {
+				return fmt.Errorf("profile proto: short i32 in field %d", field)
+			}
+			data = data[4:]
+		case wireBytes:
+			ln, n := uvarint(data)
+			if n <= 0 || uint64(len(data)-n) < ln {
+				return fmt.Errorf("profile proto: bad length in field %d", field)
+			}
+			payload := data[n : n+int(ln)]
+			data = data[n+int(ln):]
+			if err := fn(field, wire, 0, payload); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("profile proto: unsupported wire type %d", wire)
+		}
+	}
+	return nil
+}
+
+func eachPacked(data []byte, fn func(uint64)) error {
+	for len(data) > 0 {
+		v, n := uvarint(data)
+		if n <= 0 {
+			return fmt.Errorf("profile proto: bad packed varint")
+		}
+		fn(v)
+		data = data[n:]
+	}
+	return nil
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}

@@ -1,0 +1,110 @@
+// ring.go is the profiler's byte-budgeted capture store. Captures are
+// kept in insertion order and evicted oldest-first once the summed blob
+// size crosses the budget, with one carve-out: captures pinned by a
+// trigger (a firing alert, an alarm, a manual request) outlive interval
+// captures, because the profile from the moment something went wrong is
+// exactly the one worth keeping. If pinned captures alone exceed the
+// budget the oldest pinned capture goes too — memory stays bounded no
+// matter what the trigger rate is.
+package profile
+
+// capture is one stored profile: immutable metadata plus the raw
+// (gzipped pprof) blob.
+type capture struct {
+	info CaptureInfo
+	blob []byte
+}
+
+// CaptureInfo is the API-visible metadata of one capture.
+type CaptureInfo struct {
+	ID string `json:"id"`
+	// Type is one of "cpu", "heap", "goroutine", "mutex", "block".
+	Type string `json:"type"`
+	// Trigger records why the capture happened: "interval" for the
+	// background duty cycle, otherwise the bus event type ("alert",
+	// "alarm") or "manual".
+	Trigger    string `json:"trigger"`
+	TimeUnixMS int64  `json:"t_ms"`
+	SizeBytes  int    `json:"size_bytes"`
+	// Pinned captures survive ring eviction ahead of interval captures.
+	Pinned bool `json:"pinned,omitempty"`
+	// Summary is the parsed top-N view; nil when parsing failed.
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// ring holds captures oldest-first under the owning Profiler's mutex.
+type ring struct {
+	caps   []*capture
+	bytes  int64
+	budget int64
+}
+
+// add appends c and evicts until the ring fits the budget again,
+// returning how many captures were dropped. The newest capture is never
+// evicted: a single blob larger than the whole budget still lands (and
+// flushes everything older).
+func (r *ring) add(c *capture) (dropped int) {
+	r.caps = append(r.caps, c)
+	r.bytes += int64(len(c.blob))
+	for r.bytes > r.budget && len(r.caps) > 1 {
+		i := r.oldestEvictable()
+		victim := r.caps[i]
+		r.caps = append(r.caps[:i], r.caps[i+1:]...)
+		r.bytes -= int64(len(victim.blob))
+		dropped++
+	}
+	return dropped
+}
+
+// oldestEvictable returns the index of the oldest unpinned capture, or
+// the oldest capture outright when everything (but the newest) is
+// pinned. The newest entry is excluded so add never evicts what it just
+// stored.
+func (r *ring) oldestEvictable() int {
+	for i := 0; i < len(r.caps)-1; i++ {
+		if !r.caps[i].info.Pinned {
+			return i
+		}
+	}
+	return 0
+}
+
+// get returns the capture with the given id.
+func (r *ring) get(id string) *capture {
+	for _, c := range r.caps {
+		if c.info.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// latest returns the newest capture of the given type.
+func (r *ring) latest(typ string) *capture {
+	for i := len(r.caps) - 1; i >= 0; i-- {
+		if r.caps[i].info.Type == typ {
+			return r.caps[i]
+		}
+	}
+	return nil
+}
+
+// list returns capture metadata newest-first, filtered by type and
+// trigger (empty string matches all) and capped at limit (<=0: all).
+func (r *ring) list(typ, trigger string, limit int) []CaptureInfo {
+	out := make([]CaptureInfo, 0, len(r.caps))
+	for i := len(r.caps) - 1; i >= 0; i-- {
+		info := r.caps[i].info
+		if typ != "" && info.Type != typ {
+			continue
+		}
+		if trigger != "" && info.Trigger != trigger {
+			continue
+		}
+		out = append(out, info)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}

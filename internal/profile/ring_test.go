@@ -1,0 +1,126 @@
+package profile
+
+import (
+	"fmt"
+	"testing"
+)
+
+func mkCapture(id string, size int, pinned bool) *capture {
+	return &capture{
+		info: CaptureInfo{ID: id, Type: TypeCPU, Trigger: TriggerInterval,
+			SizeBytes: size, Pinned: pinned},
+		blob: make([]byte, size),
+	}
+}
+
+// TestRingEvictsOldestFirst fills past the budget and asserts captures
+// leave in insertion order.
+func TestRingEvictsOldestFirst(t *testing.T) {
+	r := ring{budget: 300}
+	for i := 0; i < 3; i++ {
+		if d := r.add(mkCapture(fmt.Sprintf("c%d", i), 100, false)); d != 0 {
+			t.Fatalf("add %d: dropped %d before budget exceeded", i, d)
+		}
+	}
+	if d := r.add(mkCapture("c3", 100, false)); d != 1 {
+		t.Fatalf("dropped = %d, want 1", d)
+	}
+	if r.get("c0") != nil {
+		t.Fatal("c0 (oldest) should have been evicted")
+	}
+	if r.get("c1") == nil || r.get("c3") == nil {
+		t.Fatal("newer captures must survive")
+	}
+	if r.bytes != 300 {
+		t.Fatalf("bytes = %d, want 300", r.bytes)
+	}
+}
+
+// TestRingPinnedSurvives interleaves pinned (incident-triggered) and
+// unpinned captures: evictions must take every unpinned capture before
+// touching a pinned one, regardless of age.
+func TestRingPinnedSurvives(t *testing.T) {
+	r := ring{budget: 300}
+	r.add(mkCapture("pin0", 100, true)) // oldest, pinned
+	r.add(mkCapture("int1", 100, false))
+	r.add(mkCapture("int2", 100, false))
+	// Over budget: int1 (oldest unpinned) must go, not pin0.
+	if d := r.add(mkCapture("int3", 100, false)); d != 1 {
+		t.Fatalf("dropped = %d, want 1", d)
+	}
+	if r.get("pin0") == nil {
+		t.Fatal("pinned capture evicted while unpinned captures remained")
+	}
+	if r.get("int1") != nil {
+		t.Fatal("oldest unpinned capture should have been evicted")
+	}
+	// Again: int2 goes, pin0 still survives.
+	r.add(mkCapture("int4", 100, false))
+	if r.get("pin0") == nil || r.get("int2") != nil {
+		t.Fatal("second eviction must take int2, keep pin0")
+	}
+}
+
+// TestRingAllPinnedStaysBounded: when only pinned captures remain, the
+// oldest pinned is evicted — the budget is a hard bound, triggers or not.
+func TestRingAllPinnedStaysBounded(t *testing.T) {
+	r := ring{budget: 300}
+	for i := 0; i < 5; i++ {
+		r.add(mkCapture(fmt.Sprintf("pin%d", i), 100, true))
+	}
+	if r.bytes > r.budget {
+		t.Fatalf("bytes = %d exceeds budget %d with all-pinned ring", r.bytes, r.budget)
+	}
+	if r.get("pin0") != nil || r.get("pin1") != nil {
+		t.Fatal("oldest pinned captures must be evicted once only pinned remain")
+	}
+	if r.get("pin4") == nil {
+		t.Fatal("newest capture must always survive")
+	}
+}
+
+// TestRingOversizeBlobLands: a single blob larger than the whole budget
+// still lands (and flushes everything older) — the newest capture is
+// never the victim.
+func TestRingOversizeBlobLands(t *testing.T) {
+	r := ring{budget: 300}
+	r.add(mkCapture("small", 100, true))
+	if d := r.add(mkCapture("huge", 1000, false)); d != 1 {
+		t.Fatalf("dropped = %d, want 1", d)
+	}
+	if r.get("huge") == nil {
+		t.Fatal("oversize capture must land")
+	}
+	if len(r.caps) != 1 {
+		t.Fatalf("ring holds %d captures, want 1", len(r.caps))
+	}
+}
+
+// TestRingListFilters exercises the type/trigger/limit filters and the
+// newest-first ordering behind GET /api/v1/profiles.
+func TestRingListFilters(t *testing.T) {
+	r := ring{budget: 1 << 20}
+	add := func(id, typ, trigger string) {
+		r.add(&capture{info: CaptureInfo{ID: id, Type: typ, Trigger: trigger}, blob: []byte{0}})
+	}
+	add("cpu1", TypeCPU, TriggerInterval)
+	add("heap1", TypeHeap, TriggerInterval)
+	add("cpu2", TypeCPU, "alert")
+	add("cpu3", TypeCPU, TriggerInterval)
+
+	all := r.list("", "", 0)
+	if len(all) != 4 || all[0].ID != "cpu3" || all[3].ID != "cpu1" {
+		t.Fatalf("list all = %+v, want newest-first cpu3..cpu1", all)
+	}
+	cpus := r.list(TypeCPU, "", 0)
+	if len(cpus) != 3 {
+		t.Fatalf("type filter: got %d, want 3", len(cpus))
+	}
+	alerts := r.list("", "alert", 0)
+	if len(alerts) != 1 || alerts[0].ID != "cpu2" {
+		t.Fatalf("trigger filter = %+v, want [cpu2]", alerts)
+	}
+	if lim := r.list(TypeCPU, "", 2); len(lim) != 2 || lim[0].ID != "cpu3" {
+		t.Fatalf("limit filter = %+v", lim)
+	}
+}

@@ -60,6 +60,13 @@ const dashboardHTML = `<!doctype html>
   #models { margin:0 16px 16px; background:var(--panel);
             border:1px solid #30363d; border-radius:6px; padding:10px 12px; }
   #models h2 { font-size:13px; color:var(--dim); margin:0 0 6px; }
+  #profiles { margin:0 16px 16px; background:var(--panel);
+              border:1px solid #30363d; border-radius:6px; padding:10px 12px; }
+  #profiles h2 { font-size:13px; color:var(--dim); margin:0 0 6px; }
+  .pf { display:flex; gap:10px; padding:2px 0; font-size:12px; }
+  .pf a { color:var(--line); text-decoration:none; }
+  .pf .pct { min-width:120px; text-align:right; }
+  .pf .fn { overflow:hidden; text-overflow:ellipsis; white-space:nowrap; }
   .mdl { display:flex; gap:10px; padding:2px 0; font-size:12px; }
   .mdl a { color:var(--line); text-decoration:none; }
   .mdl .prec { min-width:70px; }
@@ -85,6 +92,10 @@ const dashboardHTML = `<!doctype html>
   <h2>deployed models (<a href="/api/v1/models">/api/v1/models</a>)</h2>
   <div id="mdl-rows"><span class="nodata">no compiled programs deployed</span></div>
 </div>
+<div id="profiles">
+  <h2>latest CPU profile (<a href="/api/v1/profiles">/api/v1/profiles</a>)</h2>
+  <div id="pf-rows"><span class="nodata">no captures yet — the continuous profiler runs under serve by default</span></div>
+</div>
 <script>
 "use strict";
 // Each panel is one range query over the last 5 minutes. Metrics and
@@ -96,6 +107,11 @@ const PANELS = [
   {name:"features drifting",metric:"drift.features_drifting", agg:"max",  fmt:v=>v.toFixed(0)},
   {name:"bus drops / sec",  metric:"obs.events_dropped",      agg:"rate", fmt:v=>v.toFixed(2)},
   {name:"scrape p99 (ms)",  metric:"tsdb.scrape_ms:p99",      agg:"avg",  fmt:v=>v.toFixed(2)},
+  // Runtime panel: the runtime/metrics collector's gauges, scraped into
+  // the tsdb alongside the detection series.
+  {name:"goroutines",       metric:"runtime.goroutines",      agg:"avg",  fmt:v=>v.toFixed(0)},
+  {name:"GC pause p99 (ms)",metric:"runtime.gc_pause_p99_ms", agg:"max",  fmt:v=>v.toFixed(2)},
+  {name:"heap (MiB)",       metric:"runtime.heap_objects_bytes", agg:"avg", fmt:v=>(v/1048576).toFixed(1)},
 ];
 
 const grid = document.getElementById("grid");
@@ -268,14 +284,53 @@ async function pollModels() {
   } catch (_) {}
 }
 
+// Latest CPU profile: top-5 functions by flat share from the newest
+// capture in the profiler's ring; the capture id links to the raw
+// pprof blob (go tool pprof reads the download directly).
+const pfRows = document.getElementById("pf-rows");
+async function pollProfiles() {
+  try {
+    const r = await fetch("/api/v1/profiles?type=cpu&limit=1");
+    if (!r.ok) return; // 404: profiler disabled — leave the hint row
+    const body = await r.json();
+    const ps = body.profiles || [];
+    if (!ps.length) return;
+    const p = ps[0];
+    pfRows.textContent = "";
+    const head = document.createElement("div");
+    head.className = "pf";
+    const a = document.createElement("a");
+    a.href = "/api/v1/profiles/" + encodeURIComponent(p.id);
+    a.textContent = p.id + ".pb.gz";
+    const meta = document.createElement("span");
+    meta.textContent = new Date(p.t_ms).toLocaleTimeString() +
+      " · trigger " + p.trigger + " · " + (p.size_bytes/1024).toFixed(1) + " KiB";
+    head.append(a, meta);
+    pfRows.appendChild(head);
+    const fns = (p.summary && p.summary.functions || []).slice(0, 5);
+    for (const f of fns) {
+      const row = document.createElement("div");
+      row.className = "pf";
+      const pct = document.createElement("span"); pct.className = "pct";
+      pct.textContent = f.flat_pct.toFixed(1) + "% / " + f.cum_pct.toFixed(1) + "%";
+      const fn = document.createElement("span"); fn.className = "fn";
+      fn.textContent = f.name;
+      row.append(pct, fn);
+      pfRows.appendChild(row);
+    }
+  } catch (_) {}
+}
+
 seedTimeline();
 follow();
 poll();
 pollTraces();
 pollModels();
+pollProfiles();
 setInterval(poll, 2000);
 setInterval(pollTraces, 3000);
 setInterval(pollModels, 10000);
+setInterval(pollProfiles, 5000);
 </script>
 </body>
 </html>

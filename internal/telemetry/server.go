@@ -27,9 +27,15 @@
 //	/api/v1/models         compiled inference programs: classifier, precision,
 //	                       widths, scale table, agreement (JSON)
 //	/api/v1/models/{name}  one program's full spec (JSON)
+//	/api/v1/profiles       continuous-profiler capture ring (JSON;
+//	                       ?type= &trigger= &limit=) + profiler stats
+//	/api/v1/profiles/{id}  raw gzipped pprof blob (feed to `go tool
+//	                       pprof`), or ?summary=1 for the JSON top-N
 //
 //	/debug/flightrecorder  the flight recorder's current rings (JSON)
-//	/debug/pprof           CPU/heap/goroutine profiling (net/http/pprof)
+//	/debug/pprof           CPU/heap/goroutine profiling (net/http/pprof;
+//	                       on-demand CPU captures are capped at one at a
+//	                       time — contention answers 409)
 //
 // The legacy pre-v1 paths (/quality /drift /alerts /alerts/history
 // /manifest /buildinfo) remain as aliases of their /api/v1 successors:
@@ -65,6 +71,7 @@ import (
 
 	"repro/internal/httpapi"
 	"repro/internal/obs"
+	"repro/internal/profile"
 	"repro/internal/tsdb"
 )
 
@@ -85,6 +92,7 @@ type config struct {
 	sseKeepAlive   time.Duration
 	reqTracer      *obs.ReqTracer
 	models         func() []ModelInfo
+	profiler       *profile.Profiler
 }
 
 // ModelInfo is one deployed inference program as served by
@@ -163,6 +171,11 @@ func WithReqTracer(rt *obs.ReqTracer) Option { return func(c *config) { c.reqTra
 // the endpoints 404 — a plain -listen run deploys no compiled programs.
 func WithModels(fn func() []ModelInfo) Option { return func(c *config) { c.models = fn } }
 
+// WithProfiler attaches the continuous profiler behind /api/v1/profiles
+// and its labeled capture counters on /metrics. Nil leaves the
+// endpoints 404 (the profiler is disabled with -profile-interval 0).
+func WithProfiler(p *profile.Profiler) Option { return func(c *config) { c.profiler = p } }
+
 // Server serves the telemetry endpoints over HTTP.
 type Server struct {
 	cfg      config
@@ -182,6 +195,7 @@ type Server struct {
 	ingest    atomic.Pointer[http.Handler]
 	reqTracer atomic.Pointer[obs.ReqTracer]
 	models    atomic.Pointer[modelsFn]
+	profiler  atomic.Pointer[profile.Profiler]
 	// closing is closed on Shutdown so long-lived /events streams end
 	// promptly and let the graceful drain finish.
 	closing      chan struct{}
@@ -232,6 +246,7 @@ func New(opts ...Option) *Server {
 	s.SetIngest(cfg.ingest)
 	s.SetReqTracer(cfg.reqTracer)
 	s.SetModels(cfg.models)
+	s.SetProfiler(cfg.profiler)
 
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -274,13 +289,35 @@ func New(opts ...Option) *Server {
 	s.mux.HandleFunc("/api/v1/models", httpapi.Methods(s.handleModels, http.MethodGet))
 	s.mux.HandleFunc("/api/v1/models/", httpapi.Methods(s.handleModels, http.MethodGet))
 
+	// The continuous profiler's capture ring and blob downloads.
+	s.mux.HandleFunc("/api/v1/profiles", httpapi.Methods(s.handleProfiles, http.MethodGet))
+	s.mux.HandleFunc("/api/v1/profiles/", httpapi.Methods(s.handleProfiles, http.MethodGet))
+
 	s.mux.HandleFunc("/debug/flightrecorder", httpapi.Methods(s.snapshotHandler(&s.flight, "no flight recorder attached"), http.MethodGet))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/profile", s.handlePprofProfile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
+}
+
+// handlePprofProfile serves on-demand CPU profiles like net/http/pprof,
+// but capped at one capture at a time process-wide: the runtime allows
+// a single CPU profile, and without the cap a second dashboard poll
+// would stack requests behind runtime/pprof's opaque error. Contention
+// — with another on-demand capture, the continuous profiler's duty
+// window, or a -cpuprofile run — answers 409 with the API's standard
+// error envelope and a Retry-After hint.
+func (s *Server) handlePprofProfile(w http.ResponseWriter, r *http.Request) {
+	if !profile.TryAcquireCPU() {
+		w.Header().Set("Retry-After", "5")
+		httpapi.Error(w, http.StatusConflict, "profile_in_progress",
+			"a CPU profile capture is already in progress (on-demand captures are capped at 1; retry shortly)")
+		return
+	}
+	defer profile.ReleaseCPU()
+	pprof.Profile(w, r)
 }
 
 // Handler returns the server's routing handler (useful for tests).
@@ -363,6 +400,63 @@ func (s *Server) SetModels(fn func() []ModelInfo) {
 	}
 	mf := modelsFn(fn)
 	s.models.Store(&mf)
+}
+
+// SetProfiler attaches (or, with nil, detaches) the continuous
+// profiler behind /api/v1/profiles after construction.
+func (s *Server) SetProfiler(p *profile.Profiler) { s.profiler.Store(p) }
+
+// handleProfiles serves the continuous profiler's capture ring:
+//
+//	GET /api/v1/profiles                capture metadata newest-first,
+//	                                    filterable by ?type= (cpu, heap,
+//	                                    goroutine, mutex, block),
+//	                                    ?trigger= (interval, alert,
+//	                                    alarm, manual), ?limit=N; plus
+//	                                    profiler stats
+//	GET /api/v1/profiles/{id}           the raw gzipped pprof blob —
+//	                                    `go tool pprof` reads it directly
+//	GET /api/v1/profiles/{id}?summary=1 the parsed top-N flat/cum JSON
+//
+// 404 until a profiler is attached (disabled via -profile-interval 0).
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	p := s.profiler.Load()
+	if p == nil {
+		httpapi.Error(w, http.StatusNotFound, httpapi.CodeNotFound,
+			"no continuous profiler attached (enabled by default under -listen; -profile-interval 0 disables it)")
+		return
+	}
+	if id := strings.TrimPrefix(strings.TrimSuffix(r.URL.Path, "/"), "/api/v1/profiles"); id != "" {
+		id = strings.TrimPrefix(id, "/")
+		info, blob, ok := p.Get(id)
+		if !ok {
+			httpapi.Errorf(w, http.StatusNotFound, httpapi.CodeNotFound,
+				"unknown profile id %q (captures live in a byte-budgeted ring; it may have been evicted)", id)
+			return
+		}
+		if v := r.URL.Query().Get("summary"); v == "1" || v == "true" {
+			httpapi.WriteJSON(w, info)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", id+".pb.gz"))
+		w.Write(blob)
+		return
+	}
+	q := r.URL.Query()
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpapi.Errorf(w, http.StatusBadRequest, httpapi.CodeBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	httpapi.WriteJSON(w, map[string]any{
+		"profiles": p.List(q.Get("type"), q.Get("trigger"), limit),
+		"stats":    p.Stats(),
+	})
 }
 
 // handleModels serves the compiled-program catalog:
@@ -567,8 +661,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /api/v1/traces/{id}    one trace's span waterfall (JSON)
   /api/v1/models         deployed inference programs: precision, widths, agreement (JSON)
   /api/v1/models/{name}  one program's full spec incl. scale table (JSON)
+  /api/v1/profiles       continuous-profiler captures (?type= &trigger= &limit=) (JSON)
+  /api/v1/profiles/{id}  raw pprof blob for "go tool pprof"; ?summary=1 for top-N JSON
   /debug/flightrecorder  flight-recorder rings (JSON)
-  /debug/pprof  profiling
+  /debug/pprof  profiling (on-demand CPU captures capped at 1; 409 on contention)
   (legacy /quality /drift /alerts /alerts/history /manifest /buildinfo
    still answer, with a Deprecation header)
 `)
@@ -735,6 +831,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			obs.QuoteLabel(bi.Version), obs.QuoteLabel(bi.Revision), obs.QuoteLabel(bi.GoVersion))
 		fmt.Fprintf(w, "# TYPE hpcmal_uptime_seconds gauge\nhpcmal_uptime_seconds %g\n",
 			time.Since(s.started).Seconds())
+		s.writeProfileCaptures(w, true)
 		fmt.Fprint(w, "# EOF\n")
 		return
 	}
@@ -747,6 +844,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		obs.QuoteLabel(bi.Version), obs.QuoteLabel(bi.Revision), obs.QuoteLabel(bi.GoVersion))
 	fmt.Fprintf(w, "# TYPE hpcmal_uptime_seconds gauge\nhpcmal_uptime_seconds %g\n",
 		time.Since(s.started).Seconds())
+	s.writeProfileCaptures(w, false)
+}
+
+// writeProfileCaptures appends the profiler's captures-by-cause table
+// as the labeled family profile_captures_total{type,trigger}. The
+// registry cannot render labeled series (its metrics are plain names),
+// so these lines are hand-written next to hpcmal_build_info; the
+// profiler's unlabeled ring gauges and drop counters flow through the
+// registry like any metric. Written only while a profiler is attached,
+// keeping the pre-profiler exposition byte-stable.
+func (s *Server) writeProfileCaptures(w http.ResponseWriter, openMetrics bool) {
+	p := s.profiler.Load()
+	if p == nil {
+		return
+	}
+	byCause := p.Stats().ByCause
+	if len(byCause) == 0 {
+		return
+	}
+	if openMetrics {
+		// OpenMetrics names the family without the _total suffix.
+		fmt.Fprint(w, "# TYPE profile_captures counter\n")
+	} else {
+		fmt.Fprint(w, "# TYPE profile_captures_total counter\n")
+	}
+	for _, c := range byCause {
+		fmt.Fprintf(w, "profile_captures_total{type=%s,trigger=%s} %d\n",
+			obs.QuoteLabel(c.Type), obs.QuoteLabel(c.Trigger), c.Count)
+	}
 }
 
 func (s *Server) handleManifest(w http.ResponseWriter, _ *http.Request) {

@@ -75,10 +75,15 @@ type Config struct {
 	// EventTypes, retained in a bounded history ring.
 	Bus *obs.Bus
 	// EventTypes selects which bus events the history ring keeps
-	// (default alarm, alert, alert_resolved, drift, drift_resolved).
+	// (default alarm, alert, alert_resolved, drift, drift_resolved,
+	// profile.regression).
 	EventTypes []string
 	// EventDepth bounds the event-history ring (default 512).
 	EventDepth int
+	// PreScrape, when set, runs at the start of every ScrapeAt — the
+	// hook the runtime/metrics collector uses so runtime gauges are
+	// refreshed on the same cadence as the series that record them.
+	PreScrape func()
 }
 
 // Store is the embedded time-series database. All methods are safe for
@@ -123,7 +128,7 @@ func New(cfg Config) *Store {
 		cfg.Bus = obs.DefaultBus
 	}
 	if cfg.EventTypes == nil {
-		cfg.EventTypes = []string{"alarm", "alert", "alert_resolved", "drift", "drift_resolved"}
+		cfg.EventTypes = []string{"alarm", "alert", "alert_resolved", "drift", "drift_resolved", "profile.regression"}
 	}
 	if cfg.EventDepth <= 0 {
 		cfg.EventDepth = 512
@@ -166,6 +171,9 @@ func (st *Store) observeLocked(name, kind string, tMS int64, v float64) {
 // starts at the first observation instead of a misleading 0).
 func (st *Store) ScrapeAt(now time.Time) {
 	t0 := time.Now()
+	if st.cfg.PreScrape != nil {
+		st.cfg.PreScrape()
+	}
 	// Snapshot outside the store lock: the registry does its own locking
 	// and the detection hot path only ever contends on that, never on
 	// query traffic.
